@@ -1,0 +1,204 @@
+package noxnet
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark iteration regenerates the corresponding result at reduced scale
+// (short measurement windows, a subset of sweep points) so `go test
+// -bench=.` exercises every experiment path in minutes; the cmd/ tools run
+// the full-scale versions. The reported custom metrics carry the headline
+// numbers so a bench run doubles as a smoke reproduction.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkTable1SystemParameters renders the Table 1 configuration.
+func BenchmarkTable1SystemParameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := harness.Table1().String(); len(s) == 0 {
+			b.Fatal("empty Table 1")
+		}
+	}
+}
+
+// BenchmarkTable2ClockPeriods evaluates the critical-path timing model for
+// all architectures and verifies the published periods.
+func BenchmarkTable2ClockPeriods(b *testing.B) {
+	want := map[router.Arch]float64{
+		router.NonSpec: 0.92, router.SpecFast: 0.69, router.SpecAccurate: 0.72, router.NoX: 0.76,
+	}
+	for i := 0; i < b.N; i++ {
+		for arch, ns := range want {
+			if got := physical.ClockPeriodNs(arch); got < ns-1e-9 || got > ns+1e-9 {
+				b.Fatalf("%v period %v != %v", arch, got, ns)
+			}
+		}
+	}
+}
+
+// benchSweep runs a reduced Figure 8/9 sweep on one pattern.
+func benchSweep(b *testing.B, pattern string) []harness.SweepPoint {
+	b.Helper()
+	base := harness.SyntheticConfig{
+		Pattern:       pattern,
+		WarmupCycles:  800,
+		MeasureCycles: 2000,
+		DrainCycles:   8000,
+	}
+	points, err := harness.SweepSynthetic(base, []float64{600, 1800, 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return points
+}
+
+// BenchmarkFigure8SyntheticLatency regenerates a reduced uniform-random
+// latency-vs-load sweep across all four architectures and reports NoX's
+// saturation throughput.
+func BenchmarkFigure8SyntheticLatency(b *testing.B) {
+	var noxSat float64
+	for i := 0; i < b.N; i++ {
+		points := benchSweep(b, "uniform")
+		noxSat = harness.SaturationMBps(points)[router.NoX]
+	}
+	b.ReportMetric(noxSat, "NoX-sat-MB/s/node")
+}
+
+// BenchmarkFigure9SyntheticEnergyDelay2 regenerates a reduced
+// energy-delay^2 sweep and reports NoX's ED^2 at 1.8 GB/s/node.
+func BenchmarkFigure9SyntheticEnergyDelay2(b *testing.B) {
+	var ed2 float64
+	for i := 0; i < b.N; i++ {
+		points := benchSweep(b, "uniform")
+		for _, pt := range points {
+			if pt.RateMBps == 1800 {
+				ed2 = pt.Results[router.NoX].EnergyDelay2
+			}
+		}
+	}
+	b.ReportMetric(ed2, "NoX-ED2-pJns2")
+}
+
+// benchAppResults replays one short application trace on all architectures.
+func benchAppResults(b *testing.B, workload string) map[router.Arch]harness.AppResult {
+	b.Helper()
+	w, err := trace.WorkloadByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.Generate(w, harness.Table1().Topo, 8000, 7)
+	return harness.RunAppAllArchs(tr, 0)
+}
+
+// BenchmarkFigure10ApplicationLatency regenerates one workload's Figure 10
+// bar group and reports the NoX latency.
+func BenchmarkFigure10ApplicationLatency(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		lat = benchAppResults(b, "tpcc")[router.NoX].MeanLatencyNs
+	}
+	b.ReportMetric(lat, "NoX-latency-ns")
+}
+
+// BenchmarkFigure11ApplicationEnergyDelay2 regenerates one workload's
+// Figure 11 bar group and reports NoX's improvement over Spec-Accurate.
+func BenchmarkFigure11ApplicationEnergyDelay2(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		res := benchAppResults(b, "tpcc")
+		imp = 100 * (1 - res[router.NoX].EnergyDelay2/res[router.SpecAccurate].EnergyDelay2)
+	}
+	b.ReportMetric(imp, "NoX-vs-SpecAcc-%")
+}
+
+// BenchmarkFigure12PowerBreakdown regenerates the 2 GB/s/node uniform power
+// comparison and reports NoX's link power share (paper: ~74%).
+func BenchmarkFigure12PowerBreakdown(b *testing.B) {
+	var linkShare float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunSynthetic(harness.SyntheticConfig{
+			Arch: router.NoX, Pattern: "uniform", RateMBps: 2000,
+			WarmupCycles: 800, MeasureCycles: 2500,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		linkShare = 100 * res.Energy.LinkShare()
+	}
+	b.ReportMetric(linkShare, "link-power-%")
+}
+
+// BenchmarkFigure13Floorplan evaluates the area model and reports the NoX
+// tile overhead (paper: 17.2%).
+func BenchmarkFigure13Floorplan(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		overhead = 100 * physical.AreaOverheadVsConventional()
+	}
+	b.ReportMetric(overhead, "NoX-area-%")
+}
+
+// BenchmarkNetworkCycle measures raw simulator speed: one cycle of a fully
+// loaded 8x8 network, per architecture.
+func BenchmarkNetworkCycle(b *testing.B) {
+	for _, arch := range router.Archs {
+		b.Run(arch.String(), func(b *testing.B) {
+			net := network.New(network.Config{Arch: arch})
+			rng := sim.NewRNG(1)
+			topo := net.Topology()
+			// Preload meaningful traffic and keep it flowing.
+			for i := 0; i < b.N; i++ {
+				if i%4 == 0 {
+					src := noc.NodeID(rng.Intn(topo.Nodes()))
+					dst := noc.NodeID(rng.Intn(topo.Nodes()))
+					if src != dst {
+						net.Inject(src, dst, 1, 0)
+					}
+				}
+				net.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkXORChain measures the core mechanism in isolation: a 5-way
+// collision fully resolved through encode/decode at a hot output.
+func BenchmarkXORChain(b *testing.B) {
+	topo := noc.Topology{Width: 4, Height: 4}
+	for i := 0; i < b.N; i++ {
+		net := network.New(network.Config{Topo: topo, Arch: router.NoX})
+		for id := 1; id <= 5; id++ {
+			net.Inject(noc.NodeID(id), 12, 1, 0)
+		}
+		if !net.Drain(500) {
+			b.Fatal("chain did not drain")
+		}
+	}
+}
+
+// BenchmarkSection8FutureWork regenerates a reduced mesh-vs-CMesh
+// comparison (the paper's §8 proposal) and reports how much NoX's latency
+// standing against Spec-Accurate improves at higher radix.
+func BenchmarkSection8FutureWork(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		st, err := harness.RunFutureStudy([]float64{500}, "uniform", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mesh, ok1 := st.NoXGapVsSpecAccurate(harness.Mesh8x8, 500)
+		cmesh, ok2 := st.NoXGapVsSpecAccurate(harness.CMesh4x4, 500)
+		if !ok1 || !ok2 {
+			b.Fatal("study points missing")
+		}
+		improvement = 100 * (mesh - cmesh)
+	}
+	b.ReportMetric(improvement, "NoX-gain-on-CMesh-pp")
+}

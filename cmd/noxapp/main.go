@@ -1,0 +1,62 @@
+// Command noxapp regenerates Figures 10 and 11: application-trace latency
+// and energy-delay^2 for all four router architectures, replaying
+// synthesized cache-coherence traces on two physical networks.
+//
+// Usage:
+//
+//	noxapp                       # both figures, all workloads
+//	noxapp -figure 11 -workload tpcc
+//	noxapp -cpu-cycles 20000     # shorter traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		figure    = flag.Int("figure", 0, "figure to regenerate: 10 (latency), 11 (energy-delay^2), 0 = both")
+		workload  = flag.String("workload", "all", "workload name or 'all'")
+		cpuCycles = flag.Int64("cpu-cycles", 40000, "trace length in 3 GHz CPU cycles")
+		csv       = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+		seed      = flag.Uint64("seed", 1234, "trace generation seed")
+	)
+	flag.Parse()
+
+	workloads := trace.Workloads
+	if *workload != "all" {
+		w, err := trace.WorkloadByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "noxapp:", err)
+			os.Exit(1)
+		}
+		workloads = []trace.Workload{w}
+	}
+
+	var results []map[router.Arch]harness.AppResult
+	topo := harness.Table1().Topo
+	for _, w := range workloads {
+		tr := trace.Generate(w, topo, *cpuCycles, *seed)
+		fmt.Printf("replaying %-8s (%6d packets, offered %6.0f MB/s/node)\n",
+			w.Name, len(tr.Events), tr.MeanInjectionMBps())
+		results = append(results, harness.RunAppAllArchs(tr, 0))
+	}
+	fmt.Println()
+	if *csv {
+		fmt.Print(harness.AppCSV(results))
+		return
+	}
+	if *figure == 0 || *figure == 10 {
+		fmt.Print(harness.FormatAppLatency(results))
+		fmt.Println()
+	}
+	if *figure == 0 || *figure == 11 {
+		fmt.Print(harness.FormatAppED2(results))
+	}
+}

@@ -1,0 +1,47 @@
+// Command noxfuture runs the paper's §8 future-work study: the four router
+// architectures on 64 cores organized as the baseline 8x8 mesh versus a
+// 4x4 concentrated mesh with radix-8 routers and 4 mm channels. The
+// hypothesis under test: NoX derives more benefit at higher radix because
+// arbitration latencies and channels grow while its decode cost is fixed.
+//
+// Usage:
+//
+//	noxfuture
+//	noxfuture -pattern selfsimilar -rates 400,800,1200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		pattern  = flag.String("pattern", "uniform", "traffic pattern over cores (uniform|selfsimilar|transpose|...)")
+		ratesStr = flag.String("rates", "400,800,1200,1600,2000,2400", "comma-separated offered rates (MB/s/core)")
+		seed     = flag.Uint64("seed", 0xF07E, "simulation seed")
+	)
+	flag.Parse()
+
+	var rates []float64
+	for _, f := range strings.Split(*ratesStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "noxfuture: bad rate:", err)
+			os.Exit(1)
+		}
+		rates = append(rates, v)
+	}
+
+	st, err := harness.RunFutureStudy(rates, *pattern, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxfuture:", err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatFutureStudy(st))
+}

@@ -1,0 +1,63 @@
+// Command noxsweep regenerates Figures 8 and 9: latency and energy-delay^2
+// versus offered injection bandwidth, per traffic pattern, for all four
+// router architectures.
+//
+// Usage:
+//
+//	noxsweep -figure 8                 # all patterns, latency panels
+//	noxsweep -figure 9 -pattern uniform
+//	noxsweep -fast                     # reduced cycles for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 8, "figure to regenerate: 8 (latency) or 9 (energy-delay^2)")
+		pattern = flag.String("pattern", "all", "traffic pattern or 'all'")
+		fast    = flag.Bool("fast", false, "reduced warmup/measurement for a quick look")
+		csv     = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+		seed    = flag.Uint64("seed", 0xA11CE, "simulation seed")
+	)
+	flag.Parse()
+
+	if *figure != 8 && *figure != 9 {
+		fmt.Fprintln(os.Stderr, "noxsweep: -figure must be 8 or 9")
+		os.Exit(1)
+	}
+
+	patterns := traffic.PatternNames
+	if *pattern != "all" {
+		patterns = []string{*pattern}
+	}
+
+	for _, pat := range patterns {
+		base := harness.SyntheticConfig{Pattern: pat, Seed: *seed}
+		if *fast {
+			base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 15000
+		}
+		points, err := harness.SweepSynthetic(base, harness.DefaultRates(pat))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "noxsweep:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(harness.SweepCSV(pat, points))
+			continue
+		}
+		if *figure == 8 {
+			fmt.Print(harness.FormatSweepLatency(pat, points))
+		} else {
+			fmt.Print(harness.FormatSweepED2(pat, points))
+		}
+		fmt.Print(harness.FormatSaturation(pat, points))
+		fmt.Println()
+	}
+}

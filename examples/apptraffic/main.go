@@ -1,0 +1,39 @@
+// Application traffic: replay a synthesized cache-coherence trace (the
+// paper's §5.2 methodology) on every router architecture and report the
+// Figure 10/11 metrics for one workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	noxnet "repro"
+)
+
+func main() {
+	name := flag.String("workload", "tpcc", "application workload (barnes|fft|lu|ocean|radix|water|specjbb|tpcc)")
+	cpuCycles := flag.Int64("cpu-cycles", 25000, "trace length in 3 GHz CPU cycles")
+	flag.Parse()
+
+	w, err := noxnet.WorkloadByName(*name)
+	if err != nil {
+		panic(err)
+	}
+	tr := noxnet.GenerateTrace(w, noxnet.Table1().Topo, *cpuCycles, 42)
+	fmt.Printf("workload %s: %d packets, offered %.0f MB/s/node, dual physical networks\n\n",
+		w.Name, len(tr.Events), tr.MeanInjectionMBps())
+
+	fmt.Printf("%-16s %12s %12s %14s\n", "architecture", "latency", "pkt energy", "energy-delay^2")
+	var noxED2, bestOtherED2 float64
+	for _, arch := range noxnet.Archs {
+		res := noxnet.RunApp(noxnet.AppConfig{Arch: arch, Trace: tr})
+		fmt.Printf("%-16s %9.2f ns %9.1f pJ %11.0f pJ*ns^2\n",
+			arch, res.MeanLatencyNs, res.PacketEnergyPJ, res.EnergyDelay2)
+		if arch == noxnet.NoX {
+			noxED2 = res.EnergyDelay2
+		} else if bestOtherED2 == 0 || res.EnergyDelay2 < bestOtherED2 {
+			bestOtherED2 = res.EnergyDelay2
+		}
+	}
+	fmt.Printf("\nNoX energy-delay^2 vs best baseline: %+.1f%%\n", 100*(1-noxED2/bestOtherED2))
+}

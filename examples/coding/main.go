@@ -1,0 +1,58 @@
+// Coding walkthrough: reproduces the paper's Figures 2 and 3 on a live
+// network. Three nodes fire single-flit packets that collide at a shared
+// router output; the run prints the XOR-coded wire traffic and shows every
+// packet delivered bit-exactly, in arbitration order, with zero wasted
+// channel cycles — then contrasts the same stimulus on Spec-Accurate.
+package main
+
+import (
+	"fmt"
+
+	noxnet "repro"
+)
+
+// fire injects one single-flit packet from each source toward dst on the
+// same cycle, forcing a collision at dst's router.
+func fire(net *noxnet.Network, sources []noxnet.NodeID, dst noxnet.NodeID) []*noxnet.Packet {
+	var pkts []*noxnet.Packet
+	for _, s := range sources {
+		pkts = append(pkts, net.Inject(s, dst, 1, 0))
+	}
+	return pkts
+}
+
+func run(arch noxnet.Arch) {
+	net := noxnet.NewNetwork(noxnet.NetworkConfig{
+		Arch: arch,
+		Topo: noxnet.Topology{Width: 4, Height: 4},
+	})
+
+	// Nodes 1, 4, and 9 all converge on node 10's router. With XY routing
+	// their flits meet at different input ports of intermediate routers,
+	// colliding on the way.
+	pkts := fire(net, []noxnet.NodeID{1, 4, 9}, 10)
+	if !net.Drain(1_000) {
+		panic("collision traffic did not drain")
+	}
+
+	c := net.Counters()
+	fmt.Printf("%-16s deliveries in arbitration order:\n", arch)
+	for _, p := range pkts {
+		fmt.Printf("  packet %d from node %-2d delivered at cycle %d (%.2f ns)\n",
+			p.ID, p.Src, p.DeliverCycle, float64(p.Latency())*noxnet.ClockPeriodNs(arch))
+	}
+	fmt.Printf("  productive collisions: %d   encoded flits on wires: %d   decode ops: %d\n",
+		c.Collisions, c.EncodedFlits, c.Decode)
+	fmt.Printf("  wasted channel drives: %d   wasted cycles: %d\n\n", c.LinkInvalid, c.WastedCycles)
+}
+
+func main() {
+	fmt.Println("The NoX coding scheme (paper §2.2):")
+	fmt.Println("  collide -> transmit A^B^C, grant A;  next cycle B^C;  next cycle C")
+	fmt.Println("  receiver decodes by XORing contiguous flits: (A^B^C)^(B^C) = A")
+	fmt.Println()
+	run(noxnet.NoX)
+	run(noxnet.SpecAccurate)
+	fmt.Println("NoX turns every contention cycle into a productive encoded transfer;")
+	fmt.Println("the speculative router burns the same cycles driving invalid values.")
+}

@@ -1,0 +1,136 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundRobinRotation verifies exact rotation under full load: each of n
+// continuously requesting inputs is served once every n cycles.
+func TestRoundRobinRotation(t *testing.T) {
+	const n = 5
+	a := NewRoundRobin(n)
+	all := uint32(1<<n) - 1
+	var got []int
+	for i := 0; i < 2*n; i++ {
+		w, ok := a.Grant(all)
+		if !ok {
+			t.Fatal("no grant with all requesting")
+		}
+		got = append(got, w)
+	}
+	for i, w := range got {
+		if w != i%n {
+			t.Fatalf("grant sequence %v not a rotation", got)
+		}
+	}
+}
+
+// TestGrantProperties property-checks both arbiters: a grant is always a
+// requester, produced iff requests exist, and Peek agrees with Grant.
+func TestGrantProperties(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Arbiter
+	}{
+		{"RoundRobin", func() Arbiter { return NewRoundRobin(5) }},
+		{"Matrix", func() Arbiter { return NewMatrix(5) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.mk()
+			f := func(reqRaw uint8) bool {
+				req := uint32(reqRaw) & 0x1f
+				pw, pok := a.Peek(req)
+				w, ok := a.Grant(req)
+				if ok != (req != 0) || pok != ok {
+					return false
+				}
+				if !ok {
+					return true
+				}
+				return w == pw && req&(1<<w) != 0
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFairnessUnderLoad verifies both arbiters spread grants evenly when
+// everyone requests continuously — the property NoX decode order inherits.
+func TestFairnessUnderLoad(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Arbiter
+	}{
+		{"RoundRobin", func() Arbiter { return NewRoundRobin(5) }},
+		{"Matrix", func() Arbiter { return NewMatrix(5) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.mk()
+			all := uint32(1<<5) - 1
+			counts := make([]int, 5)
+			const rounds = 1000
+			for i := 0; i < rounds; i++ {
+				w, _ := a.Grant(all)
+				counts[w]++
+			}
+			for i, got := range counts {
+				if got != rounds/5 {
+					t.Errorf("input %d granted %d times, want %d", i, got, rounds/5)
+				}
+			}
+		})
+	}
+}
+
+// TestMatrixLeastRecentlyServed verifies the matrix arbiter's defining
+// property: after being served, an input loses to everyone until they are
+// served too.
+func TestMatrixLeastRecentlyServed(t *testing.T) {
+	m := NewMatrix(3)
+	w, _ := m.Grant(0b111)
+	if w != 0 {
+		t.Fatalf("initial winner %d, want 0", w)
+	}
+	// 0 must now lose to both 1 and 2.
+	if w, _ := m.Grant(0b011); w != 1 {
+		t.Errorf("want 1 to beat freshly served 0, got %d", w)
+	}
+	if w, _ := m.Grant(0b101); w != 2 {
+		t.Errorf("want 2 to beat 0, got %d", w)
+	}
+}
+
+// TestPeekDoesNotMutate verifies Peek leaves priority state untouched.
+func TestPeekDoesNotMutate(t *testing.T) {
+	a := NewRoundRobin(4)
+	for i := 0; i < 3; i++ {
+		if w, _ := a.Peek(0b1111); w != 0 {
+			t.Fatalf("Peek mutated state: winner %d", w)
+		}
+	}
+}
+
+// TestSingleRequester verifies a lone requester always wins immediately.
+func TestSingleRequester(t *testing.T) {
+	a := NewRoundRobin(5)
+	a.Grant(0b11111) // rotate priority away from 3
+	if w, ok := a.Grant(1 << 3); !ok || w != 3 {
+		t.Fatalf("lone requester 3 got grant=%d ok=%v", w, ok)
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d accepted", bad)
+				}
+			}()
+			NewRoundRobin(bad)
+		}()
+	}
+}

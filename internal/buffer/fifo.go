@@ -1,0 +1,66 @@
+// Package buffer models the router input buffers: small single-read,
+// single-write SRAM FIFOs (paper §2.4, Table 1: four 64-bit entries per
+// input port, the minimum covering the round-trip credit loop).
+package buffer
+
+import "repro/internal/noc"
+
+// FIFO is a fixed-capacity flit queue.
+type FIFO struct {
+	slots []*noc.Flit
+	head  int
+	count int
+}
+
+// New returns an empty FIFO holding up to depth flits.
+func New(depth int) *FIFO {
+	if depth <= 0 {
+		panic("buffer: FIFO depth must be positive")
+	}
+	return &FIFO{slots: make([]*noc.Flit, depth)}
+}
+
+// Cap returns the FIFO capacity in flits.
+func (f *FIFO) Cap() int { return len(f.slots) }
+
+// Len returns the number of buffered flits.
+func (f *FIFO) Len() int { return f.count }
+
+// Free returns the number of empty slots.
+func (f *FIFO) Free() int { return len(f.slots) - f.count }
+
+// Empty reports whether the FIFO holds no flits.
+func (f *FIFO) Empty() bool { return f.count == 0 }
+
+// Head returns the oldest flit without removing it, or nil when empty.
+func (f *FIFO) Head() *noc.Flit {
+	if f.count == 0 {
+		return nil
+	}
+	return f.slots[f.head]
+}
+
+// Push appends a flit. It panics on overflow: credit-based flow control must
+// make overflow impossible, so an overflow is always a simulator bug.
+func (f *FIFO) Push(fl *noc.Flit) {
+	if fl == nil {
+		panic("buffer: Push of nil flit")
+	}
+	if f.count == len(f.slots) {
+		panic("buffer: FIFO overflow (credit protocol violated)")
+	}
+	f.slots[(f.head+f.count)%len(f.slots)] = fl
+	f.count++
+}
+
+// Pop removes and returns the oldest flit. It panics when empty.
+func (f *FIFO) Pop() *noc.Flit {
+	if f.count == 0 {
+		panic("buffer: Pop from empty FIFO")
+	}
+	fl := f.slots[f.head]
+	f.slots[f.head] = nil
+	f.head = (f.head + 1) % len(f.slots)
+	f.count--
+	return fl
+}

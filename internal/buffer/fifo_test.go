@@ -1,0 +1,122 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc"
+)
+
+func flit(id uint64) *noc.Flit {
+	return noc.NewFlit(noc.NewPacket(id, 0, 1, 1, 0, 0), 0)
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := New(4)
+	for i := uint64(1); i <= 4; i++ {
+		f.Push(flit(i))
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if got := f.Pop(); got.Packet.ID != i {
+			t.Fatalf("pop %d: got packet %d", i, got.Packet.ID)
+		}
+	}
+}
+
+func TestFIFOWraparound(t *testing.T) {
+	f := New(3)
+	id := uint64(0)
+	for round := 0; round < 10; round++ {
+		f.Push(flit(id))
+		f.Push(flit(id + 1))
+		if got := f.Pop(); got.Packet.ID != id {
+			t.Fatalf("round %d: got %d want %d", round, got.Packet.ID, id)
+		}
+		if got := f.Pop(); got.Packet.ID != id+1 {
+			t.Fatalf("round %d: got %d want %d", round, got.Packet.ID, id+1)
+		}
+		id += 2
+	}
+	if !f.Empty() {
+		t.Fatal("FIFO should be empty")
+	}
+}
+
+func TestFIFOAccounting(t *testing.T) {
+	f := New(4)
+	if f.Cap() != 4 || f.Len() != 0 || f.Free() != 4 || !f.Empty() {
+		t.Fatal("fresh FIFO accounting wrong")
+	}
+	f.Push(flit(1))
+	f.Push(flit(2))
+	if f.Len() != 2 || f.Free() != 2 || f.Empty() {
+		t.Fatal("partially filled FIFO accounting wrong")
+	}
+	if f.Head().Packet.ID != 1 {
+		t.Fatal("Head should peek oldest")
+	}
+	if f.Len() != 2 {
+		t.Fatal("Head must not consume")
+	}
+}
+
+func TestFIFOOverflowPanics(t *testing.T) {
+	f := New(2)
+	f.Push(flit(1))
+	f.Push(flit(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	f.Push(flit(3))
+}
+
+func TestFIFOUnderflowPanics(t *testing.T) {
+	f := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("underflow did not panic")
+		}
+	}()
+	f.Pop()
+}
+
+func TestHeadEmptyNil(t *testing.T) {
+	if New(2).Head() != nil {
+		t.Error("Head of empty FIFO should be nil")
+	}
+}
+
+// TestFIFOPropertyOrderAndConservation property-checks arbitrary interleaved
+// push/pop sequences: strict FIFO order, and Len == pushes - pops always.
+func TestFIFOPropertyOrderAndConservation(t *testing.T) {
+	prop := func(ops []bool) bool {
+		f := New(8)
+		var next, expect uint64
+		for _, push := range ops {
+			if push {
+				if f.Free() == 0 {
+					continue
+				}
+				f.Push(flit(next))
+				next++
+			} else {
+				if f.Empty() {
+					continue
+				}
+				if f.Pop().Packet.ID != expect {
+					return false
+				}
+				expect++
+			}
+			if f.Len() != int(next-expect) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/noc"
+)
+
+// InputPort is the NoX input port of §2.4: a small SRAM FIFO, a single
+// decode register, and XOR decode circuitry. It presents at most one flit
+// per cycle to the switch fabric:
+//
+//   - If the FIFO head is unencoded and the register is empty, the head is
+//     presented as-is.
+//   - If the FIFO head is encoded and the register is empty, no flit is
+//     presented this cycle; at the clock edge the head is latched into the
+//     register (and its buffer slot freed — the register is storage beyond
+//     the FIFO).
+//   - If the register is occupied, the register XOR the FIFO head is
+//     presented: that difference is exactly the flit that won arbitration
+//     upstream one step earlier. When that presentation is serviced, the
+//     head either replaces the register (if itself encoded, continuing the
+//     chain) or remains buffered to be presented raw next (it is the final,
+//     unencoded member of the chain).
+//
+// The port follows the simulator's two-phase discipline: Offer and Service
+// are compute-phase (Offer is a pure function of committed state, Service
+// stages the consumption), Commit applies staged actions and performs the
+// latch, and Receive is called by the upstream link's commit.
+type InputPort struct {
+	fifo *buffer.FIFO
+	reg  *noc.Flit
+
+	// route computes the lookahead output port at this router for a packet
+	// headed to the given destination; decoded flits need their route
+	// recomputed locally because their objects originate upstream.
+	route func(noc.NodeID) noc.Port
+
+	// offerCache memoizes the decoded presentation within a cycle so the
+	// same *Flit object is offered, sent, and serviced.
+	offerCache      *noc.Flit
+	offerCacheValid bool
+
+	serviceStaged bool
+}
+
+// Events reports what an InputPort did at a clock edge, for energy and
+// credit accounting.
+type Events struct {
+	// FreedSlots counts FIFO slots freed (credits owed upstream).
+	FreedSlots int
+	// Reads counts FIFO read accesses.
+	Reads int
+	// Latched reports a decode-register write.
+	Latched bool
+	// Decoded reports that a decoded (register XOR head) presentation was
+	// consumed by the switch.
+	Decoded bool
+}
+
+// NewInputPort returns an input port with the given FIFO depth. route maps
+// a packet destination to this router's output port (lookahead routing).
+func NewInputPort(depth int, route func(noc.NodeID) noc.Port) *InputPort {
+	return &InputPort{fifo: buffer.New(depth), route: route}
+}
+
+// Free returns the number of free FIFO slots (initial link credits).
+func (p *InputPort) Free() int { return p.fifo.Free() }
+
+// Buffered returns the number of buffered flits (decode register excluded).
+func (p *InputPort) Buffered() int { return p.fifo.Len() }
+
+// RegisterBusy reports whether the decode register holds an encoded flit.
+func (p *InputPort) RegisterBusy() bool { return p.reg != nil }
+
+// Receive buffers a flit delivered by the upstream link. For unencoded
+// flits the lookahead output port is computed here, on arrival. Called
+// during link commit; the flit is visible to Offer from the next cycle.
+func (p *InputPort) Receive(f *noc.Flit) {
+	if !f.Encoded {
+		f.OutPort = p.route(f.Packet.Dst)
+	}
+	p.fifo.Push(f)
+}
+
+// Offer returns the flit currently presented to the switch fabric, if any,
+// and whether the presentation came through the decode path. The returned
+// flit is stable until the next commit.
+func (p *InputPort) Offer() (f *noc.Flit, decoded bool, ok bool) {
+	head := p.fifo.Head()
+	if p.reg != nil {
+		if head == nil {
+			// Mid-chain bubble: the next chain flit has not arrived yet.
+			return nil, false, false
+		}
+		if !p.offerCacheValid {
+			orig, err := noc.Decode(p.reg, head)
+			if err != nil {
+				panic(fmt.Sprintf("core: decode protocol violated: %v", err))
+			}
+			// Present a local copy: the original object may still be live
+			// in an upstream buffer (it was a collision loser there), so
+			// its lookahead route must not be overwritten in place.
+			cp := *orig
+			cp.OutPort = p.route(cp.Packet.Dst)
+			cp.Parts = nil
+			p.offerCache = &cp
+			p.offerCacheValid = true
+		}
+		return p.offerCache, true, true
+	}
+	if head == nil || head.Encoded {
+		// Encoded head with an empty register: this is the latch cycle; no
+		// presentation (Fig. 3, cycle 2).
+		return nil, false, false
+	}
+	return head, false, true
+}
+
+// Service stages consumption of the current offer: the switch traversed it
+// and the output logic confirmed the grant. Must only be called in a cycle
+// where Offer returned ok.
+func (p *InputPort) Service() {
+	if _, _, ok := p.Offer(); !ok {
+		panic("core: Service without an active offer")
+	}
+	p.serviceStaged = true
+}
+
+// Commit applies the staged service and, when the head is encoded and the
+// register free, performs the latch. It returns the edge's events.
+func (p *InputPort) Commit() Events {
+	var ev Events
+	defer func() {
+		p.offerCache = nil
+		p.offerCacheValid = false
+	}()
+
+	if p.serviceStaged {
+		p.serviceStaged = false
+		if p.reg != nil {
+			// A decoded presentation was consumed.
+			ev.Decoded = true
+			head := p.fifo.Head()
+			if head == nil {
+				panic("core: serviced decode with empty FIFO")
+			}
+			if head.Encoded {
+				// Chain continues: the head becomes the new register value.
+				p.fifo.Pop()
+				ev.Reads++
+				ev.FreedSlots++
+				p.reg = head
+				ev.Latched = true
+			} else {
+				// Final chain member: it stays buffered and will be
+				// presented raw next cycle (Fig. 3: C is read for decoding
+				// on cycle 3 and transmitted itself on cycle 4).
+				ev.Reads++
+				p.reg = nil
+			}
+			return ev
+		}
+		head := p.fifo.Pop()
+		if head.Encoded {
+			panic("core: raw service consumed an encoded flit")
+		}
+		ev.Reads++
+		ev.FreedSlots++
+		return ev
+	}
+
+	// No service this cycle: latch an encoded head into the free register.
+	if p.reg == nil {
+		if h := p.fifo.Head(); h != nil && h.Encoded {
+			p.fifo.Pop()
+			ev.Reads++
+			ev.FreedSlots++
+			p.reg = h
+			ev.Latched = true
+		}
+	}
+	return ev
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/arbiter"
+	"repro/internal/noc"
+)
+
+// Mode is the operating mode of an output's arbitration and masking logic
+// (§2.6).
+type Mode int
+
+const (
+	// Recovery is the reactive mode: switch and arbitration masks are
+	// identical, collisions may freely occur in the XOR switch, and the
+	// logic resolves them after the fact.
+	Recovery Mode = iota
+	// Scheduled is the pre-scheduled mode: the switch mask enables exactly
+	// one input (which traverses uncontested) and the arbitration mask is
+	// its bitwise complement (everyone else competes to be scheduled next).
+	Scheduled
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Scheduled {
+		return "Scheduled"
+	}
+	return "Recovery"
+}
+
+// Decision reports what one output of the NoX switch did in a cycle.
+type Decision struct {
+	// Out is the wire flit driven on the output channel, nil if none. It is
+	// an encoded superposition when Collided is set without Invalid.
+	Out *noc.Flit
+	// Invalid reports a multi-flit abort: the channel was driven with an
+	// indeterminate value that the receiver discards (§2.7).
+	Invalid bool
+	// Serviced is the input whose presentation was consumed (its buffer
+	// slot freed), or -1. Under a productive collision this is the
+	// arbitration winner; uncontested, it is the sole traverser.
+	Serviced int
+	// Granted is the input that won arbitration this cycle, or -1.
+	Granted int
+	// Collided reports >= 2 inputs traversing the XOR switch together.
+	Collided bool
+	// Arbitrated reports that the arbiter evaluated a non-empty request set
+	// (for energy accounting).
+	Arbitrated bool
+	// Stalled reports the output was blocked by exhausted credits.
+	Stalled bool
+}
+
+// OutputControl is the per-output arbitration and masking logic of §2.6
+// plus the wormhole output lock that keeps multi-flit packets contiguous.
+// Decide is compute-phase (it stages the next masks); Commit applies them.
+type OutputControl struct {
+	n   int
+	all uint32
+	arb arbiter.Arbiter
+
+	mode       Mode
+	switchMask uint32
+	arbMask    uint32
+	lockOwner  int // input holding the output through a multi-flit packet; -1 if none
+
+	// staged next state
+	nextMode       Mode
+	nextSwitchMask uint32
+	nextArbMask    uint32
+	nextLockOwner  int
+}
+
+// NewOutputControl returns control logic for one output fed by n inputs,
+// starting in Recovery mode with all inputs enabled.
+func NewOutputControl(n int, arb arbiter.Arbiter) *OutputControl {
+	if arb == nil {
+		arb = arbiter.NewRoundRobin(n)
+	}
+	if arb.Width() != n {
+		panic("core: arbiter width mismatch")
+	}
+	all := uint32(1<<n) - 1
+	return &OutputControl{
+		n: n, all: all, arb: arb,
+		mode: Recovery, switchMask: all, arbMask: all, lockOwner: -1,
+	}
+}
+
+// Mode returns the current operating mode.
+func (o *OutputControl) Mode() Mode { return o.mode }
+
+// Masks returns the current switch and arbitration masks.
+func (o *OutputControl) Masks() (switchMask, arbMask uint32) {
+	return o.switchMask, o.arbMask
+}
+
+// Locked returns the input transmitting a multi-flit packet through this
+// output, or -1.
+func (o *OutputControl) Locked() int { return o.lockOwner }
+
+// hold stages the current state unchanged.
+func (o *OutputControl) hold() {
+	o.nextMode, o.nextSwitchMask, o.nextArbMask, o.nextLockOwner =
+		o.mode, o.switchMask, o.arbMask, o.lockOwner
+}
+
+// stage records the next-cycle state.
+func (o *OutputControl) stage(m Mode, sw, ar uint32, lock int) {
+	o.nextMode, o.nextSwitchMask, o.nextArbMask, o.nextLockOwner = m, sw, ar, lock
+}
+
+// Commit applies the staged state. Decide must have run this cycle.
+func (o *OutputControl) Commit() {
+	o.mode, o.switchMask, o.arbMask, o.lockOwner =
+		o.nextMode, o.nextSwitchMask, o.nextArbMask, o.nextLockOwner
+}
+
+// Decide evaluates one cycle for this output. offers[i] is the flit input i
+// presents to this output (nil if input i is idle or requesting another
+// output); creditOK reports downstream buffer availability. The returned
+// decision tells the router what to drive and which input to service.
+//
+// The rules implemented here are the paper's §2.6/§2.7 behavior:
+//
+//   - Recovery, no contention: the sole enabled requester passes unmodified
+//     and is serviced; a (redundant) grant is produced in parallel. Masks
+//     re-enable all inputs.
+//   - Recovery, contention among single-flit packets: the output drives the
+//     XOR of the colliders, marked encoded; the grant winner is serviced
+//     (its buffer freed); next masks enable only the losers. If exactly one
+//     loser remains the logic transitions to Scheduled; if none would
+//     remain, all inputs are re-enabled.
+//   - Contention involving a multi-flit packet: abort. The channel carries
+//     an invalid value this cycle, nobody is serviced, and the logic
+//     transitions to Scheduled with the grant winner as the sole enabled
+//     input.
+//   - Scheduled: the sole switch-enabled input traverses uncontested; all
+//     other inputs arbitrate, and a grant pre-schedules next cycle's
+//     traverser. No grant sends the logic back to Recovery, all enabled.
+//   - A traversing multi-flit head engages the output lock: until its tail
+//     passes, only continuation flits traverse and no arbitration winners
+//     are produced.
+//   - Exhausted credits stall the output with all state held, preserving
+//     chain integrity.
+func (o *OutputControl) Decide(offers []*noc.Flit, creditOK bool) Decision {
+	if len(offers) != o.n {
+		panic("core: offers slice width mismatch")
+	}
+	d := Decision{Serviced: -1, Granted: -1}
+
+	var reqMask uint32
+	for i, f := range offers {
+		if f != nil {
+			reqMask |= 1 << i
+		}
+	}
+
+	if reqMask == 0 {
+		// Idle: with no requests and no lock, re-arm Recovery mode with all
+		// inputs enabled ("if ... no grants are generated, the masks are
+		// instead set to enable all inputs once again").
+		if o.lockOwner < 0 {
+			o.stage(Recovery, o.all, o.all, -1)
+		} else {
+			o.hold()
+		}
+		return d
+	}
+
+	if !creditOK {
+		d.Stalled = true
+		o.hold()
+		return d
+	}
+
+	// Output locked to a multi-flit packet in progress: only its
+	// continuation flits traverse and no arbitration winners are produced
+	// "until the tail flit has passed" (§2.7). At the tail cycle the
+	// parallel arbiter resumes: because the arbitration mask covers inputs
+	// inhibited from the switch, a waiting input can be pre-scheduled for
+	// the very next cycle — the asymmetry that makes NoX aborts
+	// "significantly less frequent than in purely speculative
+	// architectures".
+	if o.lockOwner >= 0 {
+		f := offers[o.lockOwner]
+		if f == nil {
+			// Upstream bubble inside the packet.
+			o.hold()
+			return d
+		}
+		d.Out = f
+		d.Serviced = o.lockOwner
+		if f.Tail() {
+			a := reqMask & o.arbMask &^ (1 << o.lockOwner)
+			o.grantAndScheduleNext(a, &d)
+		} else {
+			o.hold()
+		}
+		return d
+	}
+
+	s := reqMask & o.switchMask
+	a := reqMask & o.arbMask
+
+	switch bits.OnesCount32(s) {
+	case 0:
+		// Requests exist but all are inhibited (new arrivals during a
+		// Recovery chain, or an idle pre-scheduled input in Scheduled
+		// mode). In Scheduled mode arbitration still runs so a waiting
+		// input can be scheduled; in Recovery the masks hold to protect
+		// the chain.
+		if o.mode == Scheduled {
+			o.grantAndScheduleNext(a, &d)
+		} else {
+			o.hold()
+		}
+		return d
+
+	case 1:
+		i := bits.TrailingZeros32(s)
+		f := offers[i]
+		d.Out = f
+		d.Serviced = i
+		if f.MultiFlit() {
+			// A multi-flit head traverses uncontested; engage the lock and
+			// suppress grants until the tail passes.
+			if !f.Head() {
+				panic("core: multi-flit body traversal without lock")
+			}
+			o.stage(o.mode, o.switchMask, o.arbMask, i)
+			return d
+		}
+		if o.mode == Scheduled {
+			o.grantAndScheduleNext(a, &d)
+		} else {
+			// Recovery, uncontested: the parallel arbiter still produces a
+			// (redundant) grant; removing the winner would inhibit every
+			// input, so all are re-enabled (Fig. 2, cycle 0).
+			if a != 0 {
+				g, _ := o.arb.Grant(a)
+				d.Granted = g
+				d.Arbitrated = true
+			}
+			o.stage(Recovery, o.all, o.all, -1)
+		}
+		return d
+
+	default:
+		// Contention within the XOR switch. Only possible in Recovery mode
+		// (the Scheduled switch mask is one-hot), where arbMask equals
+		// switchMask, so the arbiter decides among exactly the colliders.
+		if o.mode != Recovery {
+			panic("core: collision in Scheduled mode")
+		}
+		d.Collided = true
+
+		multi := false
+		for i := 0; i < o.n; i++ {
+			if s&(1<<i) != 0 && offers[i].MultiFlit() {
+				multi = true
+				break
+			}
+		}
+
+		g, ok := o.arb.Grant(a)
+		if !ok {
+			panic("core: collision without arbitration candidates")
+		}
+		if s&(1<<g) == 0 {
+			panic(fmt.Sprintf("core: grant %d outside collision set %b", g, s))
+		}
+		d.Granted = g
+		d.Arbitrated = true
+
+		if multi {
+			// Abort (§2.7): indeterminate value on the channel, nobody
+			// serviced, immediate transition to Scheduled mode with the
+			// winner as sole traverser next cycle.
+			d.Invalid = true
+			o.stage(Scheduled, 1<<g, o.all&^(1<<g), -1)
+			return d
+		}
+
+		// Productive collision: superimpose the colliders, service the
+		// winner, and narrow the masks to the losers.
+		colliders := make([]*noc.Flit, 0, bits.OnesCount32(s))
+		for i := 0; i < o.n; i++ {
+			if s&(1<<i) != 0 {
+				colliders = append(colliders, offers[i])
+			}
+		}
+		d.Out = noc.Encode(colliders)
+		d.Serviced = g
+
+		next := s &^ (1 << g)
+		switch bits.OnesCount32(next) {
+		case 0:
+			o.stage(Recovery, o.all, o.all, -1)
+		case 1:
+			o.stage(Scheduled, next, o.all&^next, -1)
+		default:
+			o.stage(Recovery, next, next, -1)
+		}
+		return d
+	}
+}
+
+// grantAndScheduleNext runs Scheduled-mode arbitration: a grant becomes the
+// sole switch-enabled input next cycle; no grant falls back to Recovery
+// with everything enabled.
+func (o *OutputControl) grantAndScheduleNext(a uint32, d *Decision) {
+	if a != 0 {
+		g, _ := o.arb.Grant(a)
+		d.Granted = g
+		d.Arbitrated = true
+		o.stage(Scheduled, 1<<g, o.all&^(1<<g), -1)
+		return
+	}
+	o.stage(Recovery, o.all, o.all, -1)
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// AppConfig parameterizes one application-trace run (§5.2): open-loop
+// replay of a coherence trace onto two physical networks (request and
+// reply classes isolated, Table 1), each running at the router
+// architecture's maximum frequency asynchronously from the 3 GHz cores.
+type AppConfig struct {
+	Arch        router.Arch
+	Trace       *trace.Trace
+	BufferDepth int
+	// DrainCycles bounds the run after the last event is injected.
+	DrainCycles int64
+	// Model is the energy model (DefaultModel when nil).
+	Model *power.Model
+}
+
+// AppResult captures one (architecture, workload) outcome for Figures 10
+// and 11.
+type AppResult struct {
+	Arch     router.Arch
+	Workload string
+	PeriodNs float64
+
+	MeanLatencyNs  float64
+	DeliveredPkts  int64
+	PacketEnergyPJ float64
+	EnergyDelay2   float64
+	// InjectionMBps is the trace's offered bandwidth per node.
+	InjectionMBps float64
+	// Drained reports all trace packets were delivered within the limit.
+	Drained bool
+	Window  power.Counters
+}
+
+// RunApp replays the trace on the architecture and returns Figure 10/11
+// metrics. Packet events are injected on the network cycle corresponding
+// to their CPU-domain timestamp, so injection bandwidth is identical
+// across architectures as required by §5.2.
+func RunApp(cfg AppConfig) AppResult {
+	if cfg.Trace == nil {
+		panic("harness: AppConfig.Trace is required")
+	}
+	model := cfg.Model
+	if model == nil {
+		m := power.DefaultModel()
+		model = &m
+	}
+	if cfg.DrainCycles == 0 {
+		cfg.DrainCycles = 500_000
+	}
+
+	periodNs := physical.ClockPeriodNs(cfg.Arch)
+	periodPs := physical.ClockPeriodPs(cfg.Arch)
+	topo := cfg.Trace.Topo
+
+	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth})
+	var latencySum, latencySqSum float64
+	var delivered int64
+	multi.OnDeliver(func(p *noc.Packet, cycle int64) {
+		l := float64(p.Latency())
+		latencySum += l
+		latencySqSum += l * l
+		delivered++
+	})
+
+	events := cfg.Trace.Events
+	idx := 0
+	var pktID uint64
+
+	cycle := int64(0)
+	lastEventCycle := int64(float64(events[len(events)-1].TimePs)/periodPs) + 1
+	deadline := lastEventCycle + cfg.DrainCycles
+	for cycle < deadline && (idx < len(events) || multi.Outstanding() > 0) {
+		for idx < len(events) {
+			due := int64(float64(events[idx].TimePs) / periodPs)
+			if due > cycle {
+				break
+			}
+			e := events[idx]
+			idx++
+			pktID++
+			multi.InjectPacket(noc.NewPacket(pktID, e.Src, e.Dst, e.Flits, e.Class, cycle))
+		}
+		multi.Step()
+		cycle++
+	}
+
+	window := multi.Counters()
+	res := AppResult{
+		Arch:          cfg.Arch,
+		Workload:      cfg.Trace.Workload.Name,
+		PeriodNs:      periodNs,
+		DeliveredPkts: delivered,
+		InjectionMBps: cfg.Trace.MeanInjectionMBps(),
+		Drained:       idx == len(events) && multi.Outstanding() == 0,
+		Window:        window,
+	}
+	if delivered > 0 {
+		res.MeanLatencyNs = latencySum / float64(delivered) * periodNs
+		total := model.Energy(window, cfg.Arch == router.NoX).TotalPJ()
+		res.PacketEnergyPJ = total / float64(delivered)
+		// Average per-packet energy-delay^2: E[E_pkt * T^2] with the mean
+		// packet energy as the per-packet energy estimate. Averaging T^2
+		// per packet (rather than squaring the mean latency) is the literal
+		// reading of "average packet energy-delay^2 product" and weights
+		// the latency tails that misspeculation produces.
+		res.EnergyDelay2 = res.PacketEnergyPJ * latencySqSum / float64(delivered) * periodNs * periodNs
+	} else {
+		res.MeanLatencyNs = math.NaN()
+	}
+	return res
+}
+
+// RunAppAllArchs replays one trace on every architecture.
+func RunAppAllArchs(tr *trace.Trace, bufferDepth int) map[router.Arch]AppResult {
+	out := map[router.Arch]AppResult{}
+	for _, arch := range router.Archs {
+		out[arch] = RunApp(AppConfig{Arch: arch, Trace: tr, BufferDepth: bufferDepth})
+	}
+	return out
+}
+
+// GeoMeanImprovement returns NoX's mean energy-delay^2 improvement over
+// each baseline across workloads, the §5.2 headline metric ("On average
+// the NoX architecture outperforms the non-speculative, Spec-Fast, and
+// Spec-Accurate by 29.5%, 34.4%, and 2.7%"). Improvement is
+// 1 - ED2(NoX)/ED2(baseline), averaged arithmetically across workloads.
+func GeoMeanImprovement(results []map[router.Arch]AppResult) map[router.Arch]float64 {
+	out := map[router.Arch]float64{}
+	for _, base := range []router.Arch{router.NonSpec, router.SpecFast, router.SpecAccurate} {
+		sum := 0.0
+		n := 0
+		for _, byArch := range results {
+			nox, okN := byArch[router.NoX]
+			b, okB := byArch[base]
+			if !okN || !okB || b.EnergyDelay2 == 0 {
+				continue
+			}
+			sum += 1 - nox.EnergyDelay2/b.EnergyDelay2
+			n++
+		}
+		if n > 0 {
+			out[base] = sum / float64(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package harness assembles complete experiments: it glues traffic sources
+// and trace replay to networks, applies the physical timing model to
+// convert cycles to nanoseconds and MB/s, applies the power model to event
+// counts, and formats the paper's tables and figures.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/router"
+)
+
+// SystemConfig mirrors Table 1's common system parameters.
+type SystemConfig struct {
+	Cores            int
+	Topo             noc.Topology
+	ProcessorGHz     float64
+	L1KB             int
+	L2KB             int
+	CacheLineBytes   int
+	MemLatencyCycles int
+	LinkBits         int
+	ControlBytes     int
+	DataBytes        int
+	BufferDepth      int
+	ChannelLengthMM  float64
+	Routing          string
+}
+
+// Table1 returns the paper's configuration.
+func Table1() SystemConfig {
+	return SystemConfig{
+		Cores:            64,
+		Topo:             noc.Topology{Width: 8, Height: 8},
+		ProcessorGHz:     3.0,
+		L1KB:             32,
+		L2KB:             256,
+		CacheLineBytes:   64,
+		MemLatencyCycles: 100,
+		LinkBits:         64,
+		ControlBytes:     8,
+		DataBytes:        72,
+		BufferDepth:      4,
+		ChannelLengthMM:  2.0,
+		Routing:          "Dimension Ordered Routing",
+	}
+}
+
+// String renders the configuration as the paper's Table 1.
+func (c SystemConfig) String() string {
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "%-18s| %s\n", k, v) }
+	b.WriteString("Table 1: Common System Parameters\n")
+	row("Parameter", "Value")
+	row("Cores", fmt.Sprint(c.Cores))
+	row("Topology", fmt.Sprintf("%dx%d mesh", c.Topo.Width, c.Topo.Height))
+	row("Processor", fmt.Sprintf("%gGHz in order PowerPC", c.ProcessorGHz))
+	row("L1 I/D Caches", fmt.Sprintf("%dKB, 2-way set associative", c.L1KB))
+	row("L2 Cache", fmt.Sprintf("%dKB, 8-way set associative", c.L2KB))
+	row("Cache Line Size", fmt.Sprintf("%d-bytes", c.CacheLineBytes))
+	row("Memory Latency", fmt.Sprintf("%d cycles", c.MemLatencyCycles))
+	row("Interconnect", fmt.Sprintf("%d-bit request, %d-bit reply network", c.LinkBits, c.LinkBits))
+	row("Packet Sizes", fmt.Sprintf("%d byte control, %d byte data", c.ControlBytes, c.DataBytes))
+	row("Buffer Depth", fmt.Sprintf("%d %d-bit entries/port", c.BufferDepth, c.LinkBits))
+	row("Channel Length", fmt.Sprintf("%gmm", c.ChannelLengthMM))
+	row("Routing Algorithm", c.Routing)
+	return b.String()
+}
+
+// FlitsPerNodeCycle converts an injection bandwidth in MB/s/node to flits
+// per node per cycle for a network with the given clock period:
+// MB/s * 1e6 B/s / 8 B/flit * period (s).
+func FlitsPerNodeCycle(rateMBps, periodNs float64) float64 {
+	return rateMBps * periodNs / 8000
+}
+
+// MBpsPerNode converts flits per node per cycle back to MB/s/node.
+func MBpsPerNode(flitsPerNodeCycle, periodNs float64) float64 {
+	return flitsPerNodeCycle * 8000 / periodNs
+}
+
+// RunResult captures one simulation's performance and energy outcome.
+type RunResult struct {
+	Arch     router.Arch
+	Label    string
+	Nodes    int
+	PeriodNs float64
+
+	OfferedMBps  float64
+	AcceptedMBps float64
+
+	MeanLatencyCycles float64
+	MeanLatencyNs     float64
+	P50LatencyNs      float64
+	P99LatencyNs      float64
+	MaxLatencyNs      float64
+
+	// Saturated reports the network could not sustain the offered load
+	// (measured packets undelivered after the drain limit, or accepted
+	// throughput collapsed below offered).
+	Saturated bool
+
+	DeliveredPackets int64
+
+	Energy         power.Breakdown
+	PacketEnergyPJ float64
+	PowerMW        float64
+	// EnergyDelay2 is the paper's figure of merit: average packet energy
+	// times average packet latency squared (pJ * ns^2).
+	EnergyDelay2 float64
+
+	Window power.Counters
+}
+
+// edp2 computes the energy-delay^2 product.
+func edp2(packetEnergyPJ, latencyNs float64) float64 {
+	return packetEnergyPJ * latencyNs * latencyNs
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/router"
+)
+
+// Machine-readable exports for the figure data, so the sweeps can be
+// re-plotted outside this repository (gnuplot, matplotlib, spreadsheets).
+
+// SweepCSV renders a Figure 8/9 sweep as CSV with one row per
+// (rate, architecture) and the full metric set per row.
+func SweepCSV(pattern string, points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("pattern,rate_mbps_per_node,architecture,offered_mbps,accepted_mbps,mean_latency_ns,p99_latency_ns,saturated,packet_energy_pj,energy_delay2_pjns2,power_mw\n")
+	for _, pt := range points {
+		for _, arch := range router.Archs {
+			r, ok := pt.Results[arch]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%.0f,%s,%.0f,%.1f,%.4f,%.4f,%v,%.2f,%.2f,%.2f\n",
+				pattern, pt.RateMBps, arch, r.OfferedMBps, r.AcceptedMBps,
+				r.MeanLatencyNs, r.P99LatencyNs, r.Saturated,
+				r.PacketEnergyPJ, r.EnergyDelay2, r.PowerMW)
+		}
+	}
+	return b.String()
+}
+
+// AppCSV renders Figure 10/11 results as CSV with one row per
+// (workload, architecture).
+func AppCSV(results []map[router.Arch]AppResult) string {
+	var b strings.Builder
+	b.WriteString("workload,architecture,mean_latency_ns,packet_energy_pj,energy_delay2_pjns2,injection_mbps,delivered_packets,drained\n")
+	sorted := append([]map[router.Arch]AppResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i][router.NoX].Workload < sorted[j][router.NoX].Workload
+	})
+	for _, byArch := range sorted {
+		for _, arch := range router.Archs {
+			r, ok := byArch[arch]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%s,%.4f,%.2f,%.2f,%.1f,%d,%v\n",
+				r.Workload, arch, r.MeanLatencyNs, r.PacketEnergyPJ,
+				r.EnergyDelay2, r.InjectionMBps, r.DeliveredPkts, r.Drained)
+		}
+	}
+	return b.String()
+}

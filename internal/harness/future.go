@@ -1,0 +1,291 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// This file implements the paper's future-work study (§8): the same four
+// router architectures on a higher-radix concentrated mesh. 64 cores are
+// arranged either as the baseline 8x8 mesh (radix-5 routers, 2 mm
+// channels) or as a 4x4 CMesh (radix-8 routers, 4 cores each, 4 mm
+// channels). The paper's hypothesis: NoX "may derive more benefit given
+// their higher arbitration latencies, their longer channels, and the fixed
+// cost of the NoX decoding hardware."
+
+// SystemKind selects the 64-core organization under study.
+type SystemKind int
+
+// The two organizations of the future-work comparison.
+const (
+	// Mesh8x8 is the paper's baseline: one core per radix-5 router.
+	Mesh8x8 SystemKind = iota
+	// CMesh4x4 is the concentrated mesh: four cores per radix-8 router.
+	CMesh4x4
+)
+
+// String names the system kind.
+func (k SystemKind) String() string {
+	if k == CMesh4x4 {
+		return "CMesh 4x4 (radix 8)"
+	}
+	return "Mesh 8x8 (radix 5)"
+}
+
+// System returns the noc-level system description.
+func (k SystemKind) System() noc.System {
+	if k == CMesh4x4 {
+		return noc.System{Grid: noc.Topology{Width: 4, Height: 4}, Concentration: 4}
+	}
+	return noc.MeshSystem(noc.Topology{Width: 8, Height: 8})
+}
+
+// Datapath returns the implementation point's component delays.
+func (k SystemKind) Datapath() physical.Datapath {
+	if k == CMesh4x4 {
+		return physical.CMeshDatapath()
+	}
+	return physical.MeshDatapath()
+}
+
+// EnergyModel returns the per-event energies for the system: CMesh pays
+// doubled channel energy (4 mm) and a wider crossbar/arbiter.
+func (k SystemKind) EnergyModel() power.Model {
+	m := power.DefaultModel()
+	if k == CMesh4x4 {
+		m.LinkPJ *= 2
+		m.XbarPJ *= 1.5
+		m.ArbPJ *= 1.3
+	}
+	return m
+}
+
+// FutureConfig parameterizes one future-work run.
+type FutureConfig struct {
+	Kind     SystemKind
+	Arch     router.Arch
+	RateMBps float64
+	// Pattern: "uniform" or "selfsimilar" over cores (coordinate patterns
+	// are translated through the virtual core grid).
+	Pattern       string
+	WarmupCycles  int64
+	MeasureCycles int64
+	DrainCycles   int64
+	Seed          uint64
+}
+
+func (c *FutureConfig) fill() {
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 2000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 6000
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xF07E
+	}
+}
+
+// RunFuture executes one (system, architecture, rate) point. Offered rates
+// are per core in MB/s, converted with the system's own clock period, so
+// mesh and CMesh face identical absolute load.
+func RunFuture(cfg FutureConfig) (RunResult, error) {
+	cfg.fill()
+	sys := cfg.Kind.System()
+	dp := cfg.Kind.Datapath()
+	model := cfg.Kind.EnergyModel()
+	periodNs := dp.ClockPeriodNs(cfg.Arch)
+	pktRate := FlitsPerNodeCycle(cfg.RateMBps, periodNs)
+	if pktRate >= 1 {
+		return RunResult{}, fmt.Errorf("harness: rate %.0f MB/s/core exceeds injection capacity on %v", cfg.RateMBps, cfg.Kind)
+	}
+
+	var pattern traffic.Pattern
+	selfSimilar := cfg.Pattern == "selfsimilar"
+	virtual := sys.VirtualTopology()
+	if selfSimilar || cfg.Pattern == "uniform" {
+		pattern = traffic.Uniform{Topo: virtual}
+	} else {
+		var err error
+		pattern, err = traffic.ByName(cfg.Pattern, virtual)
+		if err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	net := network.New(network.Config{
+		Topo:          sys.Grid,
+		Concentration: sys.Concentration,
+		Arch:          cfg.Arch,
+	})
+	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	net.OnDeliver = col.OnDeliver
+
+	cores := sys.Cores()
+	base := sim.NewRNG(cfg.Seed)
+	procs := make([]traffic.Process, cores)
+	dests := make([]*sim.RNG, cores)
+	for i := range procs {
+		r := base.Fork(uint64(i))
+		if selfSimilar {
+			procs[i] = traffic.NewSelfSimilar(pktRate, r)
+		} else {
+			procs[i] = &traffic.Bernoulli{P: pktRate, RNG: r}
+		}
+		dests[i] = base.Fork(uint64(1000 + i))
+	}
+
+	var start power.Counters
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	for cyc := int64(0); cyc < total; cyc++ {
+		if cyc == cfg.WarmupCycles {
+			start = *net.Counters()
+		}
+		for c := 0; c < cores; c++ {
+			if !procs[c].Tick() {
+				continue
+			}
+			src := noc.NodeID(c)
+			// Patterns operate on the virtual core grid; translate back.
+			vdst := pattern.Dest(sys.VirtualFromCore(src), dests[c])
+			dst := sys.CoreFromVirtual(vdst)
+			if dst == src {
+				continue
+			}
+			p := net.Inject(src, dst, 1, 0)
+			col.OnCreate(p, cyc)
+		}
+		net.Step()
+	}
+	window := net.Counters().Sub(start)
+
+	deadline := net.Cycle() + cfg.DrainCycles
+	for !col.Complete() && net.Cycle() < deadline {
+		net.Step()
+	}
+
+	accepted := col.AcceptedFlitsPerNodeCycle(cores)
+	res := RunResult{
+		Arch:              cfg.Arch,
+		Label:             fmt.Sprintf("%v/%s", cfg.Kind, cfg.Pattern),
+		Nodes:             cores,
+		PeriodNs:          periodNs,
+		OfferedMBps:       cfg.RateMBps,
+		AcceptedMBps:      MBpsPerNode(accepted, periodNs),
+		MeanLatencyCycles: col.MeanLatencyCycles(),
+		DeliveredPackets:  col.WindowPackets(),
+		Window:            window,
+	}
+	res.MeanLatencyNs = res.MeanLatencyCycles * periodNs
+	res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * periodNs
+	res.Saturated = !col.Complete() ||
+		float64(col.WindowFlits()) < 0.92*float64(col.CreatedFlits())
+	res.Energy = model.Energy(window, cfg.Arch == router.NoX)
+	if col.WindowPackets() > 0 {
+		res.PacketEnergyPJ = res.Energy.TotalPJ() / float64(col.WindowPackets())
+	}
+	res.PowerMW = res.Energy.TotalPJ() / (float64(cfg.MeasureCycles) * periodNs)
+	res.EnergyDelay2 = edp2(res.PacketEnergyPJ, res.MeanLatencyNs)
+	return res, nil
+}
+
+// FutureStudy sweeps both systems at the given per-core rates and reports
+// NoX's gap to Spec-Accurate on each — the §8 hypothesis test.
+type FutureStudy struct {
+	Rates   []float64
+	Results map[SystemKind]map[float64]map[router.Arch]RunResult
+}
+
+// RunFutureStudy executes the comparison at the given offered rates.
+func RunFutureStudy(rates []float64, pattern string, seed uint64) (*FutureStudy, error) {
+	st := &FutureStudy{Rates: rates, Results: map[SystemKind]map[float64]map[router.Arch]RunResult{}}
+	for _, kind := range []SystemKind{Mesh8x8, CMesh4x4} {
+		st.Results[kind] = map[float64]map[router.Arch]RunResult{}
+		for _, rate := range rates {
+			byArch := map[router.Arch]RunResult{}
+			for _, arch := range router.Archs {
+				res, err := RunFuture(FutureConfig{Kind: kind, Arch: arch, RateMBps: rate, Pattern: pattern, Seed: seed})
+				if err != nil {
+					continue
+				}
+				byArch[arch] = res
+			}
+			st.Results[kind][rate] = byArch
+		}
+	}
+	return st, nil
+}
+
+// NoXGapVsSpecAccurate returns NoX's mean latency relative to
+// Spec-Accurate's (values below 1 mean NoX is faster) per system at a
+// rate, skipping saturated points.
+func (st *FutureStudy) NoXGapVsSpecAccurate(kind SystemKind, rate float64) (float64, bool) {
+	byArch := st.Results[kind][rate]
+	nox, okN := byArch[router.NoX]
+	sa, okS := byArch[router.SpecAccurate]
+	if !okN || !okS || nox.Saturated || sa.Saturated {
+		return 0, false
+	}
+	return nox.MeanLatencyNs / sa.MeanLatencyNs, true
+}
+
+// FormatFutureStudy renders the §8 comparison.
+func FormatFutureStudy(st *FutureStudy) string {
+	var b strings.Builder
+	b.WriteString("Future work (§8): 64 cores as baseline mesh vs concentrated mesh\n")
+	for _, kind := range []SystemKind{Mesh8x8, CMesh4x4} {
+		dp := kind.Datapath()
+		fmt.Fprintf(&b, "\n%s — clocks:", kind)
+		for _, a := range router.Archs {
+			fmt.Fprintf(&b, "  %s %.2fns", a, dp.ClockPeriodNs(a))
+		}
+		fmt.Fprintf(&b, "\n  NoX clock penalty vs Spec-Accurate: %.1f%% (decode is a fixed cost)\n",
+			100*dp.NoXPenaltyVsSpecAccurate())
+		fmt.Fprintf(&b, "%12s", "MB/s/core")
+		for _, a := range router.Archs {
+			fmt.Fprintf(&b, " %16s", a)
+		}
+		b.WriteString("\n")
+		for _, rate := range st.Rates {
+			fmt.Fprintf(&b, "%12.0f", rate)
+			for _, a := range router.Archs {
+				r, ok := st.Results[kind][rate][a]
+				switch {
+				case !ok:
+					fmt.Fprintf(&b, " %16s", "-")
+				case r.Saturated:
+					fmt.Fprintf(&b, " %16s", "saturated")
+				default:
+					fmt.Fprintf(&b, " %13.2f ns", r.MeanLatencyNs)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\nNoX latency relative to Spec-Accurate (lower is better):\n")
+	for _, rate := range st.Rates {
+		fmt.Fprintf(&b, "%12.0f", rate)
+		for _, kind := range []SystemKind{Mesh8x8, CMesh4x4} {
+			if gap, ok := st.NoXGapVsSpecAccurate(kind, rate); ok {
+				fmt.Fprintf(&b, "   %s %.3f", map[SystemKind]string{Mesh8x8: "mesh", CMesh4x4: "cmesh"}[kind], gap)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,257 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// SyntheticConfig parameterizes one synthetic-traffic run (§5.1).
+type SyntheticConfig struct {
+	Arch router.Arch
+	Topo noc.Topology
+	// Pattern is a traffic.ByName pattern, or "selfsimilar" for the Pareto
+	// ON/OFF process over uniform destinations.
+	Pattern string
+	// RateMBps is the offered injection bandwidth per node in MB/s — the
+	// x-axis of Figures 8 and 9. It is converted per architecture using
+	// the Table 2 clock period, so the comparison is in absolute time.
+	RateMBps float64
+	// PacketFlits is the packet size (1 for the paper's synthetic runs).
+	PacketFlits int
+
+	WarmupCycles  int64
+	MeasureCycles int64
+	DrainCycles   int64
+	BufferDepth   int
+	Seed          uint64
+	// Model is the energy model (DefaultModel when zero-valued).
+	Model *power.Model
+	// Observe, when set, sees every delivered packet (tracing/debugging).
+	Observe func(p *noc.Packet, cycle int64)
+}
+
+func (c *SyntheticConfig) fill() {
+	if c.Topo.Width == 0 {
+		c.Topo = noc.Topology{Width: 8, Height: 8}
+	}
+	if c.PacketFlits == 0 {
+		c.PacketFlits = 1
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 3000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 10000
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 30000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xA11CE
+	}
+	if c.Model == nil {
+		m := power.DefaultModel()
+		c.Model = &m
+	}
+}
+
+// RunSynthetic executes one (architecture, pattern, rate) point and
+// returns its latency, throughput, and energy results.
+func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
+	cfg.fill()
+	periodNs := physical.ClockPeriodNs(cfg.Arch)
+	flitRate := FlitsPerNodeCycle(cfg.RateMBps, periodNs)
+	pktRate := flitRate / float64(cfg.PacketFlits)
+	if pktRate >= 1 {
+		return RunResult{}, fmt.Errorf("harness: offered rate %.0f MB/s/node exceeds one packet per cycle at %v", cfg.RateMBps, cfg.Arch)
+	}
+
+	var pattern traffic.Pattern
+	var err error
+	selfSimilar := cfg.Pattern == "selfsimilar"
+	if selfSimilar {
+		pattern = traffic.Uniform{Topo: cfg.Topo}
+	} else {
+		pattern, err = traffic.ByName(cfg.Pattern, cfg.Topo)
+		if err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	net := network.New(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth})
+	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	net.OnDeliver = col.OnDeliver
+	if cfg.Observe != nil {
+		net.OnDeliver = func(p *noc.Packet, cycle int64) {
+			col.OnDeliver(p, cycle)
+			cfg.Observe(p, cycle)
+		}
+	}
+
+	base := sim.NewRNG(cfg.Seed)
+	nodes := cfg.Topo.Nodes()
+	procs := make([]traffic.Process, nodes)
+	dests := make([]*sim.RNG, nodes)
+	for i := range procs {
+		r := base.Fork(uint64(i))
+		if selfSimilar {
+			procs[i] = traffic.NewSelfSimilar(pktRate, r)
+		} else {
+			procs[i] = &traffic.Bernoulli{P: pktRate, RNG: r}
+		}
+		dests[i] = base.Fork(uint64(1000 + i))
+	}
+
+	var startCounters power.Counters
+	totalCycles := cfg.WarmupCycles + cfg.MeasureCycles
+	for cyc := int64(0); cyc < totalCycles; cyc++ {
+		if cyc == cfg.WarmupCycles {
+			startCounters = *net.Counters()
+		}
+		for id := 0; id < nodes; id++ {
+			if !procs[id].Tick() {
+				continue
+			}
+			src := noc.NodeID(id)
+			dst := pattern.Dest(src, dests[id])
+			if dst == src {
+				continue // permutation fixed point: node does not inject
+			}
+			p := net.Inject(src, dst, cfg.PacketFlits, 0)
+			col.OnCreate(p, cyc)
+		}
+		net.Step()
+	}
+	window := net.Counters().Sub(startCounters)
+
+	// Drain without new traffic so measured packets can complete.
+	deadline := net.Cycle() + cfg.DrainCycles
+	for !col.Complete() && net.Cycle() < deadline {
+		net.Step()
+	}
+
+	accepted := col.AcceptedFlitsPerNodeCycle(nodes)
+	res := RunResult{
+		Arch:              cfg.Arch,
+		Label:             cfg.Pattern,
+		Nodes:             nodes,
+		PeriodNs:          periodNs,
+		OfferedMBps:       cfg.RateMBps,
+		AcceptedMBps:      MBpsPerNode(accepted, periodNs),
+		MeanLatencyCycles: col.MeanLatencyCycles(),
+		DeliveredPackets:  col.WindowPackets(),
+		Window:            window,
+	}
+	res.MeanLatencyNs = res.MeanLatencyCycles * periodNs
+	res.P50LatencyNs = col.PercentileLatencyCycles(0.50) * periodNs
+	res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * periodNs
+	res.MaxLatencyNs = float64(col.MaxLatencyCycles()) * periodNs
+	// Saturation: measured packets never drained, or deliveries inside the
+	// window fell visibly short of what the sources created (compared
+	// against actual creations, not the nominal rate, since permutation
+	// patterns have non-injecting fixed points).
+	res.Saturated = !col.Complete() ||
+		float64(col.WindowFlits()) < 0.92*float64(col.CreatedFlits())
+
+	res.Energy = cfg.Model.Energy(window, cfg.Arch == router.NoX)
+	if col.WindowPackets() > 0 {
+		res.PacketEnergyPJ = res.Energy.TotalPJ() / float64(col.WindowPackets())
+	}
+	res.PowerMW = res.Energy.TotalPJ() / (float64(cfg.MeasureCycles) * periodNs)
+	if !math.IsNaN(res.MeanLatencyNs) {
+		res.EnergyDelay2 = edp2(res.PacketEnergyPJ, res.MeanLatencyNs)
+	}
+	return res, nil
+}
+
+// SweepPoint is one x-axis point of Figures 8/9.
+type SweepPoint struct {
+	RateMBps float64
+	Results  map[router.Arch]RunResult
+}
+
+// SweepSynthetic runs every architecture across the given offered rates,
+// stopping an architecture's series after its first saturated point (the
+// paper's curves end at saturation). Architectures whose clock cannot
+// even offer the rate (over one flit per cycle) are likewise ended.
+func SweepSynthetic(base SyntheticConfig, rates []float64) ([]SweepPoint, error) {
+	alive := map[router.Arch]bool{}
+	for _, a := range router.Archs {
+		alive[a] = true
+	}
+	var points []SweepPoint
+	for _, rate := range rates {
+		pt := SweepPoint{RateMBps: rate, Results: map[router.Arch]RunResult{}}
+		for _, arch := range router.Archs {
+			if !alive[arch] {
+				continue
+			}
+			cfg := base
+			cfg.Arch = arch
+			cfg.RateMBps = rate
+			res, err := RunSynthetic(cfg)
+			if err != nil {
+				alive[arch] = false
+				continue
+			}
+			pt.Results[arch] = res
+			if res.Saturated {
+				alive[arch] = false
+			}
+		}
+		points = append(points, pt)
+		any := false
+		for _, v := range alive {
+			any = any || v
+		}
+		if !any {
+			break
+		}
+	}
+	return points, nil
+}
+
+// SaturationMBps returns each architecture's saturation throughput: the
+// highest accepted bandwidth observed across the sweep.
+func SaturationMBps(points []SweepPoint) map[router.Arch]float64 {
+	sat := map[router.Arch]float64{}
+	for _, pt := range points {
+		for arch, res := range pt.Results {
+			if res.AcceptedMBps > sat[arch] {
+				sat[arch] = res.AcceptedMBps
+			}
+		}
+	}
+	return sat
+}
+
+// DefaultRates returns a sweep ladder appropriate for the pattern on the
+// full 8x8 system: coarse steps to saturation. Uniform-class patterns
+// reach ~2.8 GB/s/node; permutations concentrate load and saturate lower.
+func DefaultRates(pattern string) []float64 {
+	var max float64
+	switch pattern {
+	case "uniform", "selfsimilar":
+		max = 3400
+	case "neighbor":
+		max = 6200
+	case "hotspot":
+		max = 1400
+	default: // transpose, bitcomp, bitrev, shuffle, tornado
+		max = 2000
+	}
+	var rates []float64
+	for r := max / 17; r <= max; r += max / 17 {
+		rates = append(rates, math.Round(r))
+	}
+	return rates
+}

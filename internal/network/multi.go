@@ -1,0 +1,84 @@
+package network
+
+import (
+	"repro/internal/noc"
+	"repro/internal/power"
+)
+
+// Multi bundles several physical networks stepped in lockstep — the
+// paper's deployment for application traffic, where a second physical
+// network isolates reply-class coherence traffic from requests for
+// protocol deadlock freedom (Table 1: "64-bit request, 64-bit reply
+// network"; §2.8 argues multiple physical channels over virtual channels).
+// A packet's Class field selects its network.
+type Multi struct {
+	nets []*Network
+}
+
+// NewMulti builds classes identical networks from the configuration.
+func NewMulti(classes int, cfg Config) *Multi {
+	if classes <= 0 {
+		panic("network: Multi needs at least one class")
+	}
+	m := &Multi{nets: make([]*Network, classes)}
+	for i := range m.nets {
+		m.nets[i] = New(cfg)
+	}
+	return m
+}
+
+// Classes returns the number of physical networks.
+func (m *Multi) Classes() int { return len(m.nets) }
+
+// Net returns the class's network (for wiring delivery hooks).
+func (m *Multi) Net(class int) *Network { return m.nets[class] }
+
+// InjectPacket queues a packet on the physical network its Class selects.
+func (m *Multi) InjectPacket(p *noc.Packet) {
+	m.nets[p.Class].InjectPacket(p)
+}
+
+// Step advances every network one cycle.
+func (m *Multi) Step() {
+	for _, n := range m.nets {
+		n.Step()
+	}
+}
+
+// Cycle returns the common cycle count.
+func (m *Multi) Cycle() int64 { return m.nets[0].Cycle() }
+
+// Outstanding returns undelivered packets across all classes.
+func (m *Multi) Outstanding() int64 {
+	var n int64
+	for _, nw := range m.nets {
+		n += nw.Outstanding()
+	}
+	return n
+}
+
+// Counters returns the summed event counters across classes.
+func (m *Multi) Counters() power.Counters {
+	var c power.Counters
+	for _, nw := range m.nets {
+		c.Add(*nw.Counters())
+	}
+	return c
+}
+
+// OnDeliver installs one delivery observer across every class.
+func (m *Multi) OnDeliver(fn func(p *noc.Packet, cycle int64)) {
+	for _, nw := range m.nets {
+		nw.OnDeliver = fn
+	}
+}
+
+// Drain steps without new traffic until everything is delivered or limit
+// cycles elapse.
+func (m *Multi) Drain(limit int64) bool {
+	deadline := m.Cycle() + limit
+	for m.Outstanding() > 0 && m.Cycle() < deadline {
+		m.Step()
+	}
+	return m.Outstanding() == 0
+}

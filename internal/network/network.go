@@ -1,0 +1,227 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one physical network.
+type Config struct {
+	// Topo is the router-grid shape; the paper evaluates 8x8 (Table 1).
+	Topo noc.Topology
+	// Concentration is the number of cores per router (default 1, the
+	// paper's mesh; 4 builds the radix-8 concentrated mesh of the
+	// future-work study).
+	Concentration int
+	// Arch selects the router microarchitecture for every node.
+	Arch router.Arch
+	// BufferDepth is the per-input FIFO depth in flits (default 4, Table 1).
+	BufferDepth int
+	// SinkDepth is the ejection interface buffer depth (default 16; the
+	// sink drains a flit per cycle so it never fills in practice).
+	SinkDepth int
+	// NewArbiter overrides the per-output arbiter (default round-robin).
+	NewArbiter func(n int) arbiter.Arbiter
+}
+
+func (c *Config) fill() {
+	if c.Topo.Width <= 0 || c.Topo.Height <= 0 {
+		c.Topo = noc.Topology{Width: 8, Height: 8}
+	}
+	if c.Concentration <= 0 {
+		c.Concentration = 1
+	}
+	if c.BufferDepth <= 0 {
+		c.BufferDepth = 4
+	}
+	if c.SinkDepth <= 0 {
+		c.SinkDepth = 16
+	}
+}
+
+// Network is a complete mesh NoC: routers, inter-router links, and network
+// interfaces, advanced in lockstep cycles.
+type Network struct {
+	cfg      Config
+	sys      noc.System
+	kernel   *sim.Kernel
+	routes   *routing.Table
+	routers  []router.Router
+	nis      []*NI
+	counters *power.Counters
+
+	ejectLinks []*noc.Link
+
+	nextPacketID uint64
+	injected     int64
+	delivered    int64
+
+	// OnDeliver, when set, observes every completed packet at its delivery
+	// cycle (after DeliverCycle is stamped).
+	OnDeliver func(p *noc.Packet, cycle int64)
+}
+
+// New builds and wires a network.
+func New(cfg Config) *Network {
+	cfg.fill()
+	sys := noc.System{Grid: cfg.Topo, Concentration: cfg.Concentration}
+	sys.Validate()
+	n := &Network{
+		cfg:      cfg,
+		sys:      sys,
+		kernel:   sim.NewKernel(),
+		routes:   routing.NewSystemTable(sys),
+		counters: &power.Counters{},
+	}
+
+	routers := sys.Routers()
+	cores := sys.Cores()
+	n.routers = make([]router.Router, routers)
+	n.nis = make([]*NI, cores)
+	n.ejectLinks = make([]*noc.Link, cores)
+
+	for id := 0; id < routers; id++ {
+		n.routers[id] = router.New(router.Config{
+			Arch:        cfg.Arch,
+			Node:        noc.NodeID(id),
+			Routes:      n.routes,
+			BufferDepth: cfg.BufferDepth,
+			Counters:    n.counters,
+			Ports:       sys.Ports(),
+			NewArbiter:  cfg.NewArbiter,
+		})
+	}
+	for c := 0; c < cores; c++ {
+		n.nis[c] = newNI(noc.NodeID(c), n, cfg.SinkDepth)
+	}
+
+	// Components compute/commit in registration order: routers and NIs
+	// first, links last, so credits returned during a commit become visible
+	// to senders exactly one cycle later.
+	for id := 0; id < routers; id++ {
+		n.kernel.Add(n.routers[id])
+	}
+	for c := 0; c < cores; c++ {
+		n.kernel.Add(n.nis[c])
+	}
+
+	var links []*noc.Link
+	for id := 0; id < routers; id++ {
+		r := n.routers[id]
+		// Inter-router channels.
+		for _, p := range []noc.Port{noc.North, noc.East, noc.South, noc.West} {
+			nb, ok := cfg.Topo.Neighbor(noc.NodeID(id), p)
+			if !ok {
+				continue
+			}
+			dst := n.routers[nb]
+			l := noc.NewLink(dst.InputReceiver(p.Opposite()), cfg.BufferDepth)
+			r.SetOutputLink(p, l)
+			dst.SetInputLink(p.Opposite(), l)
+			links = append(links, l)
+		}
+		// Local ports: one injection and one ejection link per core.
+		for k := 0; k < sys.Concentration; k++ {
+			coreID := sys.CoreID(noc.NodeID(id), k)
+			port := sys.LocalPort(coreID)
+			inj := noc.NewLink(r.InputReceiver(port), cfg.BufferDepth)
+			n.nis[coreID].injectLink = inj
+			r.SetInputLink(port, inj)
+			links = append(links, inj)
+			ej := noc.NewLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
+			r.SetOutputLink(port, ej)
+			n.ejectLinks[coreID] = ej
+			links = append(links, ej)
+		}
+	}
+	for _, l := range links {
+		n.kernel.Add(l)
+	}
+	return n
+}
+
+// Topology returns the router-grid shape.
+func (n *Network) Topology() noc.Topology { return n.cfg.Topo }
+
+// System returns the (possibly concentrated) system description.
+func (n *Network) System() noc.System { return n.sys }
+
+// Cores returns the number of network endpoints.
+func (n *Network) Cores() int { return n.sys.Cores() }
+
+// Arch returns the router architecture.
+func (n *Network) Arch() router.Arch { return n.cfg.Arch }
+
+// Counters returns the shared event counters (live; snapshot to window).
+func (n *Network) Counters() *power.Counters { return n.counters }
+
+// Routes returns the network's route table.
+func (n *Network) Routes() *routing.Table { return n.routes }
+
+// Cycle returns the current cycle number.
+func (n *Network) Cycle() int64 { return n.kernel.Cycle() }
+
+// Step advances the network one cycle.
+func (n *Network) Step() { n.kernel.Step() }
+
+// Inject creates a packet from src to dst with the given flit count and
+// queues it at src's interface in the current cycle. It returns the packet
+// for the caller's bookkeeping.
+func (n *Network) Inject(src, dst noc.NodeID, length int, class int) *noc.Packet {
+	if src == dst {
+		panic("network: self-addressed packet")
+	}
+	if length <= 0 {
+		panic("network: packet needs at least one flit")
+	}
+	n.nextPacketID++
+	p := noc.NewPacket(n.nextPacketID, src, dst, length, class, n.Cycle())
+	n.InjectPacket(p)
+	return p
+}
+
+// InjectPacket queues a pre-built packet (trace replay) at its source.
+// The packet's CreateCycle must be the current cycle or earlier.
+func (n *Network) InjectPacket(p *noc.Packet) {
+	if int(p.Src) >= len(n.nis) || int(p.Dst) >= len(n.nis) {
+		panic(fmt.Sprintf("network: packet endpoints %d->%d outside topology", p.Src, p.Dst))
+	}
+	n.injected++
+	n.nis[p.Src].enqueue(p)
+}
+
+func (n *Network) deliver(p *noc.Packet, cycle int64) {
+	n.delivered++
+	if n.OnDeliver != nil {
+		n.OnDeliver(p, cycle)
+	}
+}
+
+// Outstanding returns the number of injected packets not yet delivered.
+func (n *Network) Outstanding() int64 { return n.injected - n.delivered }
+
+// Injected returns the total packets accepted by Inject so far.
+func (n *Network) Injected() int64 { return n.injected }
+
+// Delivered returns the total packets delivered so far.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// QueueLen returns the source-queue depth at a node.
+func (n *Network) QueueLen(node noc.NodeID) int { return n.nis[node].QueueLen() }
+
+// Drain runs the network without new traffic until every injected packet is
+// delivered or limit additional cycles elapse; it reports whether the
+// network fully drained.
+func (n *Network) Drain(limit int64) bool {
+	deadline := n.Cycle() + limit
+	for n.Outstanding() > 0 && n.Cycle() < deadline {
+		n.Step()
+	}
+	return n.Outstanding() == 0
+}

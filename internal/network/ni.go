@@ -1,0 +1,150 @@
+// Package network assembles routers, links, and network interfaces into a
+// complete mesh NoC and drives it cycle by cycle. It owns packet injection
+// (source queues feeding the routers' local ports) and ejection (sinks that
+// decode NoX chains, reassemble wormhole packets, and verify payloads
+// bit-exactly against what was injected).
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+)
+
+// NI is a tile's network interface. The injection side holds an unbounded
+// source queue (source queueing time counts toward packet latency, as
+// usual) and feeds the router's local input port through a credited link at
+// one flit per cycle. The ejection side receives from the router's local
+// output through an input-port structure identical to the router's own —
+// including the NoX decode register, since encoded chains reach the
+// destination interface too — and delivers one flit per cycle.
+type NI struct {
+	node noc.NodeID
+	net  *Network
+
+	injectLink *noc.Link
+	queue      []*noc.Packet
+	queueHead  int
+	cur        *noc.Packet
+	curSeq     int
+
+	sink *core.InputPort
+	// assembling is the multi-flit packet currently being reassembled.
+	assembling  *noc.Packet
+	expectSeq   int
+	injectedPkt int64
+}
+
+func newNI(node noc.NodeID, net *Network, sinkDepth int) *NI {
+	ni := &NI{node: node, net: net}
+	ni.sink = core.NewInputPort(sinkDepth, func(noc.NodeID) noc.Port { return noc.Local })
+	return ni
+}
+
+// Node returns the tile this interface serves.
+func (ni *NI) Node() noc.NodeID { return ni.node }
+
+// QueueLen returns the number of packets waiting in the source queue
+// (including the one mid-injection).
+func (ni *NI) QueueLen() int {
+	n := len(ni.queue) - ni.queueHead
+	if ni.cur != nil {
+		n++
+	}
+	return n
+}
+
+// enqueue appends a packet to the source queue.
+func (ni *NI) enqueue(p *noc.Packet) {
+	// Compact the slice-backed queue occasionally so long runs do not leak.
+	if ni.queueHead > 1024 && ni.queueHead*2 > len(ni.queue) {
+		ni.queue = append([]*noc.Packet(nil), ni.queue[ni.queueHead:]...)
+		ni.queueHead = 0
+	}
+	ni.queue = append(ni.queue, p)
+}
+
+// SinkReceiver returns the receiver wired to the router's local output.
+func (ni *NI) SinkReceiver() noc.Receiver { return niReceiver{ni} }
+
+type niReceiver struct{ ni *NI }
+
+// Receive buffers a flit arriving from the router's local output port.
+func (r niReceiver) Receive(f *noc.Flit, cycle int64) {
+	r.ni.sink.Receive(f)
+	r.ni.net.counters.BufWrite++
+}
+
+// Compute injects the next flit of the packet under transmission and ejects
+// (decoding if necessary) one delivered flit.
+func (ni *NI) Compute(cycle int64) {
+	// Injection side.
+	if ni.cur == nil && ni.queueHead < len(ni.queue) {
+		ni.cur = ni.queue[ni.queueHead]
+		ni.queue[ni.queueHead] = nil
+		ni.queueHead++
+		ni.curSeq = 0
+	}
+	if ni.cur != nil && ni.injectLink.Credits() > 0 {
+		if ni.curSeq == 0 {
+			ni.cur.InjectCycle = cycle
+		}
+		ni.injectLink.Send(noc.NewFlit(ni.cur, ni.curSeq))
+		ni.curSeq++
+		if ni.curSeq == ni.cur.Length {
+			ni.cur = nil
+		}
+	}
+
+	// Ejection side: at most one flit per cycle leaves the sink port.
+	if f, _, ok := ni.sink.Offer(); ok {
+		ni.sink.Service()
+		ni.deliver(f, cycle)
+	}
+}
+
+// Commit applies the sink port's staged actions and returns its credits.
+func (ni *NI) Commit(cycle int64) {
+	ev := ni.sink.Commit()
+	c := ni.net.counters
+	c.BufRead += int64(ev.Reads)
+	if ev.Latched {
+		c.RegWrite++
+	}
+	if ev.Decoded {
+		c.Decode++
+	}
+	eject := ni.net.ejectLinks[ni.node]
+	for i := 0; i < ev.FreedSlots; i++ {
+		eject.ReturnCredit()
+	}
+}
+
+// deliver consumes one decoded flit, verifies it bit-exactly, reassembles
+// wormhole packets, and completes packet delivery at the tail.
+func (ni *NI) deliver(f *noc.Flit, cycle int64) {
+	p := f.Packet
+	if p.Dst != ni.node {
+		panic(fmt.Sprintf("network: flit %v misrouted to node %d", f, ni.node))
+	}
+	if want := noc.PayloadWord(p.ID, p.Src, p.Dst, f.Seq); f.Raw != want {
+		panic(fmt.Sprintf("network: payload corruption on %v: got %#x want %#x", f, f.Raw, want))
+	}
+	if ni.assembling == nil {
+		if f.Seq != 0 {
+			panic(fmt.Sprintf("network: body flit %v without head", f))
+		}
+		ni.assembling = p
+		ni.expectSeq = 0
+	}
+	if p != ni.assembling || f.Seq != ni.expectSeq {
+		panic(fmt.Sprintf("network: interleaved wormhole delivery: got %v want pkt%d.%d", f, ni.assembling.ID, ni.expectSeq))
+	}
+	ni.expectSeq++
+	if f.Seq == p.Length-1 {
+		ni.assembling = nil
+		p.DeliverCycle = cycle
+		ni.net.deliver(p, cycle)
+	}
+}

@@ -1,0 +1,62 @@
+package noc
+
+import "testing"
+
+// FuzzChainDecode fuzzes the coding scheme end to end: an arbitrary
+// collision set (sized by the seed bytes) serviced in an arbitrary order
+// must decode, pairwise-contiguously, to the winners in that order. The
+// seed corpus runs as part of `go test`; `go test -fuzz=FuzzChainDecode`
+// explores further.
+func FuzzChainDecode(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint16(0))
+	f.Add(uint64(42), uint8(5), uint16(0x1234))
+	f.Add(uint64(7), uint8(3), uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, seed uint64, sizeRaw uint8, orderRaw uint16) {
+		size := int(sizeRaw%4) + 2 // 2..5 colliders
+		flits := make([]*Flit, size)
+		for i := range flits {
+			p := NewPacket(seed+uint64(i)+1, 0, 1, 1, 0, 0)
+			flits[i] = NewFlit(p, 0)
+		}
+		// Service order from orderRaw (Fisher-Yates with a tiny LCG).
+		order := make([]int, size)
+		for i := range order {
+			order[i] = i
+		}
+		s := uint64(orderRaw) + 1
+		for i := size - 1; i > 0; i-- {
+			s = s*6364136223846793005 + 1442695040888963407
+			j := int(s % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+
+		remaining := append([]*Flit(nil), flits...)
+		var wire []*Flit
+		for _, w := range order {
+			var cur []*Flit
+			for _, fl := range remaining {
+				if fl != nil {
+					cur = append(cur, fl)
+				}
+			}
+			if len(cur) == 1 {
+				wire = append(wire, cur[0])
+			} else {
+				wire = append(wire, Encode(cur))
+			}
+			remaining[w] = nil
+		}
+		for k := 0; k+1 < len(wire); k++ {
+			got, err := Decode(wire[k], wire[k+1])
+			if err != nil {
+				t.Fatalf("decode failed at %d: %v", k, err)
+			}
+			if got != flits[order[k]] {
+				t.Fatalf("decode order wrong at %d", k)
+			}
+		}
+		if last := wire[len(wire)-1]; last.Encoded || last != flits[order[size-1]] {
+			t.Fatal("final wire flit should be the last winner, raw")
+		}
+	})
+}

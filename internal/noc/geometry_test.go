@@ -1,0 +1,85 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPortOpposite(t *testing.T) {
+	for _, p := range []Port{North, East, South, West} {
+		if p.Opposite().Opposite() != p {
+			t.Errorf("Opposite not involutive for %v", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Opposite(Local) should panic")
+		}
+	}()
+	Local.Opposite()
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	topo := Topology{Width: 8, Height: 8}
+	for id := 0; id < topo.Nodes(); id++ {
+		if got := topo.ID(topo.Coord(NodeID(id))); got != NodeID(id) {
+			t.Fatalf("round trip %d -> %d", id, got)
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	topo := Topology{Width: 5, Height: 3}
+	for id := 0; id < topo.Nodes(); id++ {
+		for _, p := range []Port{North, East, South, West} {
+			nb, ok := topo.Neighbor(NodeID(id), p)
+			if !ok {
+				continue
+			}
+			back, ok2 := topo.Neighbor(nb, p.Opposite())
+			if !ok2 || back != NodeID(id) {
+				t.Errorf("neighbor symmetry broken at %d via %v", id, p)
+			}
+		}
+	}
+}
+
+func TestNeighborEdges(t *testing.T) {
+	topo := Topology{Width: 4, Height: 4}
+	if _, ok := topo.Neighbor(0, North); ok {
+		t.Error("node 0 should have no north neighbor")
+	}
+	if _, ok := topo.Neighbor(0, West); ok {
+		t.Error("node 0 should have no west neighbor")
+	}
+	if _, ok := topo.Neighbor(15, South); ok {
+		t.Error("node 15 should have no south neighbor")
+	}
+	if _, ok := topo.Neighbor(15, East); ok {
+		t.Error("node 15 should have no east neighbor")
+	}
+	if nb, ok := topo.Neighbor(5, East); !ok || nb != 6 {
+		t.Errorf("Neighbor(5,E) = %d,%v; want 6", nb, ok)
+	}
+}
+
+// TestHopsMetricProperties checks Manhattan distance is a metric on the
+// mesh: symmetric, zero iff equal, and within grid bounds.
+func TestHopsMetricProperties(t *testing.T) {
+	topo := Topology{Width: 8, Height: 8}
+	f := func(a, b uint8) bool {
+		na := NodeID(int(a) % topo.Nodes())
+		nb := NodeID(int(b) % topo.Nodes())
+		h := topo.Hops(na, nb)
+		if h != topo.Hops(nb, na) {
+			return false
+		}
+		if (h == 0) != (na == nb) {
+			return false
+		}
+		return h <= (topo.Width-1)+(topo.Height-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

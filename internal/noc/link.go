@@ -1,0 +1,78 @@
+package noc
+
+// Receiver consumes flits delivered by a link: a router input port or a
+// network-interface sink.
+type Receiver interface {
+	// Receive is called during the commit phase of the cycle in which the
+	// flit traversed the link; the flit becomes usable next cycle.
+	Receive(f *Flit, cycle int64)
+}
+
+// Link is a unidirectional 64-bit channel with credit-based flow control.
+// One simulated cycle covers switch traversal plus the 2 mm channel (§6.1
+// folds the 98 ps link delay into every router's clock period), so a flit
+// sent during cycle t is usable by the receiver at cycle t+1.
+//
+// Credits are owned by the sender side: Credits reports downstream buffer
+// slots known free. The receiver stages ReturnCredit when it frees a slot;
+// returns staged during cycle t become visible to the sender at t+1 (links
+// commit after routers), giving the 2-3 cycle round-trip credit loop that
+// Table 1's 4-deep buffers are sized to cover.
+type Link struct {
+	sink    Receiver
+	credits int
+
+	staged  *Flit
+	returns int
+}
+
+// NewLink returns a link feeding sink whose receiver advertises credits
+// buffer slots.
+func NewLink(sink Receiver, credits int) *Link {
+	if sink == nil {
+		panic("noc: link requires a sink")
+	}
+	if credits <= 0 {
+		panic("noc: link requires positive credits")
+	}
+	return &Link{sink: sink, credits: credits}
+}
+
+// Credits returns the sender's current credit count.
+func (l *Link) Credits() int { return l.credits }
+
+// Send stages a flit for delivery at this cycle's commit, consuming one
+// credit. Called by the sender during its compute phase; sending without a
+// credit or sending twice in one cycle panics (simulator bug).
+func (l *Link) Send(f *Flit) {
+	if l.staged != nil {
+		panic("noc: link driven twice in one cycle")
+	}
+	if l.credits == 0 {
+		panic("noc: send without credit")
+	}
+	if f == nil {
+		panic("noc: send of nil flit")
+	}
+	l.credits--
+	l.staged = f
+}
+
+// ReturnCredit stages one credit return from the receiver side. Staged
+// returns are applied at this link's commit, hence visible to the sender
+// next cycle.
+func (l *Link) ReturnCredit() { l.returns++ }
+
+// Compute implements sim.Clocked; links have no combinational work.
+func (l *Link) Compute(cycle int64) {}
+
+// Commit delivers the staged flit and applies staged credit returns. Links
+// must be committed after the routers of the same cycle.
+func (l *Link) Commit(cycle int64) {
+	if l.staged != nil {
+		l.sink.Receive(l.staged, cycle)
+		l.staged = nil
+	}
+	l.credits += l.returns
+	l.returns = 0
+}

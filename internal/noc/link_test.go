@@ -1,0 +1,101 @@
+package noc
+
+import "testing"
+
+type recorder struct {
+	got    []*Flit
+	cycles []int64
+}
+
+func (r *recorder) Receive(f *Flit, cycle int64) {
+	r.got = append(r.got, f)
+	r.cycles = append(r.cycles, cycle)
+}
+
+func TestLinkDeliveryTiming(t *testing.T) {
+	sink := &recorder{}
+	l := NewLink(sink, 2)
+	f := NewFlit(NewPacket(1, 0, 1, 1, 0, 0), 0)
+
+	l.Send(f)
+	if len(sink.got) != 0 {
+		t.Fatal("flit delivered before commit")
+	}
+	l.Commit(5)
+	if len(sink.got) != 1 || sink.got[0] != f || sink.cycles[0] != 5 {
+		t.Fatalf("delivery wrong: %v at %v", sink.got, sink.cycles)
+	}
+}
+
+func TestLinkCreditAccounting(t *testing.T) {
+	sink := &recorder{}
+	l := NewLink(sink, 2)
+	if l.Credits() != 2 {
+		t.Fatalf("initial credits %d", l.Credits())
+	}
+	l.Send(NewFlit(NewPacket(1, 0, 1, 1, 0, 0), 0))
+	if l.Credits() != 1 {
+		t.Fatalf("credits after send %d", l.Credits())
+	}
+	// A return staged this cycle becomes visible only after commit.
+	l.ReturnCredit()
+	if l.Credits() != 1 {
+		t.Fatal("credit return visible before commit")
+	}
+	l.Commit(0)
+	if l.Credits() != 2 {
+		t.Fatalf("credits after commit %d", l.Credits())
+	}
+}
+
+func TestLinkPanics(t *testing.T) {
+	sink := &recorder{}
+	f := NewFlit(NewPacket(1, 0, 1, 1, 0, 0), 0)
+
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	check("double drive", func() {
+		l := NewLink(sink, 2)
+		l.Send(f)
+		l.Send(f)
+	})
+	check("send without credit", func() {
+		l := NewLink(sink, 1)
+		l.Send(f)
+		l.Commit(0)
+		l.Send(f) // credit consumed, none returned
+	})
+	check("nil sink", func() { NewLink(nil, 1) })
+	check("zero credits", func() { NewLink(sink, 0) })
+	check("nil flit", func() {
+		l := NewLink(sink, 1)
+		l.Send(nil)
+	})
+}
+
+// TestLinkPipelined checks back-to-back cycles deliver in order with
+// credits recycling.
+func TestLinkPipelined(t *testing.T) {
+	sink := &recorder{}
+	l := NewLink(sink, 1)
+	for cycle := int64(0); cycle < 5; cycle++ {
+		f := NewFlit(NewPacket(uint64(cycle+1), 0, 1, 1, 0, 0), 0)
+		l.Send(f)
+		l.ReturnCredit() // receiver frees the slot the same cycle
+		l.Commit(cycle)
+	}
+	if len(sink.got) != 5 {
+		t.Fatalf("delivered %d/5", len(sink.got))
+	}
+	for i, f := range sink.got {
+		if f.Packet.ID != uint64(i+1) {
+			t.Fatalf("order violated: %v", sink.got)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package noc
+
+// Packet is a unit of transfer between two network interfaces. It is split
+// into Length flits of 64 bits each; in the paper's configuration (Table 1),
+// control packets are 1 flit (8 bytes) and data packets are 9 flits
+// (72 bytes).
+type Packet struct {
+	ID  uint64
+	Src NodeID
+	Dst NodeID
+	// Length is the number of flits.
+	Length int
+	// Payloads holds one 64-bit word per flit. The simulator carries the
+	// real words end to end so that the NoX XOR coding scheme is verified
+	// bit-exactly under every workload.
+	Payloads []uint64
+
+	// CreateCycle is the network cycle at which the packet was offered to
+	// the source network interface (source queueing counts toward latency).
+	CreateCycle int64
+	// InjectCycle is the cycle the head flit entered the source router's
+	// local input buffer, or -1 while still queued.
+	InjectCycle int64
+	// DeliverCycle is the cycle the tail flit was delivered (and, for NoX,
+	// decoded) at the destination interface, or -1 while in flight.
+	DeliverCycle int64
+
+	// Class selects which physical network carries the packet when the
+	// simulation uses multiple networks to isolate coherence traffic
+	// classes (0 = request network, 1 = reply network).
+	Class int
+
+	// Measured marks packets created inside the measurement window; only
+	// these contribute to reported statistics.
+	Measured bool
+}
+
+// FlitBytes is the link width in bytes (64-bit flits and links, Table 1).
+const FlitBytes = 8
+
+// Bytes returns the packet size on the wire.
+func (p *Packet) Bytes() int { return p.Length * FlitBytes }
+
+// Latency returns the packet latency in cycles from creation to delivery.
+// It panics if the packet has not been delivered.
+func (p *Packet) Latency() int64 {
+	if p.DeliverCycle < 0 {
+		panic("noc: Latency on undelivered packet")
+	}
+	return p.DeliverCycle - p.CreateCycle
+}
+
+// NewPacket builds a packet with deterministic payload words derived from
+// its identity, so any corruption in transit (in particular through the XOR
+// coding path) is detectable at delivery.
+func NewPacket(id uint64, src, dst NodeID, length int, class int, createCycle int64) *Packet {
+	p := &Packet{
+		ID:           id,
+		Src:          src,
+		Dst:          dst,
+		Length:       length,
+		Payloads:     make([]uint64, length),
+		CreateCycle:  createCycle,
+		InjectCycle:  -1,
+		DeliverCycle: -1,
+		Class:        class,
+	}
+	for i := range p.Payloads {
+		p.Payloads[i] = PayloadWord(id, src, dst, i)
+	}
+	return p
+}
+
+// PayloadWord is the canonical payload of flit seq of packet id. Delivery
+// checks recompute it to verify bit-exact transport.
+func PayloadWord(id uint64, src, dst NodeID, seq int) uint64 {
+	z := id*0x9e3779b97f4a7c15 ^ uint64(src)<<48 ^ uint64(dst)<<32 ^ uint64(seq)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

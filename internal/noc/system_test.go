@@ -1,0 +1,103 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshSystemIsBackwardCompatible(t *testing.T) {
+	s := MeshSystem(Topology{Width: 8, Height: 8})
+	if s.Cores() != 64 || s.Routers() != 64 || s.Ports() != 5 {
+		t.Fatalf("mesh system wrong: %+v", s)
+	}
+	for core := 0; core < 64; core++ {
+		if s.RouterOf(NodeID(core)) != NodeID(core) {
+			t.Fatalf("core %d should live on router %d", core, core)
+		}
+		if s.LocalPort(NodeID(core)) != Local {
+			t.Fatalf("core %d local port should be the classic Local constant", core)
+		}
+	}
+}
+
+func TestCMeshSystemLayout(t *testing.T) {
+	s := System{Grid: Topology{Width: 4, Height: 4}, Concentration: 4}
+	if s.Cores() != 64 || s.Routers() != 16 || s.Ports() != 8 {
+		t.Fatalf("cmesh system wrong: %+v", s)
+	}
+	if s.RouterOf(0) != 0 || s.RouterOf(3) != 0 || s.RouterOf(4) != 1 {
+		t.Error("RouterOf mapping wrong")
+	}
+	if s.LocalPort(0) != 4 || s.LocalPort(3) != 7 || s.LocalPort(4) != 4 {
+		t.Error("LocalPort mapping wrong")
+	}
+	if s.CoreID(1, 2) != 6 {
+		t.Errorf("CoreID(1,2) = %d, want 6", s.CoreID(1, 2))
+	}
+	// Cores sharing a router are zero hops apart; neighbors one.
+	if s.CoreHops(0, 3) != 0 {
+		t.Error("same-router cores should be 0 hops apart")
+	}
+	if s.CoreHops(0, 4) != 1 {
+		t.Error("adjacent-router cores should be 1 hop apart")
+	}
+}
+
+// TestVirtualGridBijection property-checks the core <-> virtual-grid
+// mapping used by coordinate-based traffic patterns.
+func TestVirtualGridBijection(t *testing.T) {
+	s := System{Grid: Topology{Width: 4, Height: 4}, Concentration: 4}
+	vt := s.VirtualTopology()
+	if vt.Width != 8 || vt.Height != 8 {
+		t.Fatalf("virtual topology %+v, want 8x8", vt)
+	}
+	f := func(raw uint8) bool {
+		core := NodeID(int(raw) % s.Cores())
+		return s.CoreFromVirtual(s.VirtualFromCore(core)) == core
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Inverse direction too.
+	for v := 0; v < vt.Nodes(); v++ {
+		if s.VirtualFromCore(s.CoreFromVirtual(NodeID(v))) != NodeID(v) {
+			t.Fatalf("virtual %d does not round-trip", v)
+		}
+	}
+}
+
+// TestVirtualGridLocality checks cores of one router occupy one 2x2 block
+// of the virtual grid (so coordinate patterns see physical adjacency).
+func TestVirtualGridLocality(t *testing.T) {
+	s := System{Grid: Topology{Width: 4, Height: 4}, Concentration: 4}
+	vt := s.VirtualTopology()
+	for r := 0; r < s.Routers(); r++ {
+		for k := 0; k < 4; k++ {
+			v := s.VirtualFromCore(s.CoreID(NodeID(r), k))
+			vc := vt.Coord(v)
+			rc := s.Grid.Coord(NodeID(r))
+			if vc.X/2 != rc.X || vc.Y/2 != rc.Y {
+				t.Fatalf("core (%d,%d) maps to virtual %v outside its router block %v", r, k, vc, rc)
+			}
+		}
+	}
+}
+
+func TestVirtualTopologyRejectsNonSquare(t *testing.T) {
+	s := System{Grid: Topology{Width: 4, Height: 4}, Concentration: 2}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-square concentration accepted")
+		}
+	}()
+	s.VirtualTopology()
+}
+
+func TestSystemValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid system accepted")
+		}
+	}()
+	System{Grid: Topology{Width: 0, Height: 4}, Concentration: 1}.Validate()
+}

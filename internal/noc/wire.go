@@ -1,0 +1,81 @@
+package noc
+
+import "fmt"
+
+// This file implements the XOR wire algebra of the NoX coding scheme
+// (paper §2.2): if inputs A, B, C collide the switch emits A^B^C; after one
+// of them (say A) wins arbitration and stops driving, the next cycle emits
+// B^C, and the receiver recovers A = (A^B^C) ^ (B^C). The simulator carries
+// both the honest 64-bit XOR image and the constituent sets, and checks at
+// every decode that the image matches the recovered flit's payload —
+// a bit-exact, end-to-end verification of the coding protocol.
+
+// Encode superimposes the given flits into one encoded wire flit. All inputs
+// must be unencoded single-flit heads (the router aborts instead of encoding
+// when a multi-flit packet is involved) or previously decoded originals; at
+// least two flits are required.
+func Encode(flits []*Flit) *Flit {
+	if len(flits) < 2 {
+		panic("noc: Encode requires at least two flits")
+	}
+	var raw uint64
+	parts := make([]*Flit, 0, len(flits))
+	for _, f := range flits {
+		if f.Encoded {
+			panic("noc: Encode of an already-encoded flit")
+		}
+		if f.MultiFlit() {
+			panic("noc: Encode of a multi-flit packet (router must abort)")
+		}
+		raw ^= f.Raw
+		parts = append(parts, f)
+	}
+	return &Flit{Raw: raw, Encoded: true, Parts: parts}
+}
+
+// parts returns the constituent set of a wire flit: itself when unencoded.
+func parts(f *Flit) []*Flit {
+	if f.Encoded {
+		return f.Parts
+	}
+	return []*Flit{f}
+}
+
+// Decode XORs two contiguously received wire flits and returns the original
+// flit their difference encodes (paper property: (A^B^C) ^ (B^C) = A). The
+// constituent sets must differ by exactly one flit, and the XOR of the raw
+// images must equal that flit's payload word; any violation indicates a
+// protocol bug and is returned as an error.
+func Decode(reg, next *Flit) (*Flit, error) {
+	diff := symmetricDifference(parts(reg), parts(next))
+	if len(diff) != 1 {
+		return nil, fmt.Errorf("noc: decode difference has %d flits (want 1): reg=%v next=%v", len(diff), reg, next)
+	}
+	orig := diff[0]
+	if got := reg.Raw ^ next.Raw; got != orig.Raw {
+		return nil, fmt.Errorf("noc: decode mismatch: XOR image %#x != payload %#x of %v", got, orig.Raw, orig)
+	}
+	return orig, nil
+}
+
+// symmetricDifference returns the flits present in exactly one of a and b,
+// keyed by owning packet identity. Chain members are single-flit packets, so
+// packet ID is a sufficient key.
+func symmetricDifference(a, b []*Flit) []*Flit {
+	seen := make(map[uint64]*Flit, len(a)+len(b))
+	for _, f := range a {
+		seen[f.Packet.ID] = f
+	}
+	for _, f := range b {
+		if _, dup := seen[f.Packet.ID]; dup {
+			delete(seen, f.Packet.ID)
+		} else {
+			seen[f.Packet.ID] = f
+		}
+	}
+	out := make([]*Flit, 0, len(seen))
+	for _, f := range seen {
+		out = append(out, f)
+	}
+	return out
+}

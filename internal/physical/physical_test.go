@@ -1,0 +1,134 @@
+package physical
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/router"
+)
+
+// TestTable2ClockPeriods checks the model reproduces Table 2 exactly.
+func TestTable2ClockPeriods(t *testing.T) {
+	want := map[router.Arch]float64{
+		router.NonSpec:      0.92,
+		router.SpecFast:     0.69,
+		router.SpecAccurate: 0.72,
+		router.NoX:          0.76,
+	}
+	for arch, ns := range want {
+		if got := ClockPeriodNs(arch); math.Abs(got-ns) > 1e-9 {
+			t.Errorf("%v clock period = %.3f ns, want %.2f ns (Table 2)", arch, got, ns)
+		}
+	}
+}
+
+// TestSection61Speedups checks the relative clock speedups quoted in §6.1:
+// Spec-Fast 33.3 %, Spec-Accurate 27.8 %, NoX 21.1 % faster than the
+// non-speculative router.
+func TestSection61Speedups(t *testing.T) {
+	want := map[router.Arch]float64{
+		router.SpecFast:     0.333,
+		router.SpecAccurate: 0.278,
+		router.NoX:          0.211,
+	}
+	for arch, s := range want {
+		if got := SpeedupVsNonSpec(arch); math.Abs(got-s) > 0.001 {
+			t.Errorf("%v speedup = %.3f, want %.3f (§6.1)", arch, got, s)
+		}
+	}
+}
+
+// TestDecodeOverhead checks the NoX-vs-Spec-Accurate clock gap matches the
+// ~40 ps decode overhead stated in §6.1.
+func TestDecodeOverhead(t *testing.T) {
+	gap := ClockPeriodPs(router.NoX) - ClockPeriodPs(router.SpecAccurate)
+	if math.Abs(gap-40) > 10.001 {
+		t.Errorf("NoX decode overhead = %.0f ps, want ~40 ps", gap)
+	}
+}
+
+// TestFigure13Floorplan checks the area model reproduces §6.2: 28.2 um of
+// extra width and a 17.2 % tile area penalty for NoX.
+func TestFigure13Floorplan(t *testing.T) {
+	conv := Floorplan(router.NonSpec)
+	nox := Floorplan(router.NoX)
+	if got := nox.WidthUm - conv.WidthUm; math.Abs(got-28.2) > 1e-9 {
+		t.Errorf("NoX extra width = %.1f um, want 28.2 um", got)
+	}
+	if conv.HeightUm != nox.HeightUm {
+		t.Error("floorplans should share height")
+	}
+	if got := AreaOverheadVsConventional(); math.Abs(got-0.172) > 0.001 {
+		t.Errorf("NoX area overhead = %.3f, want 0.172 (§6.2)", got)
+	}
+	// Speculative routers share the conventional plan.
+	for _, a := range []router.Arch{router.SpecFast, router.SpecAccurate} {
+		if Floorplan(a).AreaUm2() != conv.AreaUm2() {
+			t.Errorf("%v floorplan differs from conventional", a)
+		}
+	}
+}
+
+// TestFrequencyConsistency checks GHz and period invert each other.
+func TestFrequencyConsistency(t *testing.T) {
+	for _, a := range router.Archs {
+		if got := FrequencyGHz(a) * ClockPeriodNs(a); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%v: f*T = %v, want 1", a, got)
+		}
+	}
+}
+
+// TestClockOrdering checks the architectural ordering the evaluation
+// depends on: SpecFast < SpecAccurate < NoX < NonSpec.
+func TestClockOrdering(t *testing.T) {
+	if !(ClockPeriodPs(router.SpecFast) < ClockPeriodPs(router.SpecAccurate) &&
+		ClockPeriodPs(router.SpecAccurate) < ClockPeriodPs(router.NoX) &&
+		ClockPeriodPs(router.NoX) < ClockPeriodPs(router.NonSpec)) {
+		t.Error("clock period ordering violated")
+	}
+}
+
+// TestMeshDatapathMatchesBaseline checks the parameterized datapath
+// reproduces Table 2 exactly.
+func TestMeshDatapathMatchesBaseline(t *testing.T) {
+	d := MeshDatapath()
+	for _, a := range router.Archs {
+		if got, want := d.ClockPeriodPs(a), ClockPeriodPs(a); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: datapath period %v != baseline %v", a, got, want)
+		}
+	}
+}
+
+// TestCMeshShrinksNoXPenalty checks §8's hypothesis as modeled: on the
+// radix-8 concentrated mesh the fixed decode cost is a smaller fraction of
+// the (longer) critical path, so NoX's clock handicap against
+// Spec-Accurate shrinks.
+func TestCMeshShrinksNoXPenalty(t *testing.T) {
+	mesh := MeshDatapath().NoXPenaltyVsSpecAccurate()
+	cmesh := CMeshDatapath().NoXPenaltyVsSpecAccurate()
+	if cmesh >= mesh {
+		t.Errorf("CMesh NoX penalty %.3f should be below mesh %.3f", cmesh, mesh)
+	}
+	if mesh < 0.05 || mesh > 0.06 {
+		t.Errorf("mesh penalty %.4f, want ~0.056 (40 ps + 30 ps over 720 ps)", mesh)
+	}
+}
+
+// TestCMeshScaling sanity-checks the scaling directions.
+func TestCMeshScaling(t *testing.T) {
+	m, c := MeshDatapath(), CMeshDatapath()
+	if c.LinkPs != 2*m.LinkPs {
+		t.Error("CMesh channels should be twice as long")
+	}
+	if c.DecodePs != m.DecodePs {
+		t.Error("decode cost must be radix-independent (§8's 'fixed cost')")
+	}
+	if c.SwitchArbPs <= m.SwitchArbPs || c.XbarMuxPs <= m.XbarMuxPs {
+		t.Error("radix-8 control structures should be slower")
+	}
+	for _, a := range router.Archs {
+		if c.ClockPeriodPs(a) <= m.ClockPeriodPs(a) {
+			t.Errorf("%v: CMesh period should exceed mesh period", a)
+		}
+	}
+}

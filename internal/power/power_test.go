@@ -1,0 +1,95 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b Counters) bool {
+		sum := a
+		sum.Add(b)
+		diff := sum.Sub(b)
+		return diff == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	m := DefaultModel()
+	c := Counters{BufWrite: 10, BufRead: 10, Xbar: 10, LinkFlit: 10, Arb: 10, Decode: 10, RegWrite: 10}
+	b := m.Energy(c, false)
+	wantBuf := 10*m.BufWritePJ + 10*m.BufReadPJ
+	if math.Abs(b.BufferPJ-wantBuf) > 1e-9 {
+		t.Errorf("BufferPJ = %v, want %v", b.BufferPJ, wantBuf)
+	}
+	if math.Abs(b.LinkPJ-10*m.LinkPJ) > 1e-9 {
+		t.Errorf("LinkPJ = %v", b.LinkPJ)
+	}
+	if math.Abs(b.TotalPJ()-(b.BufferPJ+b.XbarPJ+b.LinkPJ+b.ArbPJ+b.DecodePJ)) > 1e-9 {
+		t.Error("TotalPJ is not the sum of components")
+	}
+}
+
+// TestInvalidDrivesCostLinkEnergy verifies misspeculated channel drives are
+// charged full link energy (§3.2's central energy argument).
+func TestInvalidDrivesCostLinkEnergy(t *testing.T) {
+	m := DefaultModel()
+	productive := m.Energy(Counters{LinkFlit: 100}, false)
+	wasted := m.Energy(Counters{LinkFlit: 50, LinkInvalid: 50}, false)
+	if productive.LinkPJ != wasted.LinkPJ {
+		t.Errorf("invalid drives not charged: %v vs %v", productive.LinkPJ, wasted.LinkPJ)
+	}
+}
+
+// TestXORSwitchPenalty verifies the XOR fabric costs marginally more per
+// traversal (§2.5) and only when selected.
+func TestXORSwitchPenalty(t *testing.T) {
+	m := DefaultModel()
+	c := Counters{Xbar: 1000}
+	mux := m.Energy(c, false).XbarPJ
+	xor := m.Energy(c, true).XbarPJ
+	if xor <= mux {
+		t.Error("XOR switch should cost more than mux crossbar")
+	}
+	if xor/mux > 1.15 {
+		t.Errorf("XOR penalty %.3f too large to be 'marginal'", xor/mux)
+	}
+}
+
+// TestLinkDominates verifies the calibration: for a representative per-hop
+// event mix the channel accounts for most of the energy, in the
+// neighborhood of Fig. 12's ~74%.
+func TestLinkDominates(t *testing.T) {
+	m := DefaultModel()
+	// One flit traversing one hop: buffer write+read, xbar, link, arb.
+	c := Counters{BufWrite: 1, BufRead: 1, Xbar: 1, LinkFlit: 1, Arb: 1}
+	share := m.Energy(c, false).LinkShare()
+	if share < 0.65 || share > 0.80 {
+		t.Errorf("link share = %.3f, want ~0.74 (Fig. 12)", share)
+	}
+}
+
+// TestDecodeEnergyMinimal verifies §5.3's "energy costs associated with
+// packet decoding ... are minimal": decode events cost a few percent of a
+// hop's energy.
+func TestDecodeEnergyMinimal(t *testing.T) {
+	m := DefaultModel()
+	hop := m.Energy(Counters{BufWrite: 1, BufRead: 1, Xbar: 1, LinkFlit: 1, Arb: 1}, true).TotalPJ()
+	dec := m.Energy(Counters{Decode: 1, RegWrite: 1}, true).TotalPJ()
+	if dec/hop > 0.05 {
+		t.Errorf("decode energy %.1f%% of a hop, want minimal", 100*dec/hop)
+	}
+	if dec == 0 {
+		t.Error("decode energy unmodeled")
+	}
+}
+
+func TestLinkShareZeroTotal(t *testing.T) {
+	if got := (Breakdown{}).LinkShare(); got != 0 {
+		t.Errorf("LinkShare of empty breakdown = %v", got)
+	}
+}

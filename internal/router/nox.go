@@ -1,0 +1,139 @@
+package router
+
+import (
+	"repro/internal/core"
+	"repro/internal/noc"
+)
+
+// noxRouter composes internal/core's input ports and output controls into
+// the full NoX router of §2: an XOR-based switch with precomputed input
+// gating, output arbiters run in parallel with traversal, and input-port
+// decode circuitry. Under contention it transmits encoded superpositions
+// productively instead of wasting cycles, freeing one winner's buffer per
+// cycle; the downstream ports (and the ejection interface) decode by XORing
+// contiguously received flits.
+type noxRouter struct {
+	base
+	in  []*core.InputPort
+	ctl []*core.OutputControl
+
+	// offers is per-cycle scratch: [output][input] presentations.
+	offers [][]*noc.Flit
+}
+
+func newNoX(cfg Config) *noxRouter {
+	r := &noxRouter{}
+	r.init(cfg)
+	n := r.ports
+	r.in = make([]*core.InputPort, n)
+	r.ctl = make([]*core.OutputControl, n)
+	r.offers = make([][]*noc.Flit, n)
+	for p := range r.in {
+		r.in[p] = core.NewInputPort(cfg.BufferDepth, r.route)
+		r.ctl[p] = core.NewOutputControl(n, cfg.NewArbiter(n))
+		r.offers[p] = make([]*noc.Flit, n)
+	}
+	return r
+}
+
+// InputReceiver returns the link sink for port p.
+func (r *noxRouter) InputReceiver(p noc.Port) noc.Receiver {
+	return portReceiver{recv: r.receive, port: p}
+}
+
+func (r *noxRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
+	r.in[p].Receive(f)
+	r.counters().BufWrite++
+}
+
+// BufferedFlits returns the flits held in input FIFOs and decode registers.
+func (r *noxRouter) BufferedFlits() int {
+	n := 0
+	for _, ip := range r.in {
+		n += ip.Buffered()
+		if ip.RegisterBusy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Compute presents each input port's offer to the XOR switch and lets every
+// output's arbitration-and-masking logic decide.
+func (r *noxRouter) Compute(cycle int64) {
+	c := r.counters()
+
+	// Each input presents at most one flit; group presentations by their
+	// lookahead output port.
+	offers := r.offers
+	for o := range offers {
+		for i := range offers[o] {
+			offers[o][i] = nil
+		}
+	}
+	for i := range r.in {
+		f, _, ok := r.in[i].Offer()
+		if !ok {
+			continue
+		}
+		if r.outLink[f.OutPort] == nil {
+			panic("router: flit routed to unwired output")
+		}
+		offers[f.OutPort][i] = f
+	}
+
+	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
+		link := r.outLink[o]
+		if link == nil {
+			continue
+		}
+		d := r.ctl[o].Decide(offers[o], link.Credits() > 0)
+		if d.Out != nil {
+			link.Send(d.Out)
+			c.Xbar++
+			c.LinkFlit++
+			c.OutputActive++
+			if d.Out.Encoded {
+				c.EncodedFlits++
+			}
+		}
+		if d.Invalid {
+			// Multi-flit abort: the channel carries an indeterminate value
+			// this cycle (§2.7) — same energy, no information.
+			c.LinkInvalid++
+			c.WastedCycles++
+			c.Aborts++
+		}
+		if d.Collided && !d.Invalid {
+			c.Collisions++
+		}
+		if d.Arbitrated {
+			c.Arb++
+		}
+		if d.Serviced >= 0 {
+			r.in[d.Serviced].Service()
+		}
+	}
+}
+
+// Commit latches decode registers, applies pops and mask updates, and
+// returns freed credits upstream.
+func (r *noxRouter) Commit(cycle int64) {
+	c := r.counters()
+	for i := range r.in {
+		ev := r.in[i].Commit()
+		c.BufRead += int64(ev.Reads)
+		if ev.Latched {
+			c.RegWrite++
+		}
+		if ev.Decoded {
+			c.Decode++
+		}
+		r.returnCredits(noc.Port(i), ev.FreedSlots)
+	}
+	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
+		if r.outLink[o] != nil {
+			r.ctl[o].Commit()
+		}
+	}
+}

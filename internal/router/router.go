@@ -1,0 +1,183 @@
+// Package router implements the four router microarchitectures compared in
+// the paper (§3): the non-speculative baseline, the two speculative designs
+// Spec-Fast and Spec-Accurate adapted from Mullins et al., and the NoX
+// router built on internal/core's XOR-coded switch.
+//
+// All four are single-cycle-per-hop wormhole routers with five ports,
+// credit-based flow control, 4-deep input FIFOs, and lookahead XY routing;
+// they differ only in clock period (modeled by internal/physical) and in
+// how they behave under output contention — which is exactly the design
+// space the paper examines.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Arch selects a router microarchitecture.
+type Arch int
+
+// The four evaluated router architectures (§3.1, Table 2).
+const (
+	// NonSpec arbitrates and traverses serially within one long cycle
+	// (0.92 ns): maximally efficient outputs, slowest clock.
+	NonSpec Arch = iota
+	// SpecFast speculatively traverses without arbitration (0.69 ns);
+	// collisions waste cycles and link energy, and its minimal-latency
+	// allocator creates unnecessary next-cycle reservations.
+	SpecFast
+	// SpecAccurate is the compromise speculative design (0.72 ns) whose
+	// allocator removes already-successful requests.
+	SpecAccurate
+	// NoX overlaps arbitration with XOR-coded switch traversal (0.76 ns):
+	// collisions are productive encoded transfers.
+	NoX
+)
+
+// Archs lists all architectures in the paper's presentation order.
+var Archs = []Arch{NonSpec, SpecFast, SpecAccurate, NoX}
+
+// String returns the paper's name for the architecture.
+func (a Arch) String() string {
+	switch a {
+	case NonSpec:
+		return "Non-Speculative"
+	case SpecFast:
+		return "Spec-Fast"
+	case SpecAccurate:
+		return "Spec-Accurate"
+	case NoX:
+		return "NoX"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Config parameterizes a router instance.
+type Config struct {
+	Arch Arch
+	// Node is the router's position on the router grid.
+	Node        noc.NodeID
+	Routes      *routing.Table
+	BufferDepth int
+	Counters    *power.Counters
+	// Ports is the router radix: 4 direction ports plus one local port per
+	// attached core (default 5, the paper's mesh router; 8 for the
+	// 4-concentrated CMesh of the future-work study).
+	Ports int
+	// NewArbiter builds the per-output arbiter; nil selects round-robin.
+	NewArbiter func(n int) arbiter.Arbiter
+}
+
+func (c *Config) fill() {
+	if c.Routes == nil {
+		panic("router: Config.Routes is required")
+	}
+	if c.Ports == 0 {
+		c.Ports = int(noc.NumPorts)
+	}
+	if c.Ports < 5 || c.Ports > 32 {
+		panic("router: Ports must be in [5,32]")
+	}
+	if c.BufferDepth <= 0 {
+		c.BufferDepth = 4
+	}
+	if c.Counters == nil {
+		c.Counters = &power.Counters{}
+	}
+	if c.NewArbiter == nil {
+		c.NewArbiter = func(n int) arbiter.Arbiter { return arbiter.NewRoundRobin(n) }
+	}
+}
+
+// Router is one mesh router participating in the two-phase simulation.
+type Router interface {
+	sim.Clocked
+	// Node returns the tile this router serves.
+	Node() noc.NodeID
+	// InputReceiver returns the sink to wire an incoming link to port p.
+	InputReceiver(p noc.Port) noc.Receiver
+	// SetInputLink registers the link feeding port p, used to return
+	// credits when buffer slots free.
+	SetInputLink(p noc.Port, l *noc.Link)
+	// SetOutputLink registers the link driven by output port p.
+	SetOutputLink(p noc.Port, l *noc.Link)
+	// BufferedFlits returns the number of flits currently buffered, used
+	// by drain checks.
+	BufferedFlits() int
+}
+
+// New builds a router of the configured architecture.
+func New(cfg Config) Router {
+	cfg.fill()
+	switch cfg.Arch {
+	case NonSpec:
+		return newNonSpec(cfg)
+	case SpecFast, SpecAccurate:
+		return newSpec(cfg)
+	case NoX:
+		return newNoX(cfg)
+	default:
+		panic(fmt.Sprintf("router: unknown architecture %d", int(cfg.Arch)))
+	}
+}
+
+// base carries the wiring and accounting shared by every architecture.
+type base struct {
+	cfg     Config
+	ports   int
+	inLink  []*noc.Link
+	outLink []*noc.Link
+}
+
+func (b *base) init(cfg Config) {
+	b.cfg = cfg
+	b.ports = cfg.Ports
+	b.inLink = make([]*noc.Link, b.ports)
+	b.outLink = make([]*noc.Link, b.ports)
+}
+
+// Node returns the tile this router serves.
+func (b *base) Node() noc.NodeID { return b.cfg.Node }
+
+func (b *base) counters() *power.Counters { return b.cfg.Counters }
+
+// SetInputLink registers the link feeding port p.
+func (b *base) SetInputLink(p noc.Port, l *noc.Link) { b.inLink[p] = l }
+
+// SetOutputLink registers the link driven by port p.
+func (b *base) SetOutputLink(p noc.Port, l *noc.Link) { b.outLink[p] = l }
+
+// returnCredits stages n credit returns on the link feeding port p.
+func (b *base) returnCredits(p noc.Port, n int) {
+	if n == 0 {
+		return
+	}
+	l := b.inLink[p]
+	if l == nil {
+		panic("router: credit return on unwired input")
+	}
+	for i := 0; i < n; i++ {
+		l.ReturnCredit()
+	}
+}
+
+// route computes the lookahead output port at this router for dst.
+func (b *base) route(dst noc.NodeID) noc.Port {
+	return b.cfg.Routes.Port(b.cfg.Node, dst)
+}
+
+// portReceiver adapts (router, port) to noc.Receiver.
+type portReceiver struct {
+	recv func(p noc.Port, f *noc.Flit, cycle int64)
+	port noc.Port
+}
+
+// Receive forwards the delivered flit to the router's input port.
+func (pr portReceiver) Receive(f *noc.Flit, cycle int64) { pr.recv(pr.port, f, cycle) }

@@ -1,0 +1,320 @@
+package router
+
+import (
+	"math/bits"
+
+	"repro/internal/arbiter"
+	"repro/internal/buffer"
+	"repro/internal/noc"
+)
+
+// specRouter implements both speculative single-cycle designs of §3.1.2
+// (adapted from Mullins et al. to wormhole operation). Requests traverse
+// the switch speculatively, without waiting for arbitration; an allocator
+// runs in parallel and pre-schedules a reservation for the next cycle.
+//
+// The two variants differ only in the Switch-Next logic deciding which
+// requests reach the allocator:
+//
+//   - Spec-Fast passes every request not masked by Switch-Fast — including
+//     a request that is successfully traversing this very cycle — so it
+//     creates "unnecessary switch reservations on the proceeding clock
+//     cycle". A reservation answers one specific packet's request; when
+//     that packet has already departed, the reserved cycle is wasted for
+//     everyone, because the newly exposed packet behind it never requested
+//     and "may not request arbitration" (§3.1.2's fairness rule; it is
+//     also barred from the allocator on its first head cycle). Under
+//     backlog this halves Spec-Fast's sustained efficiency, which is why
+//     it "frequently saturates at less than half the bandwidth as the
+//     other router architectures" (§5.1). Wormhole contiguity is
+//     guaranteed by masking all other requests from arbitration during a
+//     packet's transmission.
+//
+//   - Spec-Accurate's Switch-Next is "passed the same requests as Switch
+//     Fast" — the same post-mask set — "and removes requests that
+//     successfully undergo switch traversal in the current cycle". Its
+//     reservations are therefore accurate (never issued to an input that
+//     already succeeded), and arbitration is overridden while a multi-flit
+//     packet holds an output; but like Spec-Fast, inputs masked during a
+//     reserved cycle cannot pre-schedule, so a backlog of three or more
+//     colliders alternates between collision and reserved cycles.
+//
+// When >= 2 inputs speculate toward one output the cycle is wasted and the
+// channel is driven with an indeterminate, invalid value — the misspeculation
+// energy overhead central to the paper's comparison (§3.2).
+type specRouter struct {
+	base
+	accurate bool
+
+	in []*buffer.FIFO
+	// newlyExposed[i] is the cycle during which input i's head packet is
+	// barred from arbitration (Spec-Fast fairness rule).
+	newlyExposed []int64
+	arb          []arbiter.Arbiter
+	lock         []int
+	res          []int
+	// resPkt[o] is the packet whose request earned the reservation; a
+	// reservation is unusable by any other packet (Spec-Fast).
+	resPkt []*noc.Packet
+
+	// staged actions
+	pops       []bool
+	lockNext   []int
+	resNext    []int
+	resPktNext []*noc.Packet
+
+	// per-cycle scratch
+	req  []uint32
+	head []*noc.Flit
+}
+
+func newSpec(cfg Config) *specRouter {
+	r := &specRouter{accurate: cfg.Arch == SpecAccurate}
+	r.init(cfg)
+	n := r.ports
+	r.in = make([]*buffer.FIFO, n)
+	r.newlyExposed = make([]int64, n)
+	r.arb = make([]arbiter.Arbiter, n)
+	r.lock = make([]int, n)
+	r.res = make([]int, n)
+	r.resPkt = make([]*noc.Packet, n)
+	r.pops = make([]bool, n)
+	r.lockNext = make([]int, n)
+	r.resNext = make([]int, n)
+	r.resPktNext = make([]*noc.Packet, n)
+	r.req = make([]uint32, n)
+	r.head = make([]*noc.Flit, n)
+	for p := range r.in {
+		r.in[p] = buffer.New(cfg.BufferDepth)
+		r.arb[p] = cfg.NewArbiter(n)
+		r.lock[p] = -1
+		r.res[p] = -1
+		r.newlyExposed[p] = -1
+	}
+	return r
+}
+
+// InputReceiver returns the link sink for port p.
+func (r *specRouter) InputReceiver(p noc.Port) noc.Receiver {
+	return portReceiver{recv: r.receive, port: p}
+}
+
+func (r *specRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
+	if f.Encoded {
+		panic("router: speculative router received an encoded flit")
+	}
+	f.OutPort = r.route(f.Packet.Dst)
+	r.in[p].Push(f)
+	r.counters().BufWrite++
+}
+
+// BufferedFlits returns the number of flits held in input FIFOs.
+func (r *specRouter) BufferedFlits() int {
+	n := 0
+	for _, q := range r.in {
+		n += q.Len()
+	}
+	return n
+}
+
+// allocatable reports whether input i's request may reach the allocator at
+// the given cycle (Spec-Fast's newly-exposed restriction; always true for
+// Spec-Accurate).
+func (r *specRouter) allocatable(i int, cycle int64) bool {
+	return r.accurate || r.newlyExposed[i] != cycle
+}
+
+// Compute performs speculative switch traversal and parallel allocation.
+func (r *specRouter) Compute(cycle int64) {
+	c := r.counters()
+
+	req, head := r.req, r.head
+	for i := range req {
+		req[i] = 0
+		head[i] = nil
+	}
+	for i := range r.in {
+		f := r.in[i].Head()
+		if f == nil {
+			continue
+		}
+		head[i] = f
+		if r.outLink[f.OutPort] == nil {
+			panic("router: flit routed to unwired output")
+		}
+		req[f.OutPort] |= 1 << i
+	}
+
+	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
+		r.lockNext[o] = r.lock[o]
+		r.resNext[o] = -1
+		r.resPktNext[o] = nil
+		link := r.outLink[o]
+		if link == nil {
+			continue
+		}
+		if req[o] == 0 && r.lock[o] < 0 {
+			// Nothing requesting; a pending reservation simply lapses
+			// unused (it would be wasted only if requests it masked
+			// existed, which they do not).
+			continue
+		}
+		if link.Credits() == 0 {
+			// Backpressure: everything holds.
+			r.resNext[o] = r.res[o]
+			r.resPktNext[o] = r.resPkt[o]
+			continue
+		}
+
+		if owner := r.lock[o]; owner >= 0 {
+			r.computeLocked(o, owner, req[o], head, cycle)
+			continue
+		}
+
+		success := -1
+		if res := r.res[o]; res >= 0 {
+			// Reserved cycle: only the reservation holder may traverse, and
+			// only if the packet that requested the reservation is still
+			// there — a freshly exposed successor never requested it.
+			if req[o]&(1<<res) != 0 && head[res].Packet == r.resPkt[o] {
+				success = res
+				r.traverse(o, res, head[res])
+			} else {
+				// The reservation was unnecessary — its requester already
+				// departed or has nothing to send — and every other input
+				// was masked: a wasted cycle (Spec-Fast's characteristic
+				// inefficiency).
+				c.WastedCycles++
+			}
+			// Switch-Next sees only the requests Switch-Fast saw — during a
+			// reserved cycle that is the reservation holder alone. Spec-Fast
+			// passes it through (manufacturing the unnecessary follow-on
+			// reservation); Spec-Accurate removes the success, leaving
+			// nothing to allocate, so the cycle after a reserved cycle is
+			// speculative again.
+			allocReq := req[o] & (1 << res)
+			if r.accurate {
+				if success >= 0 {
+					allocReq &^= 1 << success
+				}
+			} else if !r.allocatable(res, cycle) {
+				allocReq = 0
+			}
+			r.allocate(o, allocReq, head)
+			continue
+		}
+
+		// Unreserved: every requester traverses speculatively.
+		switch bits.OnesCount32(req[o]) {
+		case 1:
+			i := bits.TrailingZeros32(req[o])
+			success = i
+			r.traverse(o, i, head[i])
+		default:
+			// Misspeculation: contention drives an indeterminate value on
+			// the channel; the cycle and the channel energy are wasted.
+			c.LinkInvalid++
+			c.WastedCycles++
+			c.Collisions++
+		}
+		var allocReq uint32
+		if r.accurate {
+			allocReq = req[o]
+			if success >= 0 {
+				allocReq &^= 1 << success
+			}
+		} else {
+			allocReq = req[o]
+			for i := 0; i < r.ports; i++ {
+				if allocReq&(1<<i) != 0 && !r.allocatable(i, cycle) {
+					allocReq &^= 1 << i
+				}
+			}
+		}
+		r.allocate(o, allocReq, head)
+	}
+}
+
+// computeLocked advances a multi-flit packet holding output o.
+func (r *specRouter) computeLocked(o noc.Port, owner int, req uint32, head []*noc.Flit, cycle int64) {
+	c := r.counters()
+	if req&(1<<owner) != 0 {
+		r.traverse(o, owner, head[owner])
+	}
+	if r.accurate {
+		// Spec-Accurate overrides arbitration while a multi-flit packet is
+		// under transmission.
+		return
+	}
+	// Spec-Fast: only the owner's own (non-newly-exposed) request reaches
+	// the allocator; at the tail cycle this manufactures the trailing
+	// unnecessary reservation.
+	allocReq := req & (1 << owner)
+	if !r.allocatable(owner, cycle) {
+		allocReq = 0
+	}
+	if allocReq != 0 {
+		g, _ := r.arb[o].Grant(allocReq)
+		c.Arb++
+		r.resNext[o] = g
+		r.resPktNext[o] = head[g].Packet
+	}
+}
+
+// traverse stages a successful switch traversal of head f from input i to
+// output o.
+func (r *specRouter) traverse(o noc.Port, i int, f *noc.Flit) {
+	c := r.counters()
+	if f.MultiFlit() {
+		if f.Seq == 0 {
+			r.lockNext[o] = i
+		}
+		if f.Tail() {
+			r.lockNext[o] = -1
+		}
+	}
+	r.outLink[o].Send(f)
+	r.pops[i] = true
+	c.Xbar++
+	c.LinkFlit++
+	c.OutputActive++
+}
+
+// allocate runs the parallel allocator over allocReq and stages next
+// cycle's reservation. A reservation is suppressed when it would collide
+// with a multi-flit lock engaging next cycle.
+func (r *specRouter) allocate(o noc.Port, allocReq uint32, head []*noc.Flit) {
+	if allocReq == 0 {
+		return
+	}
+	if r.lockNext[o] >= 0 {
+		// A multi-flit head traversed this cycle; the lock owns the output.
+		return
+	}
+	g, _ := r.arb[o].Grant(allocReq)
+	r.counters().Arb++
+	r.resNext[o] = g
+	r.resPktNext[o] = head[g].Packet
+}
+
+// Commit pops traversed flits, returns credits, applies reservations and
+// locks, and tracks newly exposed packets.
+func (r *specRouter) Commit(cycle int64) {
+	c := r.counters()
+	for i := range r.in {
+		if r.pops[i] {
+			r.pops[i] = false
+			f := r.in[i].Pop()
+			c.BufRead++
+			r.returnCredits(noc.Port(i), 1)
+			if f.Tail() && !r.in[i].Empty() {
+				// The next packet was exposed by this departure; it may
+				// not arbitrate during its first head cycle (Spec-Fast).
+				r.newlyExposed[i] = cycle + 1
+			}
+		}
+	}
+	copy(r.lock, r.lockNext)
+	copy(r.res, r.resNext)
+	copy(r.resPkt, r.resPktNext)
+}

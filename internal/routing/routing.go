@@ -1,0 +1,85 @@
+// Package routing implements dimension-ordered (XY) routing with lookahead
+// route computation. Table 1 fixes the routing algorithm to DOR; §3.1.1
+// notes all routers use lookahead route computation (NRC, Galles' SGI
+// Spider scheme) so route computation never appears on the critical path —
+// in the simulator a flit's output port at a router is computed the moment
+// the flit arrives there.
+//
+// Routing generalizes to concentrated systems: a route is computed from
+// the current router to the destination core's router, ejecting through
+// the core's local port on arrival.
+package routing
+
+import "repro/internal/noc"
+
+// XY returns the output port a packet at cur takes toward dst under
+// dimension-ordered routing: correct X first, then Y, then eject via Local.
+// XY routing on a mesh is deadlock-free because the X-then-Y discipline
+// admits no cyclic channel dependencies.
+func XY(t noc.Topology, cur, dst noc.NodeID) noc.Port {
+	cc, dc := t.Coord(cur), t.Coord(dst)
+	switch {
+	case dc.X > cc.X:
+		return noc.East
+	case dc.X < cc.X:
+		return noc.West
+	case dc.Y > cc.Y:
+		return noc.South
+	case dc.Y < cc.Y:
+		return noc.North
+	default:
+		return noc.Local
+	}
+}
+
+// Table is a precomputed route table: Port(currentRouter, destinationCore)
+// in O(1), shared by all routers of a network.
+type Table struct {
+	sys   noc.System
+	ports []noc.Port // [router*cores + core]
+}
+
+// NewTable precomputes XY routes for a plain (concentration-1) mesh, where
+// router and core identifiers coincide.
+func NewTable(t noc.Topology) *Table {
+	return NewSystemTable(noc.MeshSystem(t))
+}
+
+// NewSystemTable precomputes XY routes for every (router, destination
+// core) pair of a possibly concentrated system.
+func NewSystemTable(sys noc.System) *Table {
+	sys.Validate()
+	routers, cores := sys.Routers(), sys.Cores()
+	tbl := &Table{sys: sys, ports: make([]noc.Port, routers*cores)}
+	for r := 0; r < routers; r++ {
+		for c := 0; c < cores; c++ {
+			dstRouter := sys.RouterOf(noc.NodeID(c))
+			var p noc.Port
+			if noc.NodeID(r) == dstRouter {
+				p = sys.LocalPort(noc.NodeID(c))
+			} else {
+				p = XY(sys.Grid, noc.NodeID(r), dstRouter)
+			}
+			tbl.ports[r*cores+c] = p
+		}
+	}
+	return tbl
+}
+
+// Topology returns the router grid the table was built for.
+func (t *Table) Topology() noc.Topology { return t.sys.Grid }
+
+// System returns the system the table was built for.
+func (t *Table) System() noc.System { return t.sys }
+
+// Port returns the XY output port at router cur for a packet headed to
+// destination core dst.
+func (t *Table) Port(cur, dst noc.NodeID) noc.Port {
+	return t.ports[int(cur)*t.sys.Cores()+int(dst)]
+}
+
+// PathLength returns the number of routers a packet visits from core src
+// to core dst inclusive (router hops + 1).
+func (t *Table) PathLength(src, dst noc.NodeID) int {
+	return t.sys.CoreHops(src, dst) + 1
+}

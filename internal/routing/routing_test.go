@@ -1,0 +1,182 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc"
+)
+
+// walk follows XY routes from src to dst and returns the port sequence.
+func walk(t *testing.T, tbl *Table, src, dst noc.NodeID) []noc.Port {
+	t.Helper()
+	topo := tbl.Topology()
+	cur := src
+	var ports []noc.Port
+	for steps := 0; ; steps++ {
+		if steps > topo.Nodes() {
+			t.Fatalf("route %d->%d does not terminate", src, dst)
+		}
+		p := tbl.Port(cur, dst)
+		ports = append(ports, p)
+		if p == noc.Local {
+			if cur != dst {
+				t.Fatalf("route %d->%d ejected at %d", src, dst, cur)
+			}
+			return ports
+		}
+		nb, ok := topo.Neighbor(cur, p)
+		if !ok {
+			t.Fatalf("route %d->%d walks off the mesh at %d via %v", src, dst, cur, p)
+		}
+		cur = nb
+	}
+}
+
+// TestXYMinimal verifies every route is minimal: exactly Hops(src,dst) link
+// traversals before ejection.
+func TestXYMinimal(t *testing.T) {
+	topo := noc.Topology{Width: 8, Height: 8}
+	tbl := NewTable(topo)
+	for src := 0; src < topo.Nodes(); src++ {
+		for dst := 0; dst < topo.Nodes(); dst++ {
+			ports := walk(t, tbl, noc.NodeID(src), noc.NodeID(dst))
+			if got, want := len(ports)-1, topo.Hops(noc.NodeID(src), noc.NodeID(dst)); got != want {
+				t.Fatalf("route %d->%d length %d, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestXYDimensionOrder verifies the deadlock-freedom discipline: once a
+// route turns into the Y dimension it never returns to X.
+func TestXYDimensionOrder(t *testing.T) {
+	topo := noc.Topology{Width: 8, Height: 8}
+	tbl := NewTable(topo)
+	isX := func(p noc.Port) bool { return p == noc.East || p == noc.West }
+	isY := func(p noc.Port) bool { return p == noc.North || p == noc.South }
+	f := func(a, b uint8) bool {
+		src := noc.NodeID(int(a) % topo.Nodes())
+		dst := noc.NodeID(int(b) % topo.Nodes())
+		ports := walk(t, tbl, src, dst)
+		seenY := false
+		for _, p := range ports {
+			if isY(p) {
+				seenY = true
+			}
+			if isX(p) && seenY {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableMatchesFunction verifies the precomputed table agrees with the
+// direct XY computation everywhere.
+func TestTableMatchesFunction(t *testing.T) {
+	topo := noc.Topology{Width: 6, Height: 4}
+	tbl := NewTable(topo)
+	for src := 0; src < topo.Nodes(); src++ {
+		for dst := 0; dst < topo.Nodes(); dst++ {
+			if tbl.Port(noc.NodeID(src), noc.NodeID(dst)) != XY(topo, noc.NodeID(src), noc.NodeID(dst)) {
+				t.Fatalf("table/function mismatch at %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestXYCases(t *testing.T) {
+	topo := noc.Topology{Width: 8, Height: 8}
+	cases := []struct {
+		src, dst noc.NodeID
+		want     noc.Port
+	}{
+		{0, 0, noc.Local},
+		{0, 1, noc.East},
+		{1, 0, noc.West},
+		{0, 8, noc.South},
+		{8, 0, noc.North},
+		{0, 9, noc.East},  // X corrected before Y
+		{9, 0, noc.West},  // X first on the way back too
+		{7, 56, noc.West}, // corner to corner
+	}
+	for _, c := range cases {
+		if got := XY(topo, c.src, c.dst); got != c.want {
+			t.Errorf("XY(%d->%d) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	tbl := NewTable(noc.Topology{Width: 8, Height: 8})
+	if got := tbl.PathLength(0, 63); got != 15 {
+		t.Errorf("PathLength corner-to-corner = %d, want 15 routers", got)
+	}
+	if got := tbl.PathLength(5, 5); got != 1 {
+		t.Errorf("PathLength self = %d, want 1", got)
+	}
+}
+
+// TestSystemTableConcentrated checks routes on a concentrated system:
+// same-router cores eject through their own local ports; cross-router
+// traffic follows XY between routers.
+func TestSystemTableConcentrated(t *testing.T) {
+	sys := noc.System{Grid: noc.Topology{Width: 4, Height: 4}, Concentration: 4}
+	tbl := NewSystemTable(sys)
+	// Core 2 lives on router 0 at local port 6.
+	if got := tbl.Port(0, 2); got != noc.Port(6) {
+		t.Errorf("Port(router0, core2) = %v, want local port 6", got)
+	}
+	// Core 4 lives on router 1, east of router 0.
+	if got := tbl.Port(0, 4); got != noc.East {
+		t.Errorf("Port(router0, core4) = %v, want East", got)
+	}
+	// From router 5 (coord 1,1) to core 0 (router 0): X first -> West.
+	if got := tbl.Port(5, 0); got != noc.West {
+		t.Errorf("Port(router5, core0) = %v, want West", got)
+	}
+	if got := tbl.PathLength(0, 3); got != 1 {
+		t.Errorf("same-router path length = %d, want 1", got)
+	}
+	if got := tbl.PathLength(0, 63); got != 7 {
+		t.Errorf("corner-to-corner path length = %d, want 7 routers", got)
+	}
+}
+
+// TestSystemTableWalks verifies every concentrated route terminates at the
+// destination core's router in minimal hops.
+func TestSystemTableWalks(t *testing.T) {
+	sys := noc.System{Grid: noc.Topology{Width: 4, Height: 4}, Concentration: 4}
+	tbl := NewSystemTable(sys)
+	for r := 0; r < sys.Routers(); r++ {
+		for c := 0; c < sys.Cores(); c++ {
+			cur := noc.NodeID(r)
+			steps := 0
+			for {
+				p := tbl.Port(cur, noc.NodeID(c))
+				if p >= 4 { // a local port: must be at the right router
+					if cur != sys.RouterOf(noc.NodeID(c)) || p != sys.LocalPort(noc.NodeID(c)) {
+						t.Fatalf("route %d->core%d ejects wrongly at router %d port %v", r, c, cur, p)
+					}
+					break
+				}
+				nb, ok := sys.Grid.Neighbor(cur, p)
+				if !ok {
+					t.Fatalf("route %d->core%d walks off grid", r, c)
+				}
+				cur = nb
+				steps++
+				if steps > sys.Routers() {
+					t.Fatalf("route %d->core%d does not terminate", r, c)
+				}
+			}
+			if want := sys.Grid.Hops(noc.NodeID(r), sys.RouterOf(noc.NodeID(c))); steps != want {
+				t.Fatalf("route %d->core%d took %d hops, want %d", r, c, steps, want)
+			}
+		}
+	}
+}

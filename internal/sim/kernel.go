@@ -1,0 +1,68 @@
+package sim
+
+// Clocked is implemented by every component that participates in the
+// synchronous two-phase simulation. Each cycle the kernel first calls
+// Compute on every component (all components observe the state as it was at
+// the start of the cycle and stage their actions), then Commit on every
+// component (staged actions are applied and become visible at the next
+// cycle). This models edge-triggered hardware without ordering artifacts:
+// no component ever observes another component's same-cycle updates.
+type Clocked interface {
+	// Compute stages the component's actions for the given cycle based on
+	// the committed state from the previous cycle.
+	Compute(cycle int64)
+	// Commit applies the actions staged by Compute.
+	Commit(cycle int64)
+}
+
+// Kernel drives a set of Clocked components through lockstep cycles.
+type Kernel struct {
+	components []Clocked
+	cycle      int64
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Add registers a component. Components are evaluated in registration order,
+// but because of the two-phase protocol the order is not observable.
+func (k *Kernel) Add(c Clocked) {
+	k.components = append(k.components, c)
+}
+
+// Cycle returns the number of completed cycles.
+func (k *Kernel) Cycle() int64 {
+	return k.cycle
+}
+
+// Step advances the simulation by one cycle.
+func (k *Kernel) Step() {
+	for _, c := range k.components {
+		c.Compute(k.cycle)
+	}
+	for _, c := range k.components {
+		c.Commit(k.cycle)
+	}
+	k.cycle++
+}
+
+// Run advances the simulation by n cycles.
+func (k *Kernel) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		k.Step()
+	}
+}
+
+// RunUntil steps the simulation until done returns true or the cycle limit
+// is reached, and reports whether done was satisfied.
+func (k *Kernel) RunUntil(done func() bool, limit int64) bool {
+	for k.cycle < limit {
+		if done() {
+			return true
+		}
+		k.Step()
+	}
+	return done()
+}

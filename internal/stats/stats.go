@@ -1,0 +1,127 @@
+// Package stats gathers the performance measurements the paper reports:
+// average packet latency, accepted throughput, and the windowed event
+// counts that the power model converts into energy. Measurement follows the
+// standard warmup / measure / drain discipline: only packets created inside
+// the measurement window contribute to latency, and only deliveries inside
+// the window contribute to throughput.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/noc"
+)
+
+// Collector accumulates packet statistics over a measurement window
+// [MeasureStart, MeasureEnd) in cycles.
+type Collector struct {
+	MeasureStart int64
+	MeasureEnd   int64
+
+	created   int64
+	delivered int64
+
+	latencySum int64
+	latencyMax int64
+	latencies  []int64
+
+	windowFlits   int64
+	windowPackets int64
+	createdFlits  int64
+}
+
+// NewCollector returns a collector for the given window.
+func NewCollector(measureStart, measureEnd int64) *Collector {
+	if measureEnd <= measureStart {
+		panic("stats: empty measurement window")
+	}
+	return &Collector{MeasureStart: measureStart, MeasureEnd: measureEnd}
+}
+
+// OnCreate registers a packet at creation time and marks it measured when
+// it falls inside the window.
+func (c *Collector) OnCreate(p *noc.Packet, cycle int64) {
+	if cycle >= c.MeasureStart && cycle < c.MeasureEnd {
+		p.Measured = true
+		c.created++
+		c.createdFlits += int64(p.Length)
+	}
+}
+
+// OnDeliver registers a delivery: window throughput for any packet
+// delivered inside the window, latency for measured packets whenever they
+// complete (including during drain).
+func (c *Collector) OnDeliver(p *noc.Packet, cycle int64) {
+	if cycle >= c.MeasureStart && cycle < c.MeasureEnd {
+		c.windowFlits += int64(p.Length)
+		c.windowPackets++
+	}
+	if p.Measured {
+		c.delivered++
+		l := p.Latency()
+		c.latencySum += l
+		if l > c.latencyMax {
+			c.latencyMax = l
+		}
+		c.latencies = append(c.latencies, l)
+	}
+}
+
+// Created returns the number of measured packets created.
+func (c *Collector) Created() int64 { return c.created }
+
+// Delivered returns the number of measured packets delivered so far.
+func (c *Collector) Delivered() int64 { return c.delivered }
+
+// Complete reports whether every measured packet has been delivered.
+func (c *Collector) Complete() bool { return c.delivered == c.created }
+
+// MeanLatencyCycles returns the average latency of delivered measured
+// packets, or NaN when none completed.
+func (c *Collector) MeanLatencyCycles() float64 {
+	if c.delivered == 0 {
+		return math.NaN()
+	}
+	return float64(c.latencySum) / float64(c.delivered)
+}
+
+// MaxLatencyCycles returns the worst measured latency.
+func (c *Collector) MaxLatencyCycles() int64 { return c.latencyMax }
+
+// PercentileLatencyCycles returns the q-quantile (0 < q <= 1) of measured
+// latencies, or NaN when none completed.
+func (c *Collector) PercentileLatencyCycles(q float64) float64 {
+	if len(c.latencies) == 0 {
+		return math.NaN()
+	}
+	s := append([]int64(nil), c.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx])
+}
+
+// AcceptedFlitsPerNodeCycle returns delivered throughput inside the window
+// normalized per node per cycle.
+func (c *Collector) AcceptedFlitsPerNodeCycle(nodes int) float64 {
+	window := c.MeasureEnd - c.MeasureStart
+	return float64(c.windowFlits) / (float64(nodes) * float64(window))
+}
+
+// WindowPackets returns the packets delivered inside the window.
+func (c *Collector) WindowPackets() int64 { return c.windowPackets }
+
+// WindowFlits returns the flits delivered inside the window.
+func (c *Collector) WindowFlits() int64 { return c.windowFlits }
+
+// CreatedFlits returns the flits offered (created) inside the window. Under
+// stable load delivered and created flits balance; a shortfall signals
+// saturation regardless of how many nodes actually inject (permutation
+// patterns have non-injecting fixed points).
+func (c *Collector) CreatedFlits() int64 { return c.createdFlits }

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+func pkt(id uint64, created int64, length int) *noc.Packet {
+	return noc.NewPacket(id, 0, 1, length, 0, created)
+}
+
+func TestWindowMembership(t *testing.T) {
+	c := NewCollector(100, 200)
+	inside := pkt(1, 150, 1)
+	before := pkt(2, 99, 1)
+	after := pkt(3, 200, 1)
+	c.OnCreate(inside, 150)
+	c.OnCreate(before, 99)
+	c.OnCreate(after, 200)
+	if !inside.Measured || before.Measured || after.Measured {
+		t.Fatal("window membership wrong")
+	}
+	if c.Created() != 1 {
+		t.Fatalf("Created = %d", c.Created())
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	c := NewCollector(0, 100)
+	for i, lat := range []int64{10, 20, 30} {
+		p := pkt(uint64(i), 10, 1)
+		c.OnCreate(p, 10)
+		p.DeliverCycle = 10 + lat
+		c.OnDeliver(p, p.DeliverCycle)
+	}
+	if got := c.MeanLatencyCycles(); got != 20 {
+		t.Errorf("mean latency = %v, want 20", got)
+	}
+	if got := c.MaxLatencyCycles(); got != 30 {
+		t.Errorf("max latency = %v, want 30", got)
+	}
+	if !c.Complete() {
+		t.Error("Complete should hold")
+	}
+}
+
+// TestDrainLatencyCounted verifies measured packets delivered after the
+// window still contribute latency but not throughput.
+func TestDrainLatencyCounted(t *testing.T) {
+	c := NewCollector(0, 100)
+	p := pkt(1, 50, 1)
+	c.OnCreate(p, 50)
+	p.DeliverCycle = 500 // far beyond window
+	c.OnDeliver(p, 500)
+	if c.WindowFlits() != 0 {
+		t.Error("post-window delivery counted toward throughput")
+	}
+	if c.MeanLatencyCycles() != 450 {
+		t.Errorf("drain latency = %v, want 450", c.MeanLatencyCycles())
+	}
+}
+
+// TestThroughputCountsUnmeasured verifies warmup-created packets delivered
+// inside the window count toward accepted throughput.
+func TestThroughputCountsUnmeasured(t *testing.T) {
+	c := NewCollector(100, 200)
+	p := pkt(1, 10, 9) // created pre-window
+	c.OnCreate(p, 10)
+	p.DeliverCycle = 150
+	c.OnDeliver(p, 150)
+	if c.WindowFlits() != 9 || c.WindowPackets() != 1 {
+		t.Errorf("window flits/packets = %d/%d, want 9/1", c.WindowFlits(), c.WindowPackets())
+	}
+	if c.Delivered() != 0 {
+		t.Error("unmeasured packet counted as measured delivery")
+	}
+}
+
+func TestAcceptedThroughput(t *testing.T) {
+	c := NewCollector(0, 100)
+	for i := 0; i < 50; i++ {
+		p := pkt(uint64(i), 0, 2)
+		c.OnCreate(p, 0)
+		p.DeliverCycle = 50
+		c.OnDeliver(p, 50)
+	}
+	// 100 flits / (4 nodes * 100 cycles) = 0.25
+	if got := c.AcceptedFlitsPerNodeCycle(4); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("accepted = %v, want 0.25", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	c := NewCollector(0, 1000)
+	for i := int64(1); i <= 100; i++ {
+		p := pkt(uint64(i), 0, 1)
+		c.OnCreate(p, 0)
+		p.DeliverCycle = i
+		c.OnDeliver(p, i)
+	}
+	if got := c.PercentileLatencyCycles(0.5); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := c.PercentileLatencyCycles(0.99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := c.PercentileLatencyCycles(1.0); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector(0, 10)
+	if !math.IsNaN(c.MeanLatencyCycles()) {
+		t.Error("mean of no packets should be NaN")
+	}
+	if !math.IsNaN(c.PercentileLatencyCycles(0.5)) {
+		t.Error("percentile of no packets should be NaN")
+	}
+	if !c.Complete() {
+		t.Error("empty collector is trivially complete")
+	}
+}
+
+func TestBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty window accepted")
+		}
+	}()
+	NewCollector(10, 10)
+}

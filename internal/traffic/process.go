@@ -1,0 +1,87 @@
+package traffic
+
+import "repro/internal/sim"
+
+// Process decides, per node and cycle, whether a packet is generated.
+// Implementations are per-node (each node owns one instance with a private
+// RNG) so bursts are independent across sources.
+type Process interface {
+	// Tick reports whether the node generates a packet this cycle.
+	Tick() bool
+	// Rate returns the long-run packets-per-cycle rate the process targets.
+	Rate() float64
+}
+
+// Bernoulli injects independently each cycle with fixed probability — the
+// standard memoryless injection process for latency-throughput sweeps.
+type Bernoulli struct {
+	P   float64
+	RNG *sim.RNG
+}
+
+// Tick implements Process.
+func (b *Bernoulli) Tick() bool { return b.RNG.Bernoulli(b.P) }
+
+// Rate implements Process.
+func (b *Bernoulli) Rate() float64 { return b.P }
+
+// SelfSimilar is the Pareto ON/OFF source of §5.1 (after Kramer's
+// pseudo-Pareto generator): during an ON burst whose length in packets is
+// Pareto(AlphaOn, BOn) the node injects back-to-back, then idles for
+// Pareto(AlphaOff, TOff) cycles. Aggregating many such sources yields
+// self-similar, long-range-dependent traffic. The paper fixes alpha = 1.4
+// and b = 8 and varies T_off to set the injection rate.
+type SelfSimilar struct {
+	AlphaOn, BOn   float64
+	AlphaOff, TOff float64
+	RNG            *sim.RNG
+
+	burstLeft int
+	offLeft   int
+}
+
+// NewSelfSimilar builds a source with the paper's parameters (alpha = 1.4,
+// b = 8 for both phases) whose T_off is solved so the long-run rate is
+// packets-per-cycle rate:
+//
+//	E[on] = b*alpha/(alpha-1), rate = E[on] / (E[on] + E[off])
+//	=> E[off] = E[on]*(1-rate)/rate, T_off = E[off]*(alpha-1)/alpha.
+func NewSelfSimilar(rate float64, rng *sim.RNG) *SelfSimilar {
+	const alpha, b = 1.4, 8.0
+	if rate <= 0 || rate >= 1 {
+		panic("traffic: self-similar rate must be in (0,1)")
+	}
+	meanOn := b * alpha / (alpha - 1)
+	meanOff := meanOn * (1 - rate) / rate
+	return &SelfSimilar{
+		AlphaOn: alpha, BOn: b,
+		AlphaOff: alpha, TOff: meanOff * (alpha - 1) / alpha,
+		RNG: rng,
+	}
+}
+
+// Tick implements Process.
+func (s *SelfSimilar) Tick() bool {
+	if s.offLeft > 0 {
+		s.offLeft--
+		return false
+	}
+	if s.burstLeft == 0 {
+		s.burstLeft = int(s.RNG.Pareto(s.AlphaOn, s.BOn) + 0.5)
+		if s.burstLeft < 1 {
+			s.burstLeft = 1
+		}
+	}
+	s.burstLeft--
+	if s.burstLeft == 0 {
+		s.offLeft = int(s.RNG.Pareto(s.AlphaOff, s.TOff) + 0.5)
+	}
+	return true
+}
+
+// Rate implements Process.
+func (s *SelfSimilar) Rate() float64 {
+	meanOn := s.BOn * s.AlphaOn / (s.AlphaOn - 1)
+	meanOff := s.TOff * s.AlphaOff / (s.AlphaOff - 1)
+	return meanOn / (meanOn + meanOff)
+}

@@ -1,0 +1,164 @@
+// Package noxnet is a from-scratch Go reproduction of "The NoX Router"
+// (Hayenga & Lipasti, MICRO-44, 2011): a cycle-accurate wormhole
+// network-on-chip simulator with four router microarchitectures — the
+// XOR-coded NoX router plus its non-speculative and speculative baselines —
+// together with the paper's synthetic and application workloads and its
+// power, timing, and area models.
+//
+// The package is a thin facade over the internal packages; it exposes
+// everything a user needs to build networks, drive the paper's experiments,
+// and reproduce every table and figure in the evaluation. See README.md for
+// a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-versus-measured results.
+//
+// # Quick start
+//
+//	net := noxnet.NewNetwork(noxnet.NetworkConfig{Arch: noxnet.NoX})
+//	p := net.Inject(0, 63, 1, 0)
+//	net.Drain(1000)
+//	fmt.Println("latency cycles:", p.Latency())
+//
+// Or run a complete paper experiment:
+//
+//	res, err := noxnet.RunSynthetic(noxnet.SyntheticConfig{
+//		Arch:     noxnet.NoX,
+//		Pattern:  "uniform",
+//		RateMBps: 2000,
+//	})
+package noxnet
+
+import (
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// Arch selects a router microarchitecture (§3, Table 2).
+type Arch = router.Arch
+
+// The four router architectures evaluated by the paper.
+const (
+	// NonSpec is the sequential baseline: arbitrate then traverse within
+	// one 0.92 ns cycle.
+	NonSpec = router.NonSpec
+	// SpecFast is the minimal-clock speculative router (0.69 ns).
+	SpecFast = router.SpecFast
+	// SpecAccurate is the accurate-scheduling speculative router (0.72 ns).
+	SpecAccurate = router.SpecAccurate
+	// NoX is the XOR-coded router of the paper (0.76 ns).
+	NoX = router.NoX
+)
+
+// Archs lists all architectures in the paper's order.
+var Archs = router.Archs
+
+// Core network types.
+type (
+	// Topology is a 2-D mesh shape.
+	Topology = noc.Topology
+	// NodeID identifies a tile.
+	NodeID = noc.NodeID
+	// Packet is a unit of transfer; payloads are carried bit-exactly.
+	Packet = noc.Packet
+	// Network is a complete mesh NoC of one architecture.
+	Network = network.Network
+	// NetworkConfig parameterizes NewNetwork.
+	NetworkConfig = network.Config
+)
+
+// NewNetwork builds a wired mesh network (defaults: 8x8, 4-flit buffers).
+func NewNetwork(cfg NetworkConfig) *Network { return network.New(cfg) }
+
+// Experiment harness types (Figures 8-12).
+type (
+	// SyntheticConfig parameterizes a synthetic-traffic run (§5.1).
+	SyntheticConfig = harness.SyntheticConfig
+	// RunResult is a synthetic run's latency/throughput/energy outcome.
+	RunResult = harness.RunResult
+	// SweepPoint is one offered-rate point of a Figure 8/9 sweep.
+	SweepPoint = harness.SweepPoint
+	// AppConfig parameterizes an application-trace replay (§5.2).
+	AppConfig = harness.AppConfig
+	// AppResult is an application run's outcome (Figures 10/11).
+	AppResult = harness.AppResult
+	// Workload is an application traffic profile.
+	Workload = trace.Workload
+	// Trace is a generated application trace.
+	Trace = trace.Trace
+	// SystemConfig mirrors Table 1.
+	SystemConfig = harness.SystemConfig
+	// EnergyModel maps datapath events to picojoules.
+	EnergyModel = power.Model
+	// EnergyCounters accumulates datapath events.
+	EnergyCounters = power.Counters
+)
+
+// RunSynthetic executes one (architecture, pattern, rate) point.
+func RunSynthetic(cfg SyntheticConfig) (RunResult, error) { return harness.RunSynthetic(cfg) }
+
+// SweepSynthetic sweeps all architectures across offered rates (Figs. 8/9).
+func SweepSynthetic(base SyntheticConfig, rates []float64) ([]SweepPoint, error) {
+	return harness.SweepSynthetic(base, rates)
+}
+
+// DefaultRates returns a sensible sweep ladder for a pattern on the 8x8
+// system.
+func DefaultRates(pattern string) []float64 { return harness.DefaultRates(pattern) }
+
+// RunApp replays an application trace on one architecture (Figs. 10/11).
+func RunApp(cfg AppConfig) AppResult { return harness.RunApp(cfg) }
+
+// GenerateTrace synthesizes a deterministic application trace.
+func GenerateTrace(w Workload, topo Topology, cpuCycles int64, seed uint64) *Trace {
+	return trace.Generate(w, topo, cpuCycles, seed)
+}
+
+// Workloads lists the evaluated application profiles.
+func Workloads() []Workload { return trace.Workloads }
+
+// WorkloadByName returns the named application profile.
+func WorkloadByName(name string) (Workload, error) { return trace.WorkloadByName(name) }
+
+// PatternNames lists the synthetic patterns of Figures 8/9.
+func PatternNames() []string { return traffic.PatternNames }
+
+// Table1 returns the paper's common system parameters.
+func Table1() SystemConfig { return harness.Table1() }
+
+// ClockPeriodNs returns an architecture's Table 2 clock period.
+func ClockPeriodNs(a Arch) float64 { return physical.ClockPeriodNs(a) }
+
+// DefaultEnergyModel returns the calibrated 65 nm energy model.
+func DefaultEnergyModel() EnergyModel { return power.DefaultModel() }
+
+// Future-work study (§8): 64 cores as baseline mesh vs 4x4 concentrated
+// mesh with radix-8 routers.
+type (
+	// SystemKind selects a 64-core organization (Mesh8x8 or CMesh4x4).
+	SystemKind = harness.SystemKind
+	// FutureConfig parameterizes one future-work run.
+	FutureConfig = harness.FutureConfig
+	// FutureStudy holds the mesh-vs-CMesh comparison results.
+	FutureStudy = harness.FutureStudy
+)
+
+// The two 64-core organizations of the §8 study.
+const (
+	// Mesh8x8 is the paper's baseline organization.
+	Mesh8x8 = harness.Mesh8x8
+	// CMesh4x4 is the higher-radix concentrated mesh.
+	CMesh4x4 = harness.CMesh4x4
+)
+
+// RunFuture executes one future-work point (system, architecture, rate).
+func RunFuture(cfg FutureConfig) (RunResult, error) { return harness.RunFuture(cfg) }
+
+// RunFutureStudy compares all architectures on both 64-core organizations.
+func RunFutureStudy(rates []float64, pattern string, seed uint64) (*FutureStudy, error) {
+	return harness.RunFutureStudy(rates, pattern, seed)
+}
