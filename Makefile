@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: the CI gate — build, vet, and the full test suite under the race
+## detector (the parallel experiment engine makes this mandatory).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one pass over every paper-figure benchmark plus the kernel
+## microbenchmarks (allocation counts included).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

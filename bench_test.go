@@ -10,6 +10,7 @@ package noxnet
 import (
 	"testing"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/network"
 	"repro/internal/noc"
@@ -18,6 +19,10 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// benchPool runs experiment benchmarks at the machine's full parallelism;
+// results are bit-identical to serial runs.
+var benchPool = exp.NewPool(0)
 
 // BenchmarkTable1SystemParameters renders the Table 1 configuration.
 func BenchmarkTable1SystemParameters(b *testing.B) {
@@ -52,7 +57,7 @@ func benchSweep(b *testing.B, pattern string) []harness.SweepPoint {
 		MeasureCycles: 2000,
 		DrainCycles:   8000,
 	}
-	points, err := harness.SweepSynthetic(base, []float64{600, 1800, 3000})
+	points, err := harness.SweepSynthetic(base, []float64{600, 1800, 3000}, benchPool)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -94,7 +99,7 @@ func benchAppResults(b *testing.B, workload string) map[router.Arch]harness.AppR
 		b.Fatal(err)
 	}
 	tr := trace.Generate(w, harness.Table1().Topo, 8000, 7)
-	return harness.RunAppAllArchs(tr, 0)
+	return harness.RunAppAllArchs(tr, 0, benchPool)
 }
 
 // BenchmarkFigure10ApplicationLatency regenerates one workload's Figure 10
@@ -153,6 +158,7 @@ func BenchmarkNetworkCycle(b *testing.B) {
 			net := network.New(network.Config{Arch: arch})
 			rng := sim.NewRNG(1)
 			topo := net.Topology()
+			b.ReportAllocs()
 			// Preload meaningful traffic and keep it flowing.
 			for i := 0; i < b.N; i++ {
 				if i%4 == 0 {
@@ -168,10 +174,43 @@ func BenchmarkNetworkCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkCycleIdle measures an idle cycle on a drained 8x8
+// network — the case the kernel's quiescence fast path exists for. The
+// "eager" variants (Config.AlwaysActive) are the old always-evaluate
+// behavior for comparison.
+func BenchmarkNetworkCycleIdle(b *testing.B) {
+	for _, arch := range router.Archs {
+		for _, mode := range []struct {
+			name   string
+			always bool
+		}{{"quiesce", false}, {"eager", true}} {
+			b.Run(arch.String()+"/"+mode.name, func(b *testing.B) {
+				net := network.New(network.Config{Arch: arch, AlwaysActive: mode.always})
+				// A little traffic first so the network reaches idle from a
+				// realistic state rather than pristine construction.
+				net.Inject(0, 63, 3, 0)
+				net.Inject(27, 36, 1, 0)
+				if !net.Drain(500) {
+					b.Fatal("warmup did not drain")
+				}
+				for i := 0; i < 8; i++ {
+					net.Step()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					net.Step()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkXORChain measures the core mechanism in isolation: a 5-way
 // collision fully resolved through encode/decode at a hot output.
 func BenchmarkXORChain(b *testing.B) {
 	topo := noc.Topology{Width: 4, Height: 4}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		net := network.New(network.Config{Topo: topo, Arch: router.NoX})
 		for id := 1; id <= 5; id++ {
@@ -189,7 +228,7 @@ func BenchmarkXORChain(b *testing.B) {
 func BenchmarkSection8FutureWork(b *testing.B) {
 	var improvement float64
 	for i := 0; i < b.N; i++ {
-		st, err := harness.RunFutureStudy([]float64{500}, "uniform", 1)
+		st, err := harness.RunFutureStudy([]float64{500}, "uniform", 1, benchPool)
 		if err != nil {
 			b.Fatal(err)
 		}

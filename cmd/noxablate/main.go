@@ -14,36 +14,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/router"
 )
 
 func main() {
 	var (
-		study = flag.String("study", "all", "buffers | arbiter | xorcost | all")
-		rate  = flag.Float64("rate", 2000, "offered uniform load (MB/s/node)")
+		study    = flag.String("study", "all", "buffers | arbiter | xorcost | all")
+		rate     = flag.Float64("rate", 2000, "offered uniform load (MB/s/node)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for ablation points (1 = serial; output is identical)")
 	)
 	flag.Parse()
+	pool := exp.NewPool(*parallel)
 
 	archs := []router.Arch{router.SpecAccurate, router.NoX}
 
 	if *study == "buffers" || *study == "all" {
-		pts := harness.AblateBufferDepth([]int{2, 3, 4, 6, 8}, *rate, archs)
+		pts := harness.AblateBufferDepth([]int{2, 3, 4, 6, 8}, *rate, archs, pool)
 		fmt.Print(harness.FormatAblation(
 			fmt.Sprintf("Ablation: input buffer depth (uniform @ %.0f MB/s/node; Table 1 uses 4)", *rate), pts))
 		fmt.Println()
 	}
 	if *study == "arbiter" || *study == "all" {
-		pts := harness.AblateArbiter(*rate, archs)
+		pts := harness.AblateArbiter(*rate, archs, pool)
 		fmt.Print(harness.FormatAblation(
 			fmt.Sprintf("Ablation: output arbiter (uniform @ %.0f MB/s/node)", *rate), pts))
 		fmt.Println()
 	}
 	if *study == "xorcost" || *study == "all" {
 		factors := []float64{1.0, 1.03, 1.06, 1.12, 1.25}
-		rel, err := harness.AblateXORCost(factors, *rate)
+		rel, err := harness.AblateXORCost(factors, *rate, pool)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "noxablate:", err)
 			os.Exit(1)

@@ -13,7 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/router"
 	"repro/internal/trace"
@@ -26,8 +28,10 @@ func main() {
 		cpuCycles = flag.Int64("cpu-cycles", 40000, "trace length in 3 GHz CPU cycles")
 		csv       = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 		seed      = flag.Uint64("seed", 1234, "trace generation seed")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker count for per-architecture replays (1 = serial; output is identical)")
 	)
 	flag.Parse()
+	pool := exp.NewPool(*parallel)
 
 	workloads := trace.Workloads
 	if *workload != "all" {
@@ -45,7 +49,7 @@ func main() {
 		tr := trace.Generate(w, topo, *cpuCycles, *seed)
 		fmt.Printf("replaying %-8s (%6d packets, offered %6.0f MB/s/node)\n",
 			w.Name, len(tr.Events), tr.MeanInjectionMBps())
-		results = append(results, harness.RunAppAllArchs(tr, 0))
+		results = append(results, harness.RunAppAllArchs(tr, 0, pool))
 	}
 	fmt.Println()
 	if *csv {

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 )
 
@@ -25,8 +27,10 @@ func main() {
 		pattern  = flag.String("pattern", "uniform", "traffic pattern over cores (uniform|selfsimilar|transpose|...)")
 		ratesStr = flag.String("rates", "400,800,1200,1600,2000,2400", "comma-separated offered rates (MB/s/core)")
 		seed     = flag.Uint64("seed", 0xF07E, "simulation seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for study points (1 = serial; output is identical)")
 	)
 	flag.Parse()
+	pool := exp.NewPool(*parallel)
 
 	var rates []float64
 	for _, f := range strings.Split(*ratesStr, ",") {
@@ -38,7 +42,7 @@ func main() {
 		rates = append(rates, v)
 	}
 
-	st, err := harness.RunFutureStudy(rates, *pattern, *seed)
+	st, err := harness.RunFutureStudy(rates, *pattern, *seed, pool)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxfuture:", err)
 		os.Exit(1)

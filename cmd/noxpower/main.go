@@ -10,36 +10,44 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/router"
 )
 
 func main() {
 	var (
-		rate    = flag.Float64("rate", 2000, "offered load (MB/s/node); the paper uses 2 GB/s/node")
-		measure = flag.Int64("measure", 10000, "measurement cycles")
-		seed    = flag.Uint64("seed", 0xA11CE, "simulation seed")
+		rate     = flag.Float64("rate", 2000, "offered load (MB/s/node); the paper uses 2 GB/s/node")
+		measure  = flag.Int64("measure", 10000, "measurement cycles")
+		seed     = flag.Uint64("seed", 0xA11CE, "simulation seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for per-architecture runs (1 = serial; output is identical)")
 	)
 	flag.Parse()
 
-	results := map[router.Arch]harness.RunResult{}
-	for _, arch := range router.Archs {
-		res, err := harness.RunSynthetic(harness.SyntheticConfig{
-			Arch:          arch,
-			Pattern:       "uniform",
-			RateMBps:      *rate,
-			MeasureCycles: *measure,
-			Seed:          *seed,
+	pool := exp.NewPool(*parallel)
+	runs, err := exp.Map(context.Background(), pool, len(router.Archs),
+		func(_ context.Context, i int) (harness.RunResult, error) {
+			return harness.RunSynthetic(harness.SyntheticConfig{
+				Arch:          router.Archs[i],
+				Pattern:       "uniform",
+				RateMBps:      *rate,
+				MeasureCycles: *measure,
+				Seed:          *seed,
+			})
 		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "noxpower:", err)
-			os.Exit(1)
-		}
-		results[arch] = res
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxpower:", err)
+		os.Exit(1)
+	}
+	results := map[router.Arch]harness.RunResult{}
+	for i, arch := range router.Archs {
+		results[arch] = runs[i]
 	}
 	fmt.Print(harness.FormatPowerBreakdown(results))
 

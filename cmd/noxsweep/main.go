@@ -13,20 +13,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/traffic"
 )
 
 func main() {
 	var (
-		figure  = flag.Int("figure", 8, "figure to regenerate: 8 (latency) or 9 (energy-delay^2)")
-		pattern = flag.String("pattern", "all", "traffic pattern or 'all'")
-		fast    = flag.Bool("fast", false, "reduced warmup/measurement for a quick look")
-		csv     = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
-		seed    = flag.Uint64("seed", 0xA11CE, "simulation seed")
+		figure   = flag.Int("figure", 8, "figure to regenerate: 8 (latency) or 9 (energy-delay^2)")
+		pattern  = flag.String("pattern", "all", "traffic pattern or 'all'")
+		fast     = flag.Bool("fast", false, "reduced warmup/measurement for a quick look")
+		csv      = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+		seed     = flag.Uint64("seed", 0xA11CE, "simulation seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for sweep points (1 = serial; output is identical)")
 	)
 	flag.Parse()
+	pool := exp.NewPool(*parallel)
 
 	if *figure != 8 && *figure != 9 {
 		fmt.Fprintln(os.Stderr, "noxsweep: -figure must be 8 or 9")
@@ -43,7 +47,7 @@ func main() {
 		if *fast {
 			base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 15000
 		}
-		points, err := harness.SweepSynthetic(base, harness.DefaultRates(pat))
+		points, err := harness.SweepSynthetic(base, harness.DefaultRates(pat), pool)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "noxsweep:", err)
 			os.Exit(1)

@@ -27,7 +27,7 @@ func main() {
 		MeasureCycles: 5000,
 		DrainCycles:   20000,
 	}
-	points, err := noxnet.SweepSynthetic(base, noxnet.DefaultRates(*pattern))
+	points, err := noxnet.SweepSynthetic(base, noxnet.DefaultRates(*pattern), noxnet.NewPool(0))
 	if err != nil {
 		panic(err)
 	}

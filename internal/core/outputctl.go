@@ -102,6 +102,15 @@ func (o *OutputControl) Masks() (switchMask, arbMask uint32) {
 // output, or -1.
 func (o *OutputControl) Locked() int { return o.lockOwner }
 
+// Idle reports the control logic is in its rest state: Recovery mode with
+// every input enabled and no wormhole lock. An output whose inputs have all
+// drained reaches this state one cycle after its last traversal (the empty
+// Decide re-arms the masks), after which skipping its evaluation is
+// unobservable — the quiescence condition internal/router checks.
+func (o *OutputControl) Idle() bool {
+	return o.mode == Recovery && o.switchMask == o.all && o.arbMask == o.all && o.lockOwner < 0
+}
+
 // hold stages the current state unchanged.
 func (o *OutputControl) hold() {
 	o.nextMode, o.nextSwitchMask, o.nextArbMask, o.nextLockOwner =

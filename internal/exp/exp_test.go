@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		p := NewPool(workers)
+		out, err := Map(context.Background(), p, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", got)
+	}
+	var order []int
+	out, err := Map(context.Background(), p, 5, func(_ context.Context, i int) (int, error) {
+		order = append(order, i) // safe: serial path runs on this goroutine
+		return i, nil
+	})
+	if err != nil || len(out) != 5 {
+		t.Fatalf("nil pool Map: %v, %v", out, err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path ran out of order: %v", order)
+		}
+	}
+}
+
+func TestMapDefaultSizing(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("NewPool(0) must size to at least one worker")
+	}
+	if got := NewPool(7).Workers(); got != 7 {
+		t.Fatalf("NewPool(7).Workers() = %d", got)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Indices 30 and 60 fail; the reported error must be index 30's
+	// whatever the completion order.
+	for _, workers := range []int{1, 4, 16} {
+		p := NewPool(workers)
+		_, err := Map(context.Background(), p, 100, func(_ context.Context, i int) (int, error) {
+			if i == 30 || i == 60 {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 30 failed" {
+			t.Fatalf("workers=%d: got error %v, want point 30's", workers, err)
+		}
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	sentinel := errors.New("boom")
+	var started atomic.Int64
+	p := NewPool(2)
+	_, err := Map(context.Background(), p, 1000, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("error did not stop the sweep: %d points started", n)
+	}
+}
+
+func TestMapExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	p := NewPool(4)
+	_, err := Map(ctx, p, 1000, func(ctx context.Context, i int) (int, error) {
+		once.Do(cancel)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	p := NewPool(workers)
+	_, err := Map(context.Background(), p, 200, func(_ context.Context, i int) (int, error) {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Fatalf("observed %d concurrent points, bound is %d", peak.Load(), workers)
+	}
+}
+
+func TestMapZeroPoints(t *testing.T) {
+	out, err := Map(context.Background(), NewPool(4), 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("empty Map: %v, %v", out, err)
+	}
+}

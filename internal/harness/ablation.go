@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/arbiter"
+	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/noc"
 	"repro/internal/physical"
@@ -39,6 +41,7 @@ func runConfigured(arch router.Arch, rateMBps float64, bufferDepth int,
 	topo := noc.Topology{Width: 8, Height: 8}
 	net := network.New(network.Config{Topo: topo, Arch: arch, BufferDepth: bufferDepth, NewArbiter: newArb})
 	col := stats.NewCollector(warm, warm+meas)
+	col.Reserve(int(pktRate*float64(topo.Nodes())*float64(meas)) + 64)
 	net.OnDeliver = col.OnDeliver
 
 	base := sim.NewRNG(0xAB1A7E)
@@ -76,22 +79,21 @@ func runConfigured(arch router.Arch, rateMBps float64, bufferDepth int,
 // at a fixed uniform load for the given architectures. Shallower buffers
 // shrink the credit round-trip margin; NoX's decode register (one slot of
 // extra storage, freed-early winners) makes it the most robust.
-func AblateBufferDepth(depths []int, rateMBps float64, archs []router.Arch) []AblationPoint {
-	var out []AblationPoint
-	for _, d := range depths {
-		for _, a := range archs {
-			pt := runConfigured(a, rateMBps, d, nil, 1500, 4000, 15000)
+func AblateBufferDepth(depths []int, rateMBps float64, archs []router.Arch, pool *exp.Pool) []AblationPoint {
+	out, _ := exp.Map(context.Background(), pool, len(depths)*len(archs),
+		func(_ context.Context, i int) (AblationPoint, error) {
+			d := depths[i/len(archs)]
+			pt := runConfigured(archs[i%len(archs)], rateMBps, d, nil, 1500, 4000, 15000)
 			pt.Label = fmt.Sprintf("depth=%d", d)
-			out = append(out, pt)
-		}
-	}
+			return pt, nil
+		})
 	return out
 }
 
 // AblateArbiter compares round-robin against matrix (least recently
 // served) output arbiters at a fixed uniform load. The NoX decode order
 // follows grant order, so the arbiter choice is visible end to end.
-func AblateArbiter(rateMBps float64, archs []router.Arch) []AblationPoint {
+func AblateArbiter(rateMBps float64, archs []router.Arch, pool *exp.Pool) []AblationPoint {
 	kinds := []struct {
 		name string
 		mk   func(int) arbiter.Arbiter
@@ -99,14 +101,13 @@ func AblateArbiter(rateMBps float64, archs []router.Arch) []AblationPoint {
 		{"roundrobin", nil},
 		{"matrix", func(n int) arbiter.Arbiter { return arbiter.NewMatrix(n) }},
 	}
-	var out []AblationPoint
-	for _, k := range kinds {
-		for _, a := range archs {
-			pt := runConfigured(a, rateMBps, 4, k.mk, 1500, 4000, 15000)
+	out, _ := exp.Map(context.Background(), pool, len(kinds)*len(archs),
+		func(_ context.Context, i int) (AblationPoint, error) {
+			k := kinds[i/len(archs)]
+			pt := runConfigured(archs[i%len(archs)], rateMBps, 4, k.mk, 1500, 4000, 15000)
 			pt.Label = k.name
-			out = append(out, pt)
-		}
-	}
+			return pt, nil
+		})
 	return out
 }
 
@@ -114,23 +115,21 @@ func AblateArbiter(rateMBps float64, archs []router.Arch) []AblationPoint {
 // Spec-Accurate and NoX shifts as the XOR fabric's per-traversal energy
 // premium varies around §2.5's "marginally more" (our default 1.06x).
 // Returned map: factor -> Spec-Accurate total power relative to NoX.
-func AblateXORCost(factors []float64, rateMBps float64) (map[float64]float64, error) {
+func AblateXORCost(factors []float64, rateMBps float64, pool *exp.Pool) (map[float64]float64, error) {
 	base := SyntheticConfig{Pattern: "uniform", RateMBps: rateMBps,
 		WarmupCycles: 1500, MeasureCycles: 4000}
 
-	baseCfg := base
-	baseCfg.Arch = router.SpecAccurate
-	sa, err := RunSynthetic(baseCfg)
+	archs := []router.Arch{router.SpecAccurate, router.NoX}
+	runs, err := exp.Map(context.Background(), pool, len(archs),
+		func(_ context.Context, i int) (RunResult, error) {
+			cfg := base
+			cfg.Arch = archs[i]
+			return RunSynthetic(cfg)
+		})
 	if err != nil {
 		return nil, err
 	}
-
-	noxCfg := base
-	noxCfg.Arch = router.NoX
-	nox, err := RunSynthetic(noxCfg)
-	if err != nil {
-		return nil, err
-	}
+	sa, nox := runs[0], runs[1]
 
 	out := map[float64]float64{}
 	m := power.DefaultModel()

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/noc"
 	"repro/internal/physical"
@@ -122,11 +124,18 @@ func RunApp(cfg AppConfig) AppResult {
 	return res
 }
 
-// RunAppAllArchs replays one trace on every architecture.
-func RunAppAllArchs(tr *trace.Trace, bufferDepth int) map[router.Arch]AppResult {
+// RunAppAllArchs replays one trace on every architecture. The four replays
+// are independent (the trace is read-only; each builds its own networks),
+// so a pool with multiple workers runs them concurrently; results are
+// identical either way.
+func RunAppAllArchs(tr *trace.Trace, bufferDepth int, pool *exp.Pool) map[router.Arch]AppResult {
+	results, _ := exp.Map(context.Background(), pool, len(router.Archs),
+		func(_ context.Context, i int) (AppResult, error) {
+			return RunApp(AppConfig{Arch: router.Archs[i], Trace: tr, BufferDepth: bufferDepth}), nil
+		})
 	out := map[router.Arch]AppResult{}
-	for _, arch := range router.Archs {
-		out[arch] = RunApp(AppConfig{Arch: arch, Trace: tr, BufferDepth: bufferDepth})
+	for i, arch := range router.Archs {
+		out[arch] = results[i]
 	}
 	return out
 }

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
+	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/noc"
 	"repro/internal/physical"
@@ -112,7 +115,7 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 	periodNs := dp.ClockPeriodNs(cfg.Arch)
 	pktRate := FlitsPerNodeCycle(cfg.RateMBps, periodNs)
 	if pktRate >= 1 {
-		return RunResult{}, fmt.Errorf("harness: rate %.0f MB/s/core exceeds injection capacity on %v", cfg.RateMBps, cfg.Kind)
+		return RunResult{}, fmt.Errorf("harness: rate %.0f MB/s/core exceeds one flit per cycle on %v: %w", cfg.RateMBps, cfg.Kind, ErrRateInfeasible)
 	}
 
 	var pattern traffic.Pattern
@@ -134,6 +137,7 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 		Arch:          cfg.Arch,
 	})
 	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	col.Reserve(int(pktRate*float64(sys.Cores())*float64(cfg.MeasureCycles)) + 64)
 	net.OnDeliver = col.OnDeliver
 
 	cores := sys.Cores()
@@ -211,19 +215,46 @@ type FutureStudy struct {
 	Results map[SystemKind]map[float64]map[router.Arch]RunResult
 }
 
-// RunFutureStudy executes the comparison at the given offered rates.
-func RunFutureStudy(rates []float64, pattern string, seed uint64) (*FutureStudy, error) {
+// RunFutureStudy executes the comparison at the given offered rates. Rates
+// a system's clock cannot offer (ErrRateInfeasible) simply leave a hole in
+// the table, matching the serial study; any other failure aborts the whole
+// study. Every (system, rate, architecture) point is independent, so a
+// multi-worker pool fans them all out.
+func RunFutureStudy(rates []float64, pattern string, seed uint64, pool *exp.Pool) (*FutureStudy, error) {
+	kinds := []SystemKind{Mesh8x8, CMesh4x4}
+	type outcome struct {
+		res RunResult
+		err error
+	}
+	perKind := len(rates) * len(router.Archs)
+	outs, err := exp.Map(context.Background(), pool, len(kinds)*perKind,
+		func(_ context.Context, i int) (outcome, error) {
+			kind := kinds[i/perKind]
+			rate := rates[i%perKind/len(router.Archs)]
+			arch := router.Archs[i%len(router.Archs)]
+			res, err := RunFuture(FutureConfig{Kind: kind, Arch: arch, RateMBps: rate, Pattern: pattern, Seed: seed})
+			return outcome{res, err}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	st := &FutureStudy{Rates: rates, Results: map[SystemKind]map[float64]map[router.Arch]RunResult{}}
-	for _, kind := range []SystemKind{Mesh8x8, CMesh4x4} {
+	i := 0
+	for _, kind := range kinds {
 		st.Results[kind] = map[float64]map[router.Arch]RunResult{}
 		for _, rate := range rates {
 			byArch := map[router.Arch]RunResult{}
 			for _, arch := range router.Archs {
-				res, err := RunFuture(FutureConfig{Kind: kind, Arch: arch, RateMBps: rate, Pattern: pattern, Seed: seed})
-				if err != nil {
-					continue
+				o := outs[i]
+				i++
+				if o.err != nil {
+					if errors.Is(o.err, ErrRateInfeasible) {
+						continue
+					}
+					return nil, o.err
 				}
-				byArch[arch] = res
+				byArch[arch] = o.res
 			}
 			st.Results[kind][rate] = byArch
 		}

@@ -55,7 +55,7 @@ func TestSaturationOrdering(t *testing.T) {
 	}
 	base := fastCfg("uniform", 0)
 	base.MeasureCycles = 4000
-	pts, err := SweepSynthetic(base, []float64{1000, 1400, 1800, 2200, 2600, 3000, 3400})
+	pts, err := SweepSynthetic(base, []float64{1000, 1400, 1800, 2200, 2600, 3000, 3400}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestRunSyntheticValidation(t *testing.T) {
 func TestSweepStopsAfterSaturation(t *testing.T) {
 	base := fastCfg("uniform", 0)
 	base.MeasureCycles = 2000
-	pts, err := SweepSynthetic(base, []float64{1500, 2300, 3100, 3900})
+	pts, err := SweepSynthetic(base, []float64{1500, 2300, 3100, 3900}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestRunAppShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := trace.Generate(w, Table1().Topo, 8000, 99)
-	results := RunAppAllArchs(tr, 4)
+	results := RunAppAllArchs(tr, 4, nil)
 	for arch, r := range results {
 		if !r.Drained {
 			t.Fatalf("%v did not drain the trace", arch)
@@ -325,7 +325,7 @@ func TestFutureStudyHypothesis(t *testing.T) {
 	if testing.Short() {
 		t.Skip("future study is slow")
 	}
-	st, err := RunFutureStudy([]float64{500}, "uniform", 0xF07E)
+	st, err := RunFutureStudy([]float64{500}, "uniform", 0xF07E, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

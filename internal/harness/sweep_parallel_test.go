@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestSweepParallelDeterminism is the regression gate for the parallel
+// experiment engine: a sweep fanned out over 8 workers must reproduce the
+// serial stop-at-saturation output exactly — same points, same RunResult
+// values (compared as formatted dumps, since NaN defeats ==), and the same
+// rendered CSV byte for byte.
+func TestSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism sweep is slow")
+	}
+	base := fastCfg("uniform", 0)
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 800, 2000, 8000
+	rates := []float64{600, 1400, 2200, 3000, 3800}
+
+	serial, err := SweepSynthetic(base, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepSynthetic(base, rates, exp.NewPool(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := fmt.Sprintf("%+v", par), fmt.Sprintf("%+v", serial); got != want {
+		t.Errorf("parallel sweep diverged from serial\nparallel: %.400s\nserial:   %.400s", got, want)
+	}
+	if got, want := SweepCSV("uniform", par), SweepCSV("uniform", serial); got != want {
+		t.Errorf("parallel sweep CSV diverged from serial\nparallel:\n%s\nserial:\n%s", got, want)
+	}
+}
+
+// TestSweepErrorPropagation checks that a real failure (unknown pattern)
+// aborts the sweep on both the serial and the parallel path, and is not
+// mistaken for an end-of-series condition.
+func TestSweepErrorPropagation(t *testing.T) {
+	base := fastCfg("not-a-pattern", 0)
+	for name, pool := range map[string]*exp.Pool{"serial": nil, "parallel": exp.NewPool(4)} {
+		if _, err := SweepSynthetic(base, []float64{300, 600}, pool); err == nil {
+			t.Errorf("%s: unknown pattern did not propagate", name)
+		} else if errors.Is(err, ErrRateInfeasible) {
+			t.Errorf("%s: real failure misclassified as infeasible rate", name)
+		}
+	}
+}
+
+// TestSweepInfeasibleRateEndsSeries checks that a rate beyond one flit per
+// cycle is the natural end of every architecture's curve — no error, a
+// trailing point with no results — identically on both paths.
+func TestSweepInfeasibleRateEndsSeries(t *testing.T) {
+	base := fastCfg("uniform", 0)
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 400, 1000, 6000
+	rates := []float64{250, 1e7}
+	for name, pool := range map[string]*exp.Pool{"serial": nil, "parallel": exp.NewPool(4)} {
+		pts, err := SweepSynthetic(base, rates, pool)
+		if err != nil {
+			t.Fatalf("%s: infeasible rate reported as failure: %v", name, err)
+		}
+		if len(pts) != 2 {
+			t.Fatalf("%s: got %d points, want 2", name, len(pts))
+		}
+		if len(pts[0].Results) == 0 {
+			t.Errorf("%s: feasible point has no results", name)
+		}
+		if len(pts[1].Results) != 0 {
+			t.Errorf("%s: infeasible point has %d results, want none", name, len(pts[1].Results))
+		}
+	}
+}

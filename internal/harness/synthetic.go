@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/noc"
 	"repro/internal/physical"
@@ -64,6 +67,13 @@ func (c *SyntheticConfig) fill() {
 	}
 }
 
+// ErrRateInfeasible marks the expected end of a rate ladder: the offered
+// bandwidth exceeds what one injection port can physically carry at the
+// architecture's clock (over one packet per cycle). Sweeps treat it as the
+// end of that architecture's series; any other error from a run is a real
+// failure and is propagated.
+var ErrRateInfeasible = errors.New("offered rate exceeds injection capacity")
+
 // RunSynthetic executes one (architecture, pattern, rate) point and
 // returns its latency, throughput, and energy results.
 func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
@@ -72,7 +82,7 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 	flitRate := FlitsPerNodeCycle(cfg.RateMBps, periodNs)
 	pktRate := flitRate / float64(cfg.PacketFlits)
 	if pktRate >= 1 {
-		return RunResult{}, fmt.Errorf("harness: offered rate %.0f MB/s/node exceeds one packet per cycle at %v", cfg.RateMBps, cfg.Arch)
+		return RunResult{}, fmt.Errorf("harness: offered rate %.0f MB/s/node exceeds one packet per cycle at %v: %w", cfg.RateMBps, cfg.Arch, ErrRateInfeasible)
 	}
 
 	var pattern traffic.Pattern
@@ -89,6 +99,7 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 
 	net := network.New(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth})
 	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	col.Reserve(int(pktRate*float64(cfg.Topo.Nodes())*float64(cfg.MeasureCycles)) + 64)
 	net.OnDeliver = col.OnDeliver
 	if cfg.Observe != nil {
 		net.OnDeliver = func(p *noc.Packet, cycle int64) {
@@ -181,9 +192,96 @@ type SweepPoint struct {
 
 // SweepSynthetic runs every architecture across the given offered rates,
 // stopping an architecture's series after its first saturated point (the
-// paper's curves end at saturation). Architectures whose clock cannot
-// even offer the rate (over one flit per cycle) are likewise ended.
-func SweepSynthetic(base SyntheticConfig, rates []float64) ([]SweepPoint, error) {
+// paper's curves end at saturation). Architectures whose clock cannot even
+// offer the rate (ErrRateInfeasible) likewise end their series; any other
+// error is a real failure and is returned.
+//
+// A pool with more than one worker runs every (rate, architecture) point
+// speculatively in parallel and then truncates each architecture's series
+// at its first saturated or infeasible point, reproducing the serial
+// stop-at-saturation output bit for bit: same points, same RunResults,
+// same rendered CSV. A nil pool (or one worker) runs the classic serial
+// loop, which never simulates beyond a dead series.
+func SweepSynthetic(base SyntheticConfig, rates []float64, pool *exp.Pool) ([]SweepPoint, error) {
+	if pool.Workers() <= 1 || len(rates) == 0 {
+		return sweepSerial(base, rates)
+	}
+
+	// Speculative fan-out: all points, rate-major so index order equals the
+	// serial visit order.
+	type outcome struct {
+		res RunResult
+		err error
+	}
+	archs := router.Archs
+	outs, err := exp.Map(context.Background(), pool, len(rates)*len(archs),
+		func(_ context.Context, i int) (outcome, error) {
+			cfg := base
+			cfg.RateMBps = rates[i/len(archs)]
+			cfg.Arch = archs[i%len(archs)]
+			res, err := cfg.runPoint()
+			return outcome{res, err}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reconstruct the serial walk per architecture: include results up to
+	// and including the first saturated point; an infeasible point ends the
+	// series; a real error is remembered at the point the serial loop would
+	// have hit it.
+	lastRate := 0 // index of the last SweepPoint the serial loop would append
+	includeEnd := make([]int, len(archs))
+	var firstErr error
+	errRate, errArch := len(rates), len(archs)
+	for ai := range archs {
+		includeEnd[ai] = -1
+		death := len(rates) - 1
+		for ri := range rates {
+			o := outs[ri*len(archs)+ai]
+			if o.err != nil {
+				if !errors.Is(o.err, ErrRateInfeasible) && (ri < errRate || (ri == errRate && ai < errArch)) {
+					firstErr, errRate, errArch = o.err, ri, ai
+				}
+				death = ri
+				break
+			}
+			includeEnd[ai] = ri
+			if o.res.Saturated {
+				death = ri
+				break
+			}
+		}
+		if death > lastRate {
+			lastRate = death
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	points := make([]SweepPoint, 0, lastRate+1)
+	for ri := 0; ri <= lastRate; ri++ {
+		pt := SweepPoint{RateMBps: rates[ri], Results: map[router.Arch]RunResult{}}
+		for ai, arch := range archs {
+			if ri <= includeEnd[ai] {
+				pt.Results[arch] = outs[ri*len(archs)+ai].res
+			}
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// runPoint runs one sweep point with the sweep's base configuration
+// specialized to c's architecture and rate.
+func (c SyntheticConfig) runPoint() (RunResult, error) {
+	return RunSynthetic(c)
+}
+
+// sweepSerial is the one-point-at-a-time sweep: the reference semantics
+// the parallel path must reproduce exactly.
+func sweepSerial(base SyntheticConfig, rates []float64) ([]SweepPoint, error) {
 	alive := map[router.Arch]bool{}
 	for _, a := range router.Archs {
 		alive[a] = true
@@ -198,10 +296,13 @@ func SweepSynthetic(base SyntheticConfig, rates []float64) ([]SweepPoint, error)
 			cfg := base
 			cfg.Arch = arch
 			cfg.RateMBps = rate
-			res, err := RunSynthetic(cfg)
+			res, err := cfg.runPoint()
 			if err != nil {
-				alive[arch] = false
-				continue
+				if errors.Is(err, ErrRateInfeasible) {
+					alive[arch] = false
+					continue
+				}
+				return nil, err
 			}
 			pt.Results[arch] = res
 			if res.Saturated {
@@ -249,9 +350,12 @@ func DefaultRates(pattern string) []float64 {
 	default: // transpose, bitcomp, bitrev, shuffle, tornado
 		max = 2000
 	}
-	var rates []float64
-	for r := max / 17; r <= max; r += max / 17 {
-		rates = append(rates, math.Round(r))
+	// Compute each rung directly as a fraction of max: repeated float
+	// addition accumulates rounding error and can make the accumulated sum
+	// overshoot max on the 17th step, silently dropping the top rung.
+	rates := make([]float64, 0, 17)
+	for i := 1; i <= 17; i++ {
+		rates = append(rates, math.Round(max*float64(i)/17))
 	}
 	return rates
 }

@@ -28,6 +28,10 @@ type Config struct {
 	SinkDepth int
 	// NewArbiter overrides the per-output arbiter (default round-robin).
 	NewArbiter func(n int) arbiter.Arbiter
+	// AlwaysActive disables the kernel's quiescence fast path so every
+	// component is evaluated every cycle — the reference mode that
+	// equivalence tests and benchmarks compare the fast path against.
+	AlwaysActive bool
 }
 
 func (c *Config) fill() {
@@ -54,6 +58,7 @@ type Network struct {
 	routes   *routing.Table
 	routers  []router.Router
 	nis      []*NI
+	niHandle []sim.Handle
 	counters *power.Counters
 
 	ejectLinks []*noc.Link
@@ -103,15 +108,23 @@ func New(cfg Config) *Network {
 
 	// Components compute/commit in registration order: routers and NIs
 	// first, links last, so credits returned during a commit become visible
-	// to senders exactly one cycle later.
+	// to senders exactly one cycle later. The order also serves the
+	// quiescence machinery: a compute-phase Send or a commit-phase
+	// ReturnCredit always wakes a link whose commit slot is still ahead in
+	// the same cycle.
+	routerHandle := make([]sim.Handle, routers)
 	for id := 0; id < routers; id++ {
-		n.kernel.Add(n.routers[id])
+		routerHandle[id] = n.kernel.Add(n.routers[id])
 	}
+	n.niHandle = make([]sim.Handle, cores)
 	for c := 0; c < cores; c++ {
-		n.kernel.Add(n.nis[c])
+		n.niHandle[c] = n.kernel.Add(n.nis[c])
 	}
 
+	// Each link is registered together with the handle of the component its
+	// sink belongs to, so a delivery re-activates the consumer.
 	var links []*noc.Link
+	var sinkOwner []sim.Handle
 	for id := 0; id < routers; id++ {
 		r := n.routers[id]
 		// Inter-router channels.
@@ -125,6 +138,7 @@ func New(cfg Config) *Network {
 			r.SetOutputLink(p, l)
 			dst.SetInputLink(p.Opposite(), l)
 			links = append(links, l)
+			sinkOwner = append(sinkOwner, routerHandle[nb])
 		}
 		// Local ports: one injection and one ejection link per core.
 		for k := 0; k < sys.Concentration; k++ {
@@ -134,15 +148,19 @@ func New(cfg Config) *Network {
 			n.nis[coreID].injectLink = inj
 			r.SetInputLink(port, inj)
 			links = append(links, inj)
+			sinkOwner = append(sinkOwner, routerHandle[id])
 			ej := noc.NewLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
 			r.SetOutputLink(port, ej)
 			n.ejectLinks[coreID] = ej
 			links = append(links, ej)
+			sinkOwner = append(sinkOwner, n.niHandle[coreID])
 		}
 	}
-	for _, l := range links {
-		n.kernel.Add(l)
+	for i, l := range links {
+		lh := n.kernel.Add(l)
+		l.SetWake(n.kernel.Waker(lh), n.kernel.Waker(sinkOwner[i]))
 	}
+	n.kernel.SetAlwaysActive(cfg.AlwaysActive)
 	return n
 }
 
@@ -194,6 +212,8 @@ func (n *Network) InjectPacket(p *noc.Packet) {
 	}
 	n.injected++
 	n.nis[p.Src].enqueue(p)
+	// The interface may have gone quiescent; new work re-activates it.
+	n.kernel.Wake(n.niHandle[p.Src])
 }
 
 func (n *Network) deliver(p *noc.Packet, cycle int64) {

@@ -90,7 +90,7 @@ func (ni *NI) Compute(cycle int64) {
 		if ni.curSeq == 0 {
 			ni.cur.InjectCycle = cycle
 		}
-		ni.injectLink.Send(noc.NewFlit(ni.cur, ni.curSeq))
+		ni.injectLink.Send(ni.cur.Flit(ni.curSeq))
 		ni.curSeq++
 		if ni.curSeq == ni.cur.Length {
 			ni.cur = nil
@@ -102,6 +102,17 @@ func (ni *NI) Compute(cycle int64) {
 		ni.sink.Service()
 		ni.deliver(f, cycle)
 	}
+}
+
+// Quiet implements sim.Quiescable: nothing queued or mid-injection on the
+// source side and nothing buffered (FIFO or decode register) on the sink
+// side. A partially reassembled packet with an empty sink is quiet — its
+// remaining flits wake the interface on arrival. Re-activation paths:
+// Network.InjectPacket wakes the interface directly, and the ejection
+// link's delivery wake covers the sink side.
+func (ni *NI) Quiet() bool {
+	return ni.cur == nil && ni.queueHead >= len(ni.queue) &&
+		ni.sink.Buffered() == 0 && !ni.sink.RegisterBusy()
 }
 
 // Commit applies the sink port's staged actions and returns its credits.

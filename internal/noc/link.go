@@ -24,6 +24,13 @@ type Link struct {
 
 	staged  *Flit
 	returns int
+
+	// wakeSelf re-activates this link in the simulation kernel when a
+	// neighbor writes to it (Send, ReturnCredit); wakeSink re-activates the
+	// component owning sink when a flit is delivered to it. Both are
+	// optional: an unwired link is simply evaluated every cycle.
+	wakeSelf func()
+	wakeSink func()
 }
 
 // NewLink returns a link feeding sink whose receiver advertises credits
@@ -36,6 +43,14 @@ func NewLink(sink Receiver, credits int) *Link {
 		panic("noc: link requires positive credits")
 	}
 	return &Link{sink: sink, credits: credits}
+}
+
+// SetWake installs the quiescence wake hooks: wakeSelf re-activates the
+// link itself on any neighbor write, wakeSink re-activates the receiver's
+// owning component when a flit is delivered. Either may be nil.
+func (l *Link) SetWake(wakeSelf, wakeSink func()) {
+	l.wakeSelf = wakeSelf
+	l.wakeSink = wakeSink
 }
 
 // Credits returns the sender's current credit count.
@@ -56,12 +71,20 @@ func (l *Link) Send(f *Flit) {
 	}
 	l.credits--
 	l.staged = f
+	if l.wakeSelf != nil {
+		l.wakeSelf()
+	}
 }
 
 // ReturnCredit stages one credit return from the receiver side. Staged
 // returns are applied at this link's commit, hence visible to the sender
 // next cycle.
-func (l *Link) ReturnCredit() { l.returns++ }
+func (l *Link) ReturnCredit() {
+	l.returns++
+	if l.wakeSelf != nil {
+		l.wakeSelf()
+	}
+}
 
 // Compute implements sim.Clocked; links have no combinational work.
 func (l *Link) Compute(cycle int64) {}
@@ -72,7 +95,15 @@ func (l *Link) Commit(cycle int64) {
 	if l.staged != nil {
 		l.sink.Receive(l.staged, cycle)
 		l.staged = nil
+		if l.wakeSink != nil {
+			l.wakeSink()
+		}
 	}
 	l.credits += l.returns
 	l.returns = 0
 }
+
+// Quiet implements sim.Quiescable: a link with no staged flit and no staged
+// credit returns does nothing when stepped. Credits held downstream do not
+// keep a link busy — the eventual ReturnCredit wakes it.
+func (l *Link) Quiet() bool { return l.staged == nil && l.returns == 0 }

@@ -33,6 +33,15 @@ type Packet struct {
 	// Measured marks packets created inside the measurement window; only
 	// these contribute to reported statistics.
 	Measured bool
+
+	// payloadBuf inlines the payload storage for single-flit packets —
+	// Table 1's control packets, the bulk of every workload — so building
+	// one costs a single allocation.
+	payloadBuf [1]uint64
+	// flits holds the packet's wire flits, built lazily on first injection
+	// and reused on retransmission; flitBuf inlines the single-flit case.
+	flits   []Flit
+	flitBuf [1]Flit
 }
 
 // FlitBytes is the link width in bytes (64-bit flits and links, Table 1).
@@ -59,16 +68,38 @@ func NewPacket(id uint64, src, dst NodeID, length int, class int, createCycle in
 		Src:          src,
 		Dst:          dst,
 		Length:       length,
-		Payloads:     make([]uint64, length),
 		CreateCycle:  createCycle,
 		InjectCycle:  -1,
 		DeliverCycle: -1,
 		Class:        class,
 	}
+	if length == 1 {
+		p.Payloads = p.payloadBuf[:1]
+	} else {
+		p.Payloads = make([]uint64, length)
+	}
 	for i := range p.Payloads {
 		p.Payloads[i] = PayloadWord(id, src, dst, i)
 	}
 	return p
+}
+
+// Flit returns the packet's flit at sequence position seq. The packet owns
+// its flits: they are built once on first use and the same instances are
+// reused if an abort forces retransmission, so steady-state injection of
+// single-flit packets allocates nothing beyond the packet itself.
+func (p *Packet) Flit(seq int) *Flit {
+	if p.flits == nil {
+		if p.Length == 1 {
+			p.flits = p.flitBuf[:1]
+		} else {
+			p.flits = make([]Flit, p.Length)
+		}
+		for i := range p.flits {
+			p.flits[i] = Flit{Packet: p, Seq: i, Raw: p.Payloads[i]}
+		}
+	}
+	return &p.flits[seq]
 }
 
 // PayloadWord is the canonical payload of flit seq of packet id. Delivery

@@ -68,6 +68,20 @@ func (r *nonspecRouter) BufferedFlits() int {
 	return n
 }
 
+// Quiet implements sim.Quiescable: with every input FIFO empty the router
+// stages nothing and changes nothing. Output locks may outlive the local
+// buffers (upstream bubble inside a wormhole packet) but are held, not
+// mutated, by empty cycles; the arrival that ends the bubble re-activates
+// the router through its input link's wake.
+func (r *nonspecRouter) Quiet() bool {
+	for _, q := range r.in {
+		if q.Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Compute arbitrates each output and traverses the winner in the same cycle.
 func (r *nonspecRouter) Compute(cycle int64) {
 	c := r.counters()

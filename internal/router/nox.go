@@ -58,6 +58,26 @@ func (r *noxRouter) BufferedFlits() int {
 	return n
 }
 
+// Quiet implements sim.Quiescable: every input port fully drained (FIFO and
+// decode register) and every wired output's control logic back in its rest
+// state. The rest-state requirement matters because an empty evaluation
+// re-arms narrowed masks and Scheduled-mode state; the router must perform
+// that re-arm cycle before sleeping, or a post-idle arrival would face
+// stale masks.
+func (r *noxRouter) Quiet() bool {
+	for _, ip := range r.in {
+		if ip.Buffered() != 0 || ip.RegisterBusy() {
+			return false
+		}
+	}
+	for o, ctl := range r.ctl {
+		if r.outLink[o] != nil && !ctl.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
 // Compute presents each input port's offer to the XOR switch and lets every
 // output's arbitration-and-masking logic decide.
 func (r *noxRouter) Compute(cycle int64) {

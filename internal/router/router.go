@@ -97,8 +97,10 @@ func (c *Config) fill() {
 }
 
 // Router is one mesh router participating in the two-phase simulation.
+// Every architecture implements sim.Quiescable so drained routers drop out
+// of the kernel's active set.
 type Router interface {
-	sim.Clocked
+	sim.Quiescable
 	// Node returns the tile this router serves.
 	Node() noc.NodeID
 	// InputReceiver returns the sink to wire an incoming link to port p.

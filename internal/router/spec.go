@@ -117,6 +117,28 @@ func (r *specRouter) BufferedFlits() int {
 	return n
 }
 
+// Quiet implements sim.Quiescable. Empty input FIFOs are not sufficient
+// here: a pending reservation lapses (is cleared) when the router evaluates
+// a requestless cycle, so skipping a router that still holds one would
+// preserve the reservation across the idle stretch and change behavior
+// once traffic resumes. The router stays active until its reservations
+// have lapsed. Locks held through upstream bubbles are safe to sleep on
+// (held verbatim by empty cycles), and newlyExposed entries compare
+// against absolute cycle numbers, so skipped cycles cannot alias them.
+func (r *specRouter) Quiet() bool {
+	for _, q := range r.in {
+		if q.Len() != 0 {
+			return false
+		}
+	}
+	for _, res := range r.res {
+		if res >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // allocatable reports whether input i's request may reach the allocator at
 // the given cycle (Spec-Fast's newly-exposed restriction; always true for
 // Spec-Accurate).

@@ -15,10 +15,47 @@ type Clocked interface {
 	Commit(cycle int64)
 }
 
-// Kernel drives a set of Clocked components through lockstep cycles.
+// Quiescable is implemented by components that can tell the kernel they are
+// idle. Quiet must be a pure function of committed state, evaluated right
+// after the component's Commit: it reports that stepping the component
+// would change nothing observable until some neighbor writes to it again.
+//
+// A component reporting Quiet is dropped from the kernel's active set —
+// its Compute and Commit stop being called — so the contract has a second
+// half: whatever path a neighbor uses to hand the component new work must
+// call the kernel's Wake for it (the owner that wires components together
+// installs those hooks; see internal/network). A component that goes quiet
+// with latent staged state, or that is written without a wake, silently
+// diverges from the always-evaluate reference — keep Quiet conservative.
+type Quiescable interface {
+	Clocked
+	// Quiet reports that the component holds no pending work.
+	Quiet() bool
+}
+
+// Handle identifies a registered component for Wake calls.
+type Handle int
+
+// Kernel drives a set of Clocked components through lockstep cycles,
+// skipping components that have declared themselves quiescent.
 type Kernel struct {
 	components []Clocked
-	cycle      int64
+	// quiesc[i] is components[i]'s Quiescable interface, nil if it does not
+	// opt in (such components are evaluated every cycle forever).
+	quiesc []Quiescable
+	// active[i] marks components evaluated this cycle. Wake may flip an
+	// entry mid-step: a wake during the compute phase takes effect for the
+	// same cycle's commit phase if the target's registration index has not
+	// been passed yet (links are registered last for exactly this reason),
+	// otherwise next cycle.
+	active []bool
+	// idle counts inactive components; when it equals len(components) a
+	// step is pure clock advance.
+	idle int
+	// alwaysActive disables quiescence skipping (reference mode used by
+	// equivalence tests and benchmarks).
+	alwaysActive bool
+	cycle        int64
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -26,11 +63,52 @@ func NewKernel() *Kernel {
 	return &Kernel{}
 }
 
-// Add registers a component. Components are evaluated in registration order,
-// but because of the two-phase protocol the order is not observable.
-func (k *Kernel) Add(c Clocked) {
+// Add registers a component and returns its wake handle. Components are
+// evaluated in registration order; compute order is not observable (two-
+// phase protocol), but commit order is load-bearing for cross-component
+// writes performed during commits (e.g. links must commit after the
+// routers that stage credit returns on them), so registration order is
+// preserved even when quiescent components are skipped.
+func (k *Kernel) Add(c Clocked) Handle {
+	h := Handle(len(k.components))
 	k.components = append(k.components, c)
+	q, _ := c.(Quiescable)
+	k.quiesc = append(k.quiesc, q)
+	k.active = append(k.active, true)
+	return h
 }
+
+// SetAlwaysActive switches the kernel between the quiescence-skipping fast
+// path (default) and the always-evaluate reference mode. Enabling reference
+// mode re-activates every component.
+func (k *Kernel) SetAlwaysActive(on bool) {
+	k.alwaysActive = on
+	if on {
+		for i := range k.active {
+			k.active[i] = true
+		}
+		k.idle = 0
+	}
+}
+
+// Wake re-activates a component so it is evaluated again. Safe to call at
+// any time, including from another component's Compute or Commit; waking an
+// already-active component is a no-op.
+func (k *Kernel) Wake(h Handle) {
+	if !k.active[h] {
+		k.active[h] = true
+		k.idle--
+	}
+}
+
+// Waker returns a closure waking h, for wiring into components that cannot
+// know about the kernel.
+func (k *Kernel) Waker(h Handle) func() {
+	return func() { k.Wake(h) }
+}
+
+// ActiveComponents returns how many components will be evaluated next step.
+func (k *Kernel) ActiveComponents() int { return len(k.components) - k.idle }
 
 // Cycle returns the number of completed cycles.
 func (k *Kernel) Cycle() int64 {
@@ -39,11 +117,46 @@ func (k *Kernel) Cycle() int64 {
 
 // Step advances the simulation by one cycle.
 func (k *Kernel) Step() {
-	for _, c := range k.components {
-		c.Compute(k.cycle)
-	}
-	for _, c := range k.components {
-		c.Commit(k.cycle)
+	switch {
+	case k.idle == 0:
+		// Everything active: the original tight loops, plus the post-commit
+		// quiescence check.
+		for _, c := range k.components {
+			c.Compute(k.cycle)
+		}
+		if k.alwaysActive {
+			for _, c := range k.components {
+				c.Commit(k.cycle)
+			}
+		} else {
+			for i, c := range k.components {
+				c.Commit(k.cycle)
+				if q := k.quiesc[i]; q != nil && q.Quiet() {
+					k.active[i] = false
+					k.idle++
+				}
+			}
+		}
+	case k.idle == len(k.components):
+		// Fully quiescent network: the cycle is pure clock advance. Wakes
+		// only arrive from outside the step (injection), so nothing can
+		// need evaluation mid-step.
+	default:
+		for i, c := range k.components {
+			if k.active[i] {
+				c.Compute(k.cycle)
+			}
+		}
+		for i, c := range k.components {
+			if !k.active[i] {
+				continue
+			}
+			c.Commit(k.cycle)
+			if q := k.quiesc[i]; q != nil && q.Quiet() {
+				k.active[i] = false
+				k.idle++
+			}
+		}
 	}
 	k.cycle++
 }

@@ -154,3 +154,134 @@ func TestRunUntil(t *testing.T) {
 		t.Fatal("RunUntil reported success at limit")
 	}
 }
+
+// quiescer is a Quiescable that counts evaluations and goes quiet after
+// pending units of work are done.
+type quiescer struct {
+	pending  int
+	computes int
+	commits  int
+}
+
+func (q *quiescer) Compute(cycle int64) { q.computes++ }
+func (q *quiescer) Commit(cycle int64) {
+	q.commits++
+	if q.pending > 0 {
+		q.pending--
+	}
+}
+func (q *quiescer) Quiet() bool { return q.pending == 0 }
+
+func TestKernelSkipsQuiescent(t *testing.T) {
+	k := NewKernel()
+	q := &quiescer{pending: 3}
+	k.Add(q)
+	k.Run(10)
+	// Evaluated while pending (3 cycles); the cycle it first reports quiet
+	// is the third, after which it must be skipped.
+	if q.computes != 3 || q.commits != 3 {
+		t.Fatalf("evaluated %d/%d times, want 3/3", q.computes, q.commits)
+	}
+	if k.Cycle() != 10 {
+		t.Fatalf("cycle = %d, want 10 (skipping must not stall the clock)", k.Cycle())
+	}
+	if k.ActiveComponents() != 0 {
+		t.Fatalf("%d active components, want 0", k.ActiveComponents())
+	}
+}
+
+func TestKernelWakeReactivates(t *testing.T) {
+	k := NewKernel()
+	q := &quiescer{pending: 1}
+	h := k.Add(q)
+	k.Run(5) // quiet after 1 cycle
+	if q.computes != 1 {
+		t.Fatalf("evaluated %d times before wake, want 1", q.computes)
+	}
+	q.pending = 2
+	k.Wake(h)
+	if k.ActiveComponents() != 1 {
+		t.Fatal("Wake did not re-activate")
+	}
+	k.Run(5)
+	if q.computes != 3 {
+		t.Fatalf("evaluated %d times total, want 3", q.computes)
+	}
+	// Waker closure and double-wake are harmless.
+	k.Waker(h)()
+	k.Waker(h)()
+	k.Run(1)
+	if q.computes != 4 {
+		t.Fatalf("evaluated %d times after waker, want 4", q.computes)
+	}
+}
+
+func TestKernelAlwaysActive(t *testing.T) {
+	k := NewKernel()
+	q := &quiescer{}
+	k.Add(q)
+	k.SetAlwaysActive(true)
+	k.Run(10)
+	if q.computes != 10 || q.commits != 10 {
+		t.Fatalf("reference mode evaluated %d/%d times, want 10/10", q.computes, q.commits)
+	}
+}
+
+func TestKernelNonQuiescableAlwaysRuns(t *testing.T) {
+	k := NewKernel()
+	c := &counter{t: t}
+	q := &quiescer{}
+	k.Add(c)
+	k.Add(q)
+	k.Run(10)
+	if c.val != 10 {
+		t.Fatalf("plain Clocked ran %d cycles, want 10", c.val)
+	}
+	if k.ActiveComponents() != 1 {
+		t.Fatalf("%d active, want 1 (the non-quiescable)", k.ActiveComponents())
+	}
+}
+
+// wakeDuringCommit models the link pattern: component A (registered first)
+// wakes component B (registered later) during A's commit; B must be
+// evaluated in the same cycle's commit phase.
+type wakeTarget struct {
+	quiescer
+	commitCycles []int64
+}
+
+func (w *wakeTarget) Commit(cycle int64) {
+	w.quiescer.Commit(cycle)
+	w.commitCycles = append(w.commitCycles, cycle)
+}
+
+type wakeSource struct {
+	quiescer
+	wake   func()
+	wakeAt int64
+}
+
+func (w *wakeSource) Commit(cycle int64) {
+	w.quiescer.Commit(cycle)
+	if cycle == w.wakeAt {
+		w.wake()
+	}
+}
+
+func TestKernelSameCycleWakeOfLaterComponent(t *testing.T) {
+	k := NewKernel()
+	src := &wakeSource{quiescer: quiescer{pending: 8}, wakeAt: 6}
+	tgt := &wakeTarget{}
+	hs := k.Add(src)
+	_ = hs
+	ht := k.Add(tgt)
+	src.wake = k.Waker(ht)
+	k.Run(10)
+	// Target quiesces immediately (cycle 0), then must recommit exactly at
+	// the wake cycle — same cycle, because its commit slot follows the
+	// source's.
+	want := []int64{0, 6}
+	if len(tgt.commitCycles) != len(want) || tgt.commitCycles[0] != want[0] || tgt.commitCycles[1] != want[1] {
+		t.Fatalf("target commits at %v, want %v", tgt.commitCycles, want)
+	}
+}

@@ -25,6 +25,10 @@ type Collector struct {
 	latencySum int64
 	latencyMax int64
 	latencies  []int64
+	// sorted records whether latencies is currently in ascending order, so
+	// repeated percentile queries sort in place at most once per batch of
+	// deliveries instead of copying the whole record every call.
+	sorted bool
 
 	windowFlits   int64
 	windowPackets int64
@@ -37,6 +41,17 @@ func NewCollector(measureStart, measureEnd int64) *Collector {
 		panic("stats: empty measurement window")
 	}
 	return &Collector{MeasureStart: measureStart, MeasureEnd: measureEnd}
+}
+
+// Reserve sizes the latency record for an expected number of measured
+// packets, so steady-state delivery does not regrow it. It is a hint;
+// exceeding it is fine.
+func (c *Collector) Reserve(n int) {
+	if n > cap(c.latencies) {
+		s := make([]int64, len(c.latencies), n)
+		copy(s, c.latencies)
+		c.latencies = s
+	}
 }
 
 // OnCreate registers a packet at creation time and marks it measured when
@@ -65,6 +80,7 @@ func (c *Collector) OnDeliver(p *noc.Packet, cycle int64) {
 			c.latencyMax = l
 		}
 		c.latencies = append(c.latencies, l)
+		c.sorted = false
 	}
 }
 
@@ -95,16 +111,18 @@ func (c *Collector) PercentileLatencyCycles(q float64) float64 {
 	if len(c.latencies) == 0 {
 		return math.NaN()
 	}
-	s := append([]int64(nil), c.latencies...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if !c.sorted {
+		sort.Slice(c.latencies, func(i, j int) bool { return c.latencies[i] < c.latencies[j] })
+		c.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(c.latencies)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if idx >= len(c.latencies) {
+		idx = len(c.latencies) - 1
 	}
-	return float64(s[idx])
+	return float64(c.latencies[idx])
 }
 
 // AcceptedFlitsPerNodeCycle returns delivered throughput inside the window

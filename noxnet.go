@@ -28,6 +28,7 @@
 package noxnet
 
 import (
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/network"
 	"repro/internal/noc"
@@ -98,12 +99,28 @@ type (
 	EnergyCounters = power.Counters
 )
 
+// Pool is a deterministic worker pool for running independent experiment
+// points concurrently. A nil *Pool runs everything serially.
+type Pool = exp.Pool
+
+// NewPool builds a pool with the given worker count; workers <= 0 sizes it
+// to the available CPUs. Parallel experiment results are bit-identical to
+// serial ones.
+func NewPool(workers int) *Pool { return exp.NewPool(workers) }
+
+// ErrRateInfeasible marks an offered rate the architecture's clock cannot
+// physically inject (over one flit per cycle per node); sweeps treat it as
+// the natural end of that architecture's curve, not a failure.
+var ErrRateInfeasible = harness.ErrRateInfeasible
+
 // RunSynthetic executes one (architecture, pattern, rate) point.
 func RunSynthetic(cfg SyntheticConfig) (RunResult, error) { return harness.RunSynthetic(cfg) }
 
 // SweepSynthetic sweeps all architectures across offered rates (Figs. 8/9).
-func SweepSynthetic(base SyntheticConfig, rates []float64) ([]SweepPoint, error) {
-	return harness.SweepSynthetic(base, rates)
+// A multi-worker pool runs the points concurrently with output identical to
+// the serial sweep; pass nil to run serially.
+func SweepSynthetic(base SyntheticConfig, rates []float64, pool *Pool) ([]SweepPoint, error) {
+	return harness.SweepSynthetic(base, rates, pool)
 }
 
 // DefaultRates returns a sensible sweep ladder for a pattern on the 8x8
@@ -159,6 +176,7 @@ const (
 func RunFuture(cfg FutureConfig) (RunResult, error) { return harness.RunFuture(cfg) }
 
 // RunFutureStudy compares all architectures on both 64-core organizations.
-func RunFutureStudy(rates []float64, pattern string, seed uint64) (*FutureStudy, error) {
-	return harness.RunFutureStudy(rates, pattern, seed)
+// A multi-worker pool fans the points out; pass nil to run serially.
+func RunFutureStudy(rates []float64, pattern string, seed uint64, pool *Pool) (*FutureStudy, error) {
+	return harness.RunFutureStudy(rates, pattern, seed, pool)
 }
