@@ -1,16 +1,31 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench trace-smoke
 
-## check: the CI gate — build, vet, and the full test suite under the race
-## detector (the parallel experiment engine makes this mandatory).
-check: build vet race
+## check: the CI gate — build, vet, static analysis, the full test suite
+## under the race detector (the parallel experiment engine makes this
+## mandatory), and the tracing smoke test.
+check: build vet lint race trace-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint: staticcheck and govulncheck when installed; each is skipped with a
+## note otherwise, so check works on a bare toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -22,3 +37,16 @@ race:
 ## microbenchmarks (allocation counts included).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+## trace-smoke: run noxtrace on a tiny mesh and validate that the emitted
+## Chrome trace JSON parses and that every CSV exporter produces output.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/noxtrace -arch nox -width 4 -height 4 -rate 2200 -cycles 300 \
+		-out "$$tmp/trace.json" -waveform "$$tmp/wf.txt" -routers-csv "$$tmp/routers.csv" \
+		-heatmap-csv "$$tmp/heat.csv" -timeseries-csv "$$tmp/ts.csv" && \
+	$(GO) run ./cmd/noxtrace -validate "$$tmp/trace.json" && \
+	for f in wf.txt routers.csv heat.csv ts.csv; do \
+		test -s "$$tmp/$$f" || { echo "trace-smoke: $$f is empty" >&2; exit 1; }; \
+	done && \
+	echo "trace-smoke: OK"

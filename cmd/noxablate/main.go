@@ -14,11 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/probe"
 	"repro/internal/router"
 )
 
@@ -26,10 +26,21 @@ func main() {
 	var (
 		study    = flag.String("study", "all", "buffers | arbiter | xorcost | all")
 		rate     = flag.Float64("rate", 2000, "offered uniform load (MB/s/node)")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for ablation points (1 = serial; output is identical)")
+		parallel = flag.Int("parallel", 0, "worker count for ablation points (0 = all CPUs, 1 = serial; output is identical)")
 	)
+	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
-	pool := exp.NewPool(*parallel)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxablate:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	pool, err := exp.PoolFromFlag(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxablate:", err)
+		os.Exit(1)
+	}
 
 	archs := []router.Arch{router.SpecAccurate, router.NoX}
 

@@ -13,10 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/trace"
 )
@@ -28,10 +28,21 @@ func main() {
 		cpuCycles = flag.Int64("cpu-cycles", 40000, "trace length in 3 GHz CPU cycles")
 		csv       = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 		seed      = flag.Uint64("seed", 1234, "trace generation seed")
-		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker count for per-architecture replays (1 = serial; output is identical)")
+		parallel  = flag.Int("parallel", 0, "worker count for per-architecture replays (0 = all CPUs, 1 = serial; output is identical)")
 	)
+	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
-	pool := exp.NewPool(*parallel)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxapp:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	pool, err := exp.PoolFromFlag(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxapp:", err)
+		os.Exit(1)
+	}
 
 	workloads := trace.Workloads
 	if *workload != "all" {

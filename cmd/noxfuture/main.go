@@ -14,12 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/probe"
 )
 
 func main() {
@@ -27,10 +27,21 @@ func main() {
 		pattern  = flag.String("pattern", "uniform", "traffic pattern over cores (uniform|selfsimilar|transpose|...)")
 		ratesStr = flag.String("rates", "400,800,1200,1600,2000,2400", "comma-separated offered rates (MB/s/core)")
 		seed     = flag.Uint64("seed", 0xF07E, "simulation seed")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for study points (1 = serial; output is identical)")
+		parallel = flag.Int("parallel", 0, "worker count for study points (0 = all CPUs, 1 = serial; output is identical)")
 	)
+	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
-	pool := exp.NewPool(*parallel)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxfuture:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	pool, err := exp.PoolFromFlag(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxfuture:", err)
+		os.Exit(1)
+	}
 
 	var rates []float64
 	for _, f := range strings.Split(*ratesStr, ",") {

@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/harness"
+	"repro/internal/probe"
 )
 
 func main() {
@@ -21,7 +23,14 @@ func main() {
 		floorplan = flag.Bool("floorplan", false, "print the Figure 13 floorplan comparison")
 		all       = flag.Bool("all", false, "print both Table 2 and Figure 13")
 	)
+	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxphys:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if !*floorplan || *all {
 		fmt.Print(harness.FormatTable2())

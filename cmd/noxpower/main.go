@@ -14,10 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/probe"
 	"repro/internal/router"
 )
 
@@ -26,11 +26,21 @@ func main() {
 		rate     = flag.Float64("rate", 2000, "offered load (MB/s/node); the paper uses 2 GB/s/node")
 		measure  = flag.Int64("measure", 10000, "measurement cycles")
 		seed     = flag.Uint64("seed", 0xA11CE, "simulation seed")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for per-architecture runs (1 = serial; output is identical)")
+		parallel = flag.Int("parallel", 0, "worker count for per-architecture runs (0 = all CPUs, 1 = serial; output is identical)")
 	)
+	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
-
-	pool := exp.NewPool(*parallel)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxpower:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	pool, err := exp.PoolFromFlag(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxpower:", err)
+		os.Exit(1)
+	}
 	runs, err := exp.Map(context.Background(), pool, len(router.Archs),
 		func(_ context.Context, i int) (harness.RunResult, error) {
 			return harness.RunSynthetic(harness.SyntheticConfig{

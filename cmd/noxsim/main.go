@@ -13,28 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/noc"
+	"repro/internal/probe"
 	"repro/internal/router"
 )
-
-// archByName maps CLI names to architectures.
-func archByName(name string) (router.Arch, error) {
-	switch strings.ToLower(name) {
-	case "nonspec", "non-speculative", "sequential":
-		return router.NonSpec, nil
-	case "specfast", "spec-fast":
-		return router.SpecFast, nil
-	case "specaccurate", "spec-accurate":
-		return router.SpecAccurate, nil
-	case "nox":
-		return router.NoX, nil
-	default:
-		return 0, fmt.Errorf("unknown architecture %q (nonspec|specfast|specaccurate|nox)", name)
-	}
-}
 
 func main() {
 	var (
@@ -47,15 +32,23 @@ func main() {
 		seed        = flag.Uint64("seed", 0xA11CE, "simulation seed")
 		printConfig = flag.Bool("print-config", false, "print Table 1 system parameters and exit")
 		tracePkts   = flag.Int("trace", 0, "print the first N delivered packets")
+		progress    = flag.Bool("progress", false, "report simulation throughput (cycles/sec) to stderr")
 	)
+	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *printConfig {
 		fmt.Print(harness.Table1())
 		return
 	}
 
-	arch, err := archByName(*archName)
+	arch, err := router.ArchByName(*archName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxsim:", err)
 		os.Exit(1)
@@ -68,6 +61,11 @@ func main() {
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		Seed:          *seed,
+	}
+	var rep *probe.Progress
+	if *progress {
+		rep = probe.NewProgress(os.Stderr, time.Second)
+		cfg.Progress = rep
 	}
 	if *tracePkts > 0 {
 		remaining := *tracePkts
@@ -85,6 +83,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "noxsim:", err)
 		os.Exit(1)
 	}
+	rep.Done(*warmup + *measure)
 
 	fmt.Printf("architecture:        %s (clock %.2f ns)\n", res.Arch, res.PeriodNs)
 	fmt.Printf("pattern:             %s, %d-flit packets\n", *pattern, *flits)

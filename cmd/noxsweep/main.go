@@ -13,10 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/probe"
 	"repro/internal/traffic"
 )
 
@@ -27,10 +27,21 @@ func main() {
 		fast     = flag.Bool("fast", false, "reduced warmup/measurement for a quick look")
 		csv      = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 		seed     = flag.Uint64("seed", 0xA11CE, "simulation seed")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "worker count for sweep points (1 = serial; output is identical)")
+		parallel = flag.Int("parallel", 0, "worker count for sweep points (0 = all CPUs, 1 = serial; output is identical)")
 	)
+	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
-	pool := exp.NewPool(*parallel)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxsweep:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	pool, err := exp.PoolFromFlag(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxsweep:", err)
+		os.Exit(1)
+	}
 
 	if *figure != 8 && *figure != 9 {
 		fmt.Fprintln(os.Stderr, "noxsweep: -figure must be 8 or 9")

@@ -47,6 +47,12 @@ type Decision struct {
 	Granted int
 	// Collided reports >= 2 inputs traversing the XOR switch together.
 	Collided bool
+	// Colliders is the number of inputs traversing together when Collided
+	// (the contention fan-in of §3.2), 0 otherwise. Observability data for
+	// the probe layer; the router's behavior never depends on it. uint8 so
+	// the field fits existing struct padding — Decision returns by value on
+	// the switch's hottest path.
+	Colliders uint8
 	// Arbitrated reports that the arbiter evaluated a non-empty request set
 	// (for energy accounting).
 	Arbitrated bool
@@ -266,6 +272,7 @@ func (o *OutputControl) Decide(offers []*noc.Flit, creditOK bool) Decision {
 			panic("core: collision in Scheduled mode")
 		}
 		d.Collided = true
+		d.Colliders = uint8(bits.OnesCount32(s))
 
 		multi := false
 		for i := 0; i < o.n; i++ {

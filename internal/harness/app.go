@@ -9,7 +9,9 @@ import (
 	"repro/internal/noc"
 	"repro/internal/physical"
 	"repro/internal/power"
+	"repro/internal/probe"
 	"repro/internal/router"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -25,6 +27,12 @@ type AppConfig struct {
 	DrainCycles int64
 	// Model is the energy model (DefaultModel when nil).
 	Model *power.Model
+	// Probe, when set, records flit-level events and per-router metrics.
+	// Both physical networks share it (their event streams interleave on
+	// common cycle numbers).
+	Probe *probe.Probe
+	// Progress, when set, receives per-cycle ticks for cycles/sec reporting.
+	Progress *probe.Progress
 }
 
 // AppResult captures one (architecture, workload) outcome for Figures 10
@@ -35,6 +43,9 @@ type AppResult struct {
 	PeriodNs float64
 
 	MeanLatencyNs  float64
+	P50LatencyNs   float64
+	P95LatencyNs   float64
+	P99LatencyNs   float64
 	DeliveredPkts  int64
 	PacketEnergyPJ float64
 	EnergyDelay2   float64
@@ -66,7 +77,12 @@ func RunApp(cfg AppConfig) AppResult {
 	periodPs := physical.ClockPeriodPs(cfg.Arch)
 	topo := cfg.Trace.Topo
 
-	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth})
+	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe})
+	// Every trace packet is measured: the collector's window spans the run,
+	// giving the same latency record a serial tally would produce plus the
+	// percentile machinery.
+	col := stats.NewCollector(0, int64(1)<<62)
+	col.Reserve(len(cfg.Trace.Events))
 	var latencySum, latencySqSum float64
 	var delivered int64
 	multi.OnDeliver(func(p *noc.Packet, cycle int64) {
@@ -74,6 +90,7 @@ func RunApp(cfg AppConfig) AppResult {
 		latencySum += l
 		latencySqSum += l * l
 		delivered++
+		col.OnDeliver(p, cycle)
 	})
 
 	events := cfg.Trace.Events
@@ -92,10 +109,13 @@ func RunApp(cfg AppConfig) AppResult {
 			e := events[idx]
 			idx++
 			pktID++
-			multi.InjectPacket(noc.NewPacket(pktID, e.Src, e.Dst, e.Flits, e.Class, cycle))
+			p := noc.NewPacket(pktID, e.Src, e.Dst, e.Flits, e.Class, cycle)
+			col.OnCreate(p, cycle)
+			multi.InjectPacket(p)
 		}
 		multi.Step()
 		cycle++
+		cfg.Progress.Tick(cycle)
 	}
 
 	window := multi.Counters()
@@ -110,6 +130,9 @@ func RunApp(cfg AppConfig) AppResult {
 	}
 	if delivered > 0 {
 		res.MeanLatencyNs = latencySum / float64(delivered) * periodNs
+		res.P50LatencyNs = col.PercentileLatencyCycles(0.50) * periodNs
+		res.P95LatencyNs = col.PercentileLatencyCycles(0.95) * periodNs
+		res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * periodNs
 		total := model.Energy(window, cfg.Arch == router.NoX).TotalPJ()
 		res.PacketEnergyPJ = total / float64(delivered)
 		// Average per-packet energy-delay^2: E[E_pkt * T^2] with the mean

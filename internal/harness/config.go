@@ -95,6 +95,7 @@ type RunResult struct {
 	MeanLatencyCycles float64
 	MeanLatencyNs     float64
 	P50LatencyNs      float64
+	P95LatencyNs      float64
 	P99LatencyNs      float64
 	MaxLatencyNs      float64
 

@@ -15,16 +15,16 @@ import (
 // (rate, architecture) and the full metric set per row.
 func SweepCSV(pattern string, points []SweepPoint) string {
 	var b strings.Builder
-	b.WriteString("pattern,rate_mbps_per_node,architecture,offered_mbps,accepted_mbps,mean_latency_ns,p99_latency_ns,saturated,packet_energy_pj,energy_delay2_pjns2,power_mw\n")
+	b.WriteString("pattern,rate_mbps_per_node,architecture,offered_mbps,accepted_mbps,mean_latency_ns,p50_latency_ns,p95_latency_ns,p99_latency_ns,saturated,packet_energy_pj,energy_delay2_pjns2,power_mw\n")
 	for _, pt := range points {
 		for _, arch := range router.Archs {
 			r, ok := pt.Results[arch]
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(&b, "%s,%.0f,%s,%.0f,%.1f,%.4f,%.4f,%v,%.2f,%.2f,%.2f\n",
+			fmt.Fprintf(&b, "%s,%.0f,%s,%.0f,%.1f,%.4f,%.4f,%.4f,%.4f,%v,%.2f,%.2f,%.2f\n",
 				pattern, pt.RateMBps, arch, r.OfferedMBps, r.AcceptedMBps,
-				r.MeanLatencyNs, r.P99LatencyNs, r.Saturated,
+				r.MeanLatencyNs, r.P50LatencyNs, r.P95LatencyNs, r.P99LatencyNs, r.Saturated,
 				r.PacketEnergyPJ, r.EnergyDelay2, r.PowerMW)
 		}
 	}
@@ -35,7 +35,7 @@ func SweepCSV(pattern string, points []SweepPoint) string {
 // (workload, architecture).
 func AppCSV(results []map[router.Arch]AppResult) string {
 	var b strings.Builder
-	b.WriteString("workload,architecture,mean_latency_ns,packet_energy_pj,energy_delay2_pjns2,injection_mbps,delivered_packets,drained\n")
+	b.WriteString("workload,architecture,mean_latency_ns,p50_latency_ns,p95_latency_ns,p99_latency_ns,packet_energy_pj,energy_delay2_pjns2,injection_mbps,delivered_packets,drained\n")
 	sorted := append([]map[router.Arch]AppResult(nil), results...)
 	sort.Slice(sorted, func(i, j int) bool {
 		return sorted[i][router.NoX].Workload < sorted[j][router.NoX].Workload
@@ -46,8 +46,9 @@ func AppCSV(results []map[router.Arch]AppResult) string {
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(&b, "%s,%s,%.4f,%.2f,%.2f,%.1f,%d,%v\n",
-				r.Workload, arch, r.MeanLatencyNs, r.PacketEnergyPJ,
+			fmt.Fprintf(&b, "%s,%s,%.4f,%.4f,%.4f,%.4f,%.2f,%.2f,%.1f,%d,%v\n",
+				r.Workload, arch, r.MeanLatencyNs, r.P50LatencyNs, r.P95LatencyNs,
+				r.P99LatencyNs, r.PacketEnergyPJ,
 				r.EnergyDelay2, r.InjectionMBps, r.DeliveredPkts, r.Drained)
 		}
 	}

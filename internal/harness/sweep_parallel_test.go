@@ -1,11 +1,17 @@
 package harness
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/noc"
+	"repro/internal/probe"
+	"repro/internal/router"
+	"repro/internal/trace"
 )
 
 // TestSweepParallelDeterminism is the regression gate for the parallel
@@ -35,6 +41,71 @@ func TestSweepParallelDeterminism(t *testing.T) {
 	}
 	if got, want := SweepCSV("uniform", par), SweepCSV("uniform", serial); got != want {
 		t.Errorf("parallel sweep CSV diverged from serial\nparallel:\n%s\nserial:\n%s", got, want)
+	}
+}
+
+// TestProbedRunParallelDeterminism checks that the observability layer is
+// as deterministic as the simulation it watches: a set of probed runs and
+// trace.Generate calls fanned out over an exp.Pool must produce the same
+// event streams byte for byte at any worker count. The comparison is on the
+// serialized Chrome trace (which encodes every recorded event, the ring
+// drop count, and the sampler output), so any scheduling-dependent emit
+// would surface as a byte diff.
+func TestProbedRunParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probed determinism fan-out is slow")
+	}
+	archs := []router.Arch{router.NonSpec, router.NoX}
+
+	probedTraces := func(pool *exp.Pool) []string {
+		out, err := exp.Map(context.Background(), pool, len(archs),
+			func(_ context.Context, i int) (string, error) {
+				pr := probe.New(probe.Config{RingEvents: 1 << 16, SampleEvery: 50})
+				cfg := fastCfg("uniform", 2200)
+				cfg.Arch = archs[i]
+				cfg.Topo = noc.Topology{Width: 4, Height: 4}
+				cfg.Probe = pr
+				if _, err := RunSynthetic(cfg); err != nil {
+					return "", err
+				}
+				var buf bytes.Buffer
+				if err := pr.WriteChromeTrace(&buf); err != nil {
+					return "", err
+				}
+				return buf.String(), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	genTraces := func(pool *exp.Pool) []string {
+		out, err := exp.Map(context.Background(), pool, len(trace.Workloads),
+			func(_ context.Context, i int) (string, error) {
+				tr := trace.Generate(trace.Workloads[i], noc.Topology{Width: 4, Height: 4}, 20000, 0xA11CE)
+				return fmt.Sprintf("%+v", tr.Events), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	serialRuns, serialGen := probedTraces(exp.NewPool(1)), genTraces(exp.NewPool(1))
+	for _, workers := range []int{3, 8} {
+		pool := exp.NewPool(workers)
+		for i, got := range probedTraces(pool) {
+			if got != serialRuns[i] {
+				t.Errorf("workers=%d: probed %s event stream diverged from serial (%d vs %d bytes)",
+					workers, archs[i], len(got), len(serialRuns[i]))
+			}
+		}
+		for i, got := range genTraces(pool) {
+			if got != serialGen[i] {
+				t.Errorf("workers=%d: trace.Generate(%s) diverged from serial",
+					workers, trace.Workloads[i].Name)
+			}
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/physical"
 	"repro/internal/power"
+	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -40,6 +41,11 @@ type SyntheticConfig struct {
 	Model *power.Model
 	// Observe, when set, sees every delivered packet (tracing/debugging).
 	Observe func(p *noc.Packet, cycle int64)
+	// Probe, when set, records flit-level events and per-router metrics for
+	// the run (see internal/probe). Nil disables instrumentation.
+	Probe *probe.Probe
+	// Progress, when set, receives per-cycle ticks for cycles/sec reporting.
+	Progress *probe.Progress
 }
 
 func (c *SyntheticConfig) fill() {
@@ -97,7 +103,7 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 		}
 	}
 
-	net := network.New(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth})
+	net := network.New(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe})
 	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
 	col.Reserve(int(pktRate*float64(cfg.Topo.Nodes())*float64(cfg.MeasureCycles)) + 64)
 	net.OnDeliver = col.OnDeliver
@@ -141,6 +147,7 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 			col.OnCreate(p, cyc)
 		}
 		net.Step()
+		cfg.Progress.Tick(cyc)
 	}
 	window := net.Counters().Sub(startCounters)
 
@@ -148,6 +155,7 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 	deadline := net.Cycle() + cfg.DrainCycles
 	for !col.Complete() && net.Cycle() < deadline {
 		net.Step()
+		cfg.Progress.Tick(net.Cycle())
 	}
 
 	accepted := col.AcceptedFlitsPerNodeCycle(nodes)
@@ -164,6 +172,7 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 	}
 	res.MeanLatencyNs = res.MeanLatencyCycles * periodNs
 	res.P50LatencyNs = col.PercentileLatencyCycles(0.50) * periodNs
+	res.P95LatencyNs = col.PercentileLatencyCycles(0.95) * periodNs
 	res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * periodNs
 	res.MaxLatencyNs = float64(col.MaxLatencyCycles()) * periodNs
 	// Saturation: measured packets never drained, or deliveries inside the

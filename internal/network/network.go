@@ -6,6 +6,7 @@ import (
 	"repro/internal/arbiter"
 	"repro/internal/noc"
 	"repro/internal/power"
+	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -32,6 +33,10 @@ type Config struct {
 	// component is evaluated every cycle — the reference mode that
 	// equivalence tests and benchmarks compare the fast path against.
 	AlwaysActive bool
+	// Probe, when non-nil, records flit-level trace events and per-router
+	// metrics for this network. Nil disables all instrumentation at zero
+	// cost on the simulation hot path.
+	Probe *probe.Probe
 }
 
 func (c *Config) fill() {
@@ -60,6 +65,7 @@ type Network struct {
 	nis      []*NI
 	niHandle []sim.Handle
 	counters *power.Counters
+	probe    *probe.Probe
 
 	ejectLinks []*noc.Link
 
@@ -83,10 +89,14 @@ func New(cfg Config) *Network {
 		kernel:   sim.NewKernel(),
 		routes:   routing.NewSystemTable(sys),
 		counters: &power.Counters{},
+		probe:    cfg.Probe,
 	}
 
 	routers := sys.Routers()
 	cores := sys.Cores()
+	if n.probe != nil {
+		n.probe.Attach(cfg.Topo.Width, cfg.Topo.Height, sys.Ports(), cores, cfg.BufferDepth)
+	}
 	n.routers = make([]router.Router, routers)
 	n.nis = make([]*NI, cores)
 	n.ejectLinks = make([]*noc.Link, cores)
@@ -100,6 +110,7 @@ func New(cfg Config) *Network {
 			Counters:    n.counters,
 			Ports:       sys.Ports(),
 			NewArbiter:  cfg.NewArbiter,
+			Probe:       n.probe,
 		})
 	}
 	for c := 0; c < cores; c++ {
@@ -137,6 +148,9 @@ func New(cfg Config) *Network {
 			l := noc.NewLink(dst.InputReceiver(p.Opposite()), cfg.BufferDepth)
 			r.SetOutputLink(p, l)
 			dst.SetInputLink(p.Opposite(), l)
+			if n.probe != nil {
+				l.SetProbe(n.probe, id, int(p))
+			}
 			links = append(links, l)
 			sinkOwner = append(sinkOwner, routerHandle[nb])
 		}
@@ -147,10 +161,16 @@ func New(cfg Config) *Network {
 			inj := noc.NewLink(r.InputReceiver(port), cfg.BufferDepth)
 			n.nis[coreID].injectLink = inj
 			r.SetInputLink(port, inj)
+			if n.probe != nil {
+				inj.SetProbe(n.probe, int(coreID), -1)
+			}
 			links = append(links, inj)
 			sinkOwner = append(sinkOwner, routerHandle[id])
 			ej := noc.NewLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
 			r.SetOutputLink(port, ej)
+			if n.probe != nil {
+				ej.SetProbe(n.probe, id, int(port))
+			}
 			n.ejectLinks[coreID] = ej
 			links = append(links, ej)
 			sinkOwner = append(sinkOwner, n.niHandle[coreID])
@@ -161,8 +181,14 @@ func New(cfg Config) *Network {
 		l.SetWake(n.kernel.Waker(lh), n.kernel.Waker(sinkOwner[i]))
 	}
 	n.kernel.SetAlwaysActive(cfg.AlwaysActive)
+	if n.probe != nil {
+		n.kernel.SetObserver(n.probe.Tick)
+	}
 	return n
 }
+
+// Probe returns the attached observability probe, nil when disabled.
+func (n *Network) Probe() *probe.Probe { return n.probe }
 
 // Topology returns the router-grid shape.
 func (n *Network) Topology() noc.Topology { return n.cfg.Topo }

@@ -74,6 +74,13 @@ type niReceiver struct{ ni *NI }
 func (r niReceiver) Receive(f *noc.Flit, cycle int64) {
 	r.ni.sink.Receive(f)
 	r.ni.net.counters.BufWrite++
+	if pr := r.ni.net.probe; pr != nil {
+		if f.Encoded {
+			pr.NIBufWrite(cycle, int(r.ni.node), f.Raw, -1)
+		} else {
+			pr.NIBufWrite(cycle, int(r.ni.node), f.Packet.ID, f.Seq)
+		}
+	}
 }
 
 // Compute injects the next flit of the packet under transmission and ejects
@@ -89,6 +96,9 @@ func (ni *NI) Compute(cycle int64) {
 	if ni.cur != nil && ni.injectLink.Credits() > 0 {
 		if ni.curSeq == 0 {
 			ni.cur.InjectCycle = cycle
+			if pr := ni.net.probe; pr != nil {
+				pr.Inject(cycle, int(ni.node), ni.cur.ID, ni.cur.Length)
+			}
 		}
 		ni.injectLink.Send(ni.cur.Flit(ni.curSeq))
 		ni.curSeq++
@@ -98,7 +108,12 @@ func (ni *NI) Compute(cycle int64) {
 	}
 
 	// Ejection side: at most one flit per cycle leaves the sink port.
-	if f, _, ok := ni.sink.Offer(); ok {
+	if f, decoded, ok := ni.sink.Offer(); ok {
+		if decoded {
+			if pr := ni.net.probe; pr != nil {
+				pr.NIDecode(cycle, int(ni.node), f.Packet.ID)
+			}
+		}
 		ni.sink.Service()
 		ni.deliver(f, cycle)
 	}
@@ -125,6 +140,9 @@ func (ni *NI) Commit(cycle int64) {
 	}
 	if ev.Decoded {
 		c.Decode++
+	}
+	if pr := ni.net.probe; pr != nil && ev.Reads > 0 {
+		pr.NIBufRead(cycle, int(ni.node), ev.Reads)
 	}
 	eject := ni.net.ejectLinks[ni.node]
 	for i := 0; i < ev.FreedSlots; i++ {
@@ -156,6 +174,9 @@ func (ni *NI) deliver(f *noc.Flit, cycle int64) {
 	if f.Seq == p.Length-1 {
 		ni.assembling = nil
 		p.DeliverCycle = cycle
+		if pr := ni.net.probe; pr != nil {
+			pr.Deliver(cycle, int(ni.node), p.ID, cycle-p.CreateCycle)
+		}
 		ni.net.deliver(p, cycle)
 	}
 }

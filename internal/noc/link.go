@@ -1,5 +1,7 @@
 package noc
 
+import "repro/internal/probe"
+
 // Receiver consumes flits delivered by a link: a router input port or a
 // network-interface sink.
 type Receiver interface {
@@ -31,6 +33,14 @@ type Link struct {
 	// optional: an unwired link is simply evaluated every cycle.
 	wakeSelf func()
 	wakeSink func()
+
+	// probe, when non-nil, receives an EvLink event per delivered flit.
+	// probeNode/probePort identify the channel by its driver: (router, port)
+	// for inter-router and ejection channels, (core, -1) for injection
+	// channels. int32 to keep the per-channel struct small.
+	probe     *probe.Probe
+	probeNode int32
+	probePort int32
 }
 
 // NewLink returns a link feeding sink whose receiver advertises credits
@@ -51,6 +61,12 @@ func NewLink(sink Receiver, credits int) *Link {
 func (l *Link) SetWake(wakeSelf, wakeSink func()) {
 	l.wakeSelf = wakeSelf
 	l.wakeSink = wakeSink
+}
+
+// SetProbe attaches the observability probe to this link, identified by the
+// driving (node, port); injection channels pass the core ID with port -1.
+func (l *Link) SetProbe(p *probe.Probe, node, port int) {
+	l.probe, l.probeNode, l.probePort = p, int32(node), int32(port)
 }
 
 // Credits returns the sender's current credit count.
@@ -93,6 +109,14 @@ func (l *Link) Compute(cycle int64) {}
 // must be committed after the routers of the same cycle.
 func (l *Link) Commit(cycle int64) {
 	if l.staged != nil {
+		if l.probe != nil {
+			f := l.staged
+			if f.Encoded {
+				l.probe.Link(cycle, int(l.probeNode), int(l.probePort), f.Raw, -1)
+			} else {
+				l.probe.Link(cycle, int(l.probeNode), int(l.probePort), f.Packet.ID, f.Seq)
+			}
+		}
 		l.sink.Receive(l.staged, cycle)
 		l.staged = nil
 		if l.wakeSink != nil {

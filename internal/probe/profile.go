@@ -1,0 +1,111 @@
+package probe
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Profiling hooks shared by every cmd tool: -cpuprofile / -memprofile flag
+// registration, and a cycles-per-second progress reporter for long runs.
+
+// ProfileFlags holds the standard profiling flag values.
+type ProfileFlags struct {
+	CPU string
+	Mem string
+}
+
+// AddProfileFlags registers -cpuprofile and -memprofile on the flag set
+// (call before flag.Parse). The returned struct is read by Start.
+func AddProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	pf := &ProfileFlags{}
+	fs.StringVar(&pf.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&pf.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return pf
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function must run before exit (defer it right after Start): it stops the
+// CPU profile and writes the heap profile when -memprofile was given.
+func (pf *ProfileFlags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if pf.CPU != "" {
+		cpuFile, err = os.Create(pf.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("probe: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("probe: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if pf.Mem != "" {
+			f, err := os.Create(pf.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "probe: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "probe: write mem profile:", err)
+			}
+		}
+	}, nil
+}
+
+// Progress reports simulation throughput (cycles per second) to a writer.
+// Tick it from the simulation loop; it prints at most once per interval.
+type Progress struct {
+	w         io.Writer
+	every     time.Duration
+	start     time.Time
+	last      time.Time
+	lastCycle int64
+}
+
+// NewProgress returns a reporter printing to w at most every interval.
+// A nil *Progress is valid and does nothing.
+func NewProgress(w io.Writer, every time.Duration) *Progress {
+	if every <= 0 {
+		every = time.Second
+	}
+	now := time.Now()
+	return &Progress{w: w, every: every, start: now, last: now}
+}
+
+// Tick reports progress when the interval has elapsed.
+func (p *Progress) Tick(cycle int64) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(p.last) < p.every {
+		return
+	}
+	rate := float64(cycle-p.lastCycle) / now.Sub(p.last).Seconds()
+	fmt.Fprintf(p.w, "probe: cycle %d (%.2f Mcycles/s)\n", cycle, rate/1e6)
+	p.last, p.lastCycle = now, cycle
+}
+
+// Done prints the whole-run summary: total cycles, wall time, cycles/sec.
+func (p *Progress) Done(cycle int64) {
+	if p == nil {
+		return
+	}
+	el := time.Since(p.start)
+	rate := 0.0
+	if el > 0 {
+		rate = float64(cycle) / el.Seconds()
+	}
+	fmt.Fprintf(p.w, "probe: simulated %d cycles in %v (%.2f Mcycles/s)\n", cycle, el.Round(time.Millisecond), rate/1e6)
+}

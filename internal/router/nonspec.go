@@ -57,6 +57,9 @@ func (r *nonspecRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
 	f.OutPort = r.route(f.Packet.Dst)
 	r.in[p].Push(f)
 	r.counters().BufWrite++
+	if pr := r.probe(); pr != nil {
+		pr.BufWrite(cycle, r.node(), int(p), f.Packet.ID, f.Seq)
+	}
 }
 
 // BufferedFlits returns the number of flits held in input FIFOs.
@@ -85,6 +88,7 @@ func (r *nonspecRouter) Quiet() bool {
 // Compute arbitrates each output and traverses the winner in the same cycle.
 func (r *nonspecRouter) Compute(cycle int64) {
 	c := r.counters()
+	pr := r.probe()
 
 	// Gather requests per output from the input FIFO heads.
 	req, head := r.req, r.head
@@ -111,6 +115,9 @@ func (r *nonspecRouter) Compute(cycle int64) {
 			continue
 		}
 		if link.Credits() == 0 {
+			if pr != nil {
+				pr.CreditStall(cycle, r.node(), int(o))
+			}
 			continue // backpressure: output stalls, lock holds
 		}
 
@@ -145,19 +152,29 @@ func (r *nonspecRouter) Compute(cycle int64) {
 		c.Xbar++
 		c.LinkFlit++
 		c.OutputActive++
+		if pr != nil {
+			pr.Traverse(cycle, r.node(), int(o), f.Packet.ID, f.Seq)
+		}
 	}
 }
 
 // Commit pops the traversed flits and returns their credits upstream.
 func (r *nonspecRouter) Commit(cycle int64) {
 	c := r.counters()
+	pr := r.probe()
 	for i := range r.in {
 		if r.pops[i] {
 			r.pops[i] = false
 			r.in[i].Pop()
 			c.BufRead++
+			if pr != nil {
+				pr.BufRead(cycle, r.node(), i, 1)
+			}
 			r.returnCredits(noc.Port(i), 1)
 		}
 	}
 	copy(r.lock, r.lockNext)
+	if pr != nil {
+		pr.Occupancy(r.node(), r.BufferedFlits())
+	}
 }

@@ -19,6 +19,10 @@ type noxRouter struct {
 
 	// offers is per-cycle scratch: [output][input] presentations.
 	offers [][]*noc.Flit
+	// decoded is per-cycle scratch: decoded[i] reports input i's current
+	// offer came through the decode path (probe instrumentation; written
+	// only when a probe is attached).
+	decoded []bool
 }
 
 func newNoX(cfg Config) *noxRouter {
@@ -28,6 +32,7 @@ func newNoX(cfg Config) *noxRouter {
 	r.in = make([]*core.InputPort, n)
 	r.ctl = make([]*core.OutputControl, n)
 	r.offers = make([][]*noc.Flit, n)
+	r.decoded = make([]bool, n)
 	for p := range r.in {
 		r.in[p] = core.NewInputPort(cfg.BufferDepth, r.route)
 		r.ctl[p] = core.NewOutputControl(n, cfg.NewArbiter(n))
@@ -44,6 +49,10 @@ func (r *noxRouter) InputReceiver(p noc.Port) noc.Receiver {
 func (r *noxRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
 	r.in[p].Receive(f)
 	r.counters().BufWrite++
+	if pr := r.probe(); pr != nil {
+		arg, seq := flitTraceID(f)
+		pr.BufWrite(cycle, r.node(), int(p), arg, seq)
+	}
 }
 
 // BufferedFlits returns the flits held in input FIFOs and decode registers.
@@ -82,6 +91,7 @@ func (r *noxRouter) Quiet() bool {
 // output's arbitration-and-masking logic decide.
 func (r *noxRouter) Compute(cycle int64) {
 	c := r.counters()
+	pr := r.probe()
 
 	// Each input presents at most one flit; group presentations by their
 	// lookahead output port.
@@ -92,9 +102,12 @@ func (r *noxRouter) Compute(cycle int64) {
 		}
 	}
 	for i := range r.in {
-		f, _, ok := r.in[i].Offer()
+		f, decoded, ok := r.in[i].Offer()
 		if !ok {
 			continue
+		}
+		if pr != nil {
+			r.decoded[i] = decoded
 		}
 		if r.outLink[f.OutPort] == nil {
 			panic("router: flit routed to unwired output")
@@ -116,6 +129,10 @@ func (r *noxRouter) Compute(cycle int64) {
 			if d.Out.Encoded {
 				c.EncodedFlits++
 			}
+			if pr != nil {
+				arg, seq := flitTraceID(d.Out)
+				pr.Traverse(cycle, r.node(), int(o), arg, seq)
+			}
 		}
 		if d.Invalid {
 			// Multi-flit abort: the channel carries an indeterminate value
@@ -123,15 +140,29 @@ func (r *noxRouter) Compute(cycle int64) {
 			c.LinkInvalid++
 			c.WastedCycles++
 			c.Aborts++
+			if pr != nil {
+				pr.Abort(cycle, r.node(), int(o), d.Granted)
+			}
 		}
 		if d.Collided && !d.Invalid {
 			c.Collisions++
+			if pr != nil {
+				pr.Collision(cycle, r.node(), int(o), int(d.Colliders), d.Out.Raw)
+			}
 		}
 		if d.Arbitrated {
 			c.Arb++
 		}
+		if d.Stalled && pr != nil {
+			pr.CreditStall(cycle, r.node(), int(o))
+		}
 		if d.Serviced >= 0 {
 			r.in[d.Serviced].Service()
+			if pr != nil && r.decoded[d.Serviced] {
+				// The serviced presentation came out of the decode path: a
+				// Recovery decode recovered this flit from register XOR head.
+				pr.Decode(cycle, r.node(), d.Serviced, offers[o][d.Serviced].Packet.ID)
+			}
 		}
 	}
 }
@@ -140,6 +171,7 @@ func (r *noxRouter) Compute(cycle int64) {
 // returns freed credits upstream.
 func (r *noxRouter) Commit(cycle int64) {
 	c := r.counters()
+	pr := r.probe()
 	for i := range r.in {
 		ev := r.in[i].Commit()
 		c.BufRead += int64(ev.Reads)
@@ -149,11 +181,31 @@ func (r *noxRouter) Commit(cycle int64) {
 		if ev.Decoded {
 			c.Decode++
 		}
+		if pr != nil && ev.Reads > 0 {
+			pr.BufRead(cycle, r.node(), i, ev.Reads)
+		}
 		r.returnCredits(noc.Port(i), ev.FreedSlots)
 	}
+	if pr == nil {
+		for o := noc.Port(0); o < noc.Port(r.ports); o++ {
+			if r.outLink[o] != nil {
+				r.ctl[o].Commit()
+			}
+		}
+		return
+	}
 	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
-		if r.outLink[o] != nil {
-			r.ctl[o].Commit()
+		if r.outLink[o] == nil {
+			continue
+		}
+		ctl := r.ctl[o]
+		before := ctl.Mode()
+		// Count the cycle against the mode the output operated in.
+		pr.ModeCycle(r.node(), before == core.Scheduled)
+		ctl.Commit()
+		if after := ctl.Mode(); after != before {
+			pr.ModeChange(cycle, r.node(), int(o), int(before), int(after))
 		}
 	}
+	pr.Occupancy(r.node(), r.BufferedFlits())
 }

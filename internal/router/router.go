@@ -12,10 +12,12 @@ package router
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/arbiter"
 	"repro/internal/noc"
 	"repro/internal/power"
+	"repro/internal/probe"
 	"repro/internal/routing"
 	"repro/internal/sim"
 )
@@ -59,6 +61,22 @@ func (a Arch) String() string {
 	}
 }
 
+// ArchByName maps a CLI spelling of an architecture to its Arch value.
+func ArchByName(name string) (Arch, error) {
+	switch strings.ToLower(name) {
+	case "nonspec", "non-speculative", "sequential":
+		return NonSpec, nil
+	case "specfast", "spec-fast":
+		return SpecFast, nil
+	case "specaccurate", "spec-accurate":
+		return SpecAccurate, nil
+	case "nox":
+		return NoX, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q (nonspec|specfast|specaccurate|nox)", name)
+	}
+}
+
 // Config parameterizes a router instance.
 type Config struct {
 	Arch Arch
@@ -73,6 +91,9 @@ type Config struct {
 	Ports int
 	// NewArbiter builds the per-output arbiter; nil selects round-robin.
 	NewArbiter func(n int) arbiter.Arbiter
+	// Probe, when non-nil, receives flit-level trace events and per-router
+	// metrics. A nil probe disables all instrumentation at zero cost.
+	Probe *probe.Probe
 }
 
 func (c *Config) fill() {
@@ -149,6 +170,22 @@ func (b *base) init(cfg Config) {
 func (b *base) Node() noc.NodeID { return b.cfg.Node }
 
 func (b *base) counters() *power.Counters { return b.cfg.Counters }
+
+// probe returns the attached observability probe, nil when disabled.
+func (b *base) probe() *probe.Probe { return b.cfg.Probe }
+
+// node returns the router's grid position as a plain int for probe emits.
+func (b *base) node() int { return int(b.cfg.Node) }
+
+// flitTraceID returns a flit's trace identity: its packet ID and sequence,
+// or the raw wire image with seq -1 for encoded superpositions (which have
+// no single owning packet).
+func flitTraceID(f *noc.Flit) (arg uint64, seq int) {
+	if f.Encoded {
+		return f.Raw, -1
+	}
+	return f.Packet.ID, f.Seq
+}
 
 // SetInputLink registers the link feeding port p.
 func (b *base) SetInputLink(p noc.Port, l *noc.Link) { b.inLink[p] = l }

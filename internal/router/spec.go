@@ -106,6 +106,9 @@ func (r *specRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
 	f.OutPort = r.route(f.Packet.Dst)
 	r.in[p].Push(f)
 	r.counters().BufWrite++
+	if pr := r.probe(); pr != nil {
+		pr.BufWrite(cycle, r.node(), int(p), f.Packet.ID, f.Seq)
+	}
 }
 
 // BufferedFlits returns the number of flits held in input FIFOs.
@@ -185,6 +188,9 @@ func (r *specRouter) Compute(cycle int64) {
 			// Backpressure: everything holds.
 			r.resNext[o] = r.res[o]
 			r.resPktNext[o] = r.resPkt[o]
+			if pr := r.probe(); pr != nil {
+				pr.CreditStall(cycle, r.node(), int(o))
+			}
 			continue
 		}
 
@@ -200,7 +206,7 @@ func (r *specRouter) Compute(cycle int64) {
 			// there — a freshly exposed successor never requested it.
 			if req[o]&(1<<res) != 0 && head[res].Packet == r.resPkt[o] {
 				success = res
-				r.traverse(o, res, head[res])
+				r.traverse(o, res, head[res], cycle)
 			} else {
 				// The reservation was unnecessary — its requester already
 				// departed or has nothing to send — and every other input
@@ -231,13 +237,16 @@ func (r *specRouter) Compute(cycle int64) {
 		case 1:
 			i := bits.TrailingZeros32(req[o])
 			success = i
-			r.traverse(o, i, head[i])
+			r.traverse(o, i, head[i], cycle)
 		default:
 			// Misspeculation: contention drives an indeterminate value on
 			// the channel; the cycle and the channel energy are wasted.
 			c.LinkInvalid++
 			c.WastedCycles++
 			c.Collisions++
+			if pr := r.probe(); pr != nil {
+				pr.Collision(cycle, r.node(), int(o), bits.OnesCount32(req[o]), 0)
+			}
 		}
 		var allocReq uint32
 		if r.accurate {
@@ -261,7 +270,7 @@ func (r *specRouter) Compute(cycle int64) {
 func (r *specRouter) computeLocked(o noc.Port, owner int, req uint32, head []*noc.Flit, cycle int64) {
 	c := r.counters()
 	if req&(1<<owner) != 0 {
-		r.traverse(o, owner, head[owner])
+		r.traverse(o, owner, head[owner], cycle)
 	}
 	if r.accurate {
 		// Spec-Accurate overrides arbitration while a multi-flit packet is
@@ -285,7 +294,7 @@ func (r *specRouter) computeLocked(o noc.Port, owner int, req uint32, head []*no
 
 // traverse stages a successful switch traversal of head f from input i to
 // output o.
-func (r *specRouter) traverse(o noc.Port, i int, f *noc.Flit) {
+func (r *specRouter) traverse(o noc.Port, i int, f *noc.Flit, cycle int64) {
 	c := r.counters()
 	if f.MultiFlit() {
 		if f.Seq == 0 {
@@ -300,6 +309,9 @@ func (r *specRouter) traverse(o noc.Port, i int, f *noc.Flit) {
 	c.Xbar++
 	c.LinkFlit++
 	c.OutputActive++
+	if pr := r.probe(); pr != nil {
+		pr.Traverse(cycle, r.node(), int(o), f.Packet.ID, f.Seq)
+	}
 }
 
 // allocate runs the parallel allocator over allocReq and stages next
@@ -323,11 +335,15 @@ func (r *specRouter) allocate(o noc.Port, allocReq uint32, head []*noc.Flit) {
 // locks, and tracks newly exposed packets.
 func (r *specRouter) Commit(cycle int64) {
 	c := r.counters()
+	pr := r.probe()
 	for i := range r.in {
 		if r.pops[i] {
 			r.pops[i] = false
 			f := r.in[i].Pop()
 			c.BufRead++
+			if pr != nil {
+				pr.BufRead(cycle, r.node(), i, 1)
+			}
 			r.returnCredits(noc.Port(i), 1)
 			if f.Tail() && !r.in[i].Empty() {
 				// The next packet was exposed by this departure; it may
@@ -339,4 +355,7 @@ func (r *specRouter) Commit(cycle int64) {
 	copy(r.lock, r.lockNext)
 	copy(r.res, r.resNext)
 	copy(r.resPkt, r.resPktNext)
+	if pr != nil {
+		pr.Occupancy(r.node(), r.BufferedFlits())
+	}
 }

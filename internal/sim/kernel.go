@@ -56,6 +56,11 @@ type Kernel struct {
 	// equivalence tests and benchmarks).
 	alwaysActive bool
 	cycle        int64
+
+	// observer, when set, is called at the end of every Step with the
+	// completed cycle and the number of components evaluated next step
+	// (observability hook; see internal/probe).
+	observer func(cycle int64, active int)
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -105,6 +110,13 @@ func (k *Kernel) Wake(h Handle) {
 // know about the kernel.
 func (k *Kernel) Waker(h Handle) func() {
 	return func() { k.Wake(h) }
+}
+
+// SetObserver installs a hook called at the end of every Step with the
+// completed cycle number and the active-component count. A nil fn removes
+// the hook. The hook must not call Step or Add.
+func (k *Kernel) SetObserver(fn func(cycle int64, active int)) {
+	k.observer = fn
 }
 
 // ActiveComponents returns how many components will be evaluated next step.
@@ -157,6 +169,9 @@ func (k *Kernel) Step() {
 				k.idle++
 			}
 		}
+	}
+	if k.observer != nil {
+		k.observer(k.cycle, len(k.components)-k.idle)
 	}
 	k.cycle++
 }

@@ -106,9 +106,11 @@ func (c *Collector) MeanLatencyCycles() float64 {
 func (c *Collector) MaxLatencyCycles() int64 { return c.latencyMax }
 
 // PercentileLatencyCycles returns the q-quantile (0 < q <= 1) of measured
-// latencies, or NaN when none completed.
+// latencies. Queries on an empty record or with q outside (0, 1] return
+// NaN rather than panicking — saturated runs legitimately finish with no
+// completed measured packets.
 func (c *Collector) PercentileLatencyCycles(q float64) float64 {
-	if len(c.latencies) == 0 {
+	if len(c.latencies) == 0 || math.IsNaN(q) || q <= 0 || q > 1 {
 		return math.NaN()
 	}
 	if !c.sorted {

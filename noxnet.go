@@ -34,6 +34,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/physical"
 	"repro/internal/power"
+	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -74,6 +75,24 @@ type (
 
 // NewNetwork builds a wired mesh network (defaults: 8x8, 4-flit buffers).
 func NewNetwork(cfg NetworkConfig) *Network { return network.New(cfg) }
+
+// Observability types: flit-level tracing and per-router metrics. Set
+// NetworkConfig.Probe to instrument a network; a nil probe disables all
+// instrumentation at zero cost. See cmd/noxtrace for the command-line tool.
+type (
+	// Probe records a simulation's flit-level event stream and per-router
+	// metrics, exportable as a Chrome/Perfetto trace, a textual waveform,
+	// and CSV summaries.
+	Probe = probe.Probe
+	// ProbeConfig parameterizes a Probe (ring capacity, sampling interval,
+	// timestamp scaling).
+	ProbeConfig = probe.Config
+	// ProbeEvent is one recorded microarchitectural event.
+	ProbeEvent = probe.Event
+)
+
+// NewProbe builds an observability probe to pass in NetworkConfig.Probe.
+func NewProbe(cfg ProbeConfig) *Probe { return probe.New(cfg) }
 
 // Experiment harness types (Figures 8-12).
 type (
