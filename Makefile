@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench trace-smoke
+.PHONY: check build vet lint test race bench bench-json trace-smoke
 
 ## check: the CI gate — build, vet, static analysis, the full test suite
 ## under the race detector (the parallel experiment engine makes this
@@ -37,6 +37,15 @@ race:
 ## microbenchmarks (allocation counts included).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+## bench-json: run the benchmark suite and snapshot it to BENCH_<stamp>.json
+## (name -> ns/op, allocs/op, custom metrics) so the perf trajectory is
+## machine-tracked in version control. Committed snapshots are the baseline
+## future PRs compare against.
+bench-json:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | tee "$$tmp" && \
+	$(GO) run ./cmd/noxbench -in "$$tmp"
 
 ## trace-smoke: run noxtrace on a tiny mesh and validate that the emitted
 ## Chrome trace JSON parses and that every CSV exporter produces output.

@@ -8,6 +8,7 @@ package noxnet
 // numbers so a bench run doubles as a smoke reproduction.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/exp"
@@ -99,7 +100,7 @@ func benchAppResults(b *testing.B, workload string) map[router.Arch]harness.AppR
 		b.Fatal(err)
 	}
 	tr := trace.Generate(w, harness.Table1().Topo, 8000, 7)
-	return harness.RunAppAllArchs(tr, 0, benchPool)
+	return harness.RunAppAllArchs(tr, 0, benchPool, 0)
 }
 
 // BenchmarkFigure10ApplicationLatency regenerates one workload's Figure 10
@@ -171,6 +172,42 @@ func BenchmarkNetworkCycle(b *testing.B) {
 				net.Step()
 			}
 		})
+	}
+}
+
+// BenchmarkNetworkCycleLarge measures one loaded cycle on big meshes —
+// the scaling case the sharded executor exists for — at several worker
+// counts. shards=1 is the serial kernel; on a multicore host wall-clock
+// drops as shards rise (on one CPU all counts run within noise, since the
+// pool never dispatches in parallel). Results are bit-identical across the
+// row; only the wall clock moves.
+func BenchmarkNetworkCycleLarge(b *testing.B) {
+	for _, side := range []int{16, 32} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("NoX-%dx%d/shards=%d", side, side, shards), func(b *testing.B) {
+				net := network.New(network.Config{
+					Topo:   noc.Topology{Width: side, Height: side},
+					Arch:   router.NoX,
+					Shards: shards,
+				})
+				defer net.Close()
+				rng := sim.NewRNG(1)
+				cores := net.Cores()
+				// Load proportional to mesh size so per-cycle work scales.
+				perCycle := cores / 16
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < perCycle; j++ {
+						src := noc.NodeID(rng.Intn(cores))
+						dst := noc.NodeID(rng.Intn(cores))
+						if src != dst {
+							net.Inject(src, dst, 1, 0)
+						}
+					}
+					net.Step()
+				}
+			})
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 		study    = flag.String("study", "all", "buffers | arbiter | xorcost | all")
 		rate     = flag.Float64("rate", 2000, "offered uniform load (MB/s/node)")
 		parallel = flag.Int("parallel", 0, "worker count for ablation points (0 = all CPUs, 1 = serial; output is identical)")
+		shards   = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; output is identical)")
 	)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -45,20 +46,20 @@ func main() {
 	archs := []router.Arch{router.SpecAccurate, router.NoX}
 
 	if *study == "buffers" || *study == "all" {
-		pts := harness.AblateBufferDepth([]int{2, 3, 4, 6, 8}, *rate, archs, pool)
+		pts := harness.AblateBufferDepth([]int{2, 3, 4, 6, 8}, *rate, archs, pool, *shards)
 		fmt.Print(harness.FormatAblation(
 			fmt.Sprintf("Ablation: input buffer depth (uniform @ %.0f MB/s/node; Table 1 uses 4)", *rate), pts))
 		fmt.Println()
 	}
 	if *study == "arbiter" || *study == "all" {
-		pts := harness.AblateArbiter(*rate, archs, pool)
+		pts := harness.AblateArbiter(*rate, archs, pool, *shards)
 		fmt.Print(harness.FormatAblation(
 			fmt.Sprintf("Ablation: output arbiter (uniform @ %.0f MB/s/node)", *rate), pts))
 		fmt.Println()
 	}
 	if *study == "xorcost" || *study == "all" {
 		factors := []float64{1.0, 1.03, 1.06, 1.12, 1.25}
-		rel, err := harness.AblateXORCost(factors, *rate, pool)
+		rel, err := harness.AblateXORCost(factors, *rate, pool, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "noxablate:", err)
 			os.Exit(1)

@@ -29,6 +29,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 		seed      = flag.Uint64("seed", 1234, "trace generation seed")
 		parallel  = flag.Int("parallel", 0, "worker count for per-architecture replays (0 = all CPUs, 1 = serial; output is identical)")
+		shards    = flag.Int("shards", 0, "intra-simulation worker shards per network (0 = auto, 1 = serial; output is identical)")
 	)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -60,7 +61,7 @@ func main() {
 		tr := trace.Generate(w, topo, *cpuCycles, *seed)
 		fmt.Printf("replaying %-8s (%6d packets, offered %6.0f MB/s/node)\n",
 			w.Name, len(tr.Events), tr.MeanInjectionMBps())
-		results = append(results, harness.RunAppAllArchs(tr, 0, pool))
+		results = append(results, harness.RunAppAllArchs(tr, 0, pool, *shards))
 	}
 	fmt.Println()
 	if *csv {

@@ -1,0 +1,160 @@
+// Command noxbench converts `go test -bench` output into a machine-readable
+// JSON snapshot so the repo's performance trajectory is tracked in version
+// control. Each benchmark records ns/op, B/op, allocs/op, and any custom
+// metrics reported via b.ReportMetric (the paper's headline numbers ride
+// along with the timings).
+//
+// Usage (see `make bench-json`):
+//
+//	go test -run '^$' -bench . -benchtime 1x . | noxbench -out BENCH_20260806T120000Z.json
+//	noxbench -in bench.txt -out -          # JSON to stdout
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are -1 when the benchmark did not report them
+	// (ReportAllocs not called), distinguishing "not measured" from zero.
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	Schema       string      `json:"schema"`
+	GeneratedUTC string      `json:"generated_utc"`
+	GoVersion    string      `json:"go_version"`
+	GoOS         string      `json:"goos"`
+	GoArch       string      `json:"goarch"`
+	NumCPU       int         `json:"num_cpu"`
+	Benchmarks   []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `Benchmark...` result line: name, iteration count,
+// then value/unit pairs. Non-benchmark lines return ok=false.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}
+
+// Parse reads `go test -bench` output and returns the benchmark results in
+// input order.
+func Parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(strings.TrimSpace(sc.Text())); ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "noxbench:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "benchmark output to parse ('-' = stdin)")
+		out = flag.String("out", "", "JSON output file ('-' = stdout; default BENCH_<stamp>.json)")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	now := time.Now().UTC()
+	snap := Snapshot{
+		Schema:       "nox-bench/v1",
+		GeneratedUTC: now.Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GoOS:         runtime.GOOS,
+		GoArch:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		Benchmarks:   benches,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + now.Format("20060102T150405Z") + ".json"
+	}
+	if path == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "noxbench: wrote %d benchmarks to %s\n", len(benches), path)
+}

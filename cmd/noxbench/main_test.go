@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParse covers the three line shapes `go test -bench` emits: plain
+// timing, timing with allocation stats, and custom ReportMetric units —
+// plus the chatter lines that must be ignored.
+func TestParse(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: repro",
+		"BenchmarkNetworkCycle/NoX-8         \t    1234\t    985432 ns/op\t       0 B/op\t       0 allocs/op",
+		"BenchmarkFigure8SyntheticLatency-8  \t       1\t 123456789 ns/op\t      2775 NoX-sat-MB/s/node",
+		"BenchmarkTable1SystemParameters     \t  500000\t      2101 ns/op",
+		"--- BENCH: not a result line",
+		"PASS",
+		"ok  \trepro\t12.3s",
+	}, "\n")
+	benches, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	cyc := benches[0]
+	if cyc.Name != "BenchmarkNetworkCycle/NoX-8" || cyc.Iterations != 1234 ||
+		cyc.NsPerOp != 985432 || cyc.AllocsPerOp != 0 || cyc.BytesPerOp != 0 {
+		t.Errorf("alloc-reporting line misparsed: %+v", cyc)
+	}
+	fig := benches[1]
+	if fig.NsPerOp != 123456789 || fig.Metrics["NoX-sat-MB/s/node"] != 2775 {
+		t.Errorf("custom metric misparsed: %+v", fig)
+	}
+	if fig.AllocsPerOp != -1 || fig.BytesPerOp != -1 {
+		t.Errorf("unreported alloc stats should be -1: %+v", fig)
+	}
+	if tab := benches[2]; tab.Iterations != 500000 || tab.NsPerOp != 2101 {
+		t.Errorf("plain line misparsed: %+v", tab)
+	}
+}

@@ -4,10 +4,15 @@
 // hypothesis under test: NoX derives more benefit at higher radix because
 // arbitration latencies and channels grow while its decode cost is fixed.
 //
+// Beyond the paper's two organizations, -systems adds the 16x16 (256-core)
+// and 32x32 (1024-core) meshes that the sharded simulation kernel makes
+// practical to sweep.
+//
 // Usage:
 //
 //	noxfuture
 //	noxfuture -pattern selfsimilar -rates 400,800,1200
+//	noxfuture -systems mesh16x16,mesh32x32 -rates 400,800
 package main
 
 import (
@@ -28,6 +33,8 @@ func main() {
 		ratesStr = flag.String("rates", "400,800,1200,1600,2000,2400", "comma-separated offered rates (MB/s/core)")
 		seed     = flag.Uint64("seed", 0xF07E, "simulation seed")
 		parallel = flag.Int("parallel", 0, "worker count for study points (0 = all CPUs, 1 = serial; output is identical)")
+		systems  = flag.String("systems", "mesh8x8,cmesh4x4", "comma-separated systems: mesh8x8|cmesh4x4|mesh16x16|mesh32x32")
+		shards   = flag.Int("shards", 0, "intra-simulation worker shards per point (0 = auto: large meshes shard on multicore; output is identical)")
 	)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -53,7 +60,13 @@ func main() {
 		rates = append(rates, v)
 	}
 
-	st, err := harness.RunFutureStudy(rates, *pattern, *seed, pool)
+	kinds, err := harness.ParseSystemKinds(*systems)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxfuture:", err)
+		os.Exit(1)
+	}
+
+	st, err := harness.RunFutureStudyKinds(kinds, rates, *pattern, *seed, pool, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxfuture:", err)
 		os.Exit(1)

@@ -27,6 +27,7 @@ func main() {
 		measure  = flag.Int64("measure", 10000, "measurement cycles")
 		seed     = flag.Uint64("seed", 0xA11CE, "simulation seed")
 		parallel = flag.Int("parallel", 0, "worker count for per-architecture runs (0 = all CPUs, 1 = serial; output is identical)")
+		shards   = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; output is identical)")
 	)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 				RateMBps:      *rate,
 				MeasureCycles: *measure,
 				Seed:          *seed,
+				Shards:        *shards,
 			})
 		})
 	if err != nil {

@@ -30,6 +30,7 @@ func main() {
 		warmup      = flag.Int64("warmup", 3000, "warmup cycles")
 		measure     = flag.Int64("measure", 10000, "measurement cycles")
 		seed        = flag.Uint64("seed", 0xA11CE, "simulation seed")
+		shards      = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; results are bit-identical)")
 		printConfig = flag.Bool("print-config", false, "print Table 1 system parameters and exit")
 		tracePkts   = flag.Int("trace", 0, "print the first N delivered packets")
 		progress    = flag.Bool("progress", false, "report simulation throughput (cycles/sec) to stderr")
@@ -61,6 +62,7 @@ func main() {
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		Seed:          *seed,
+		Shards:        *shards,
 	}
 	var rep *probe.Progress
 	if *progress {

@@ -28,6 +28,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 		seed     = flag.Uint64("seed", 0xA11CE, "simulation seed")
 		parallel = flag.Int("parallel", 0, "worker count for sweep points (0 = all CPUs, 1 = serial; output is identical)")
+		shards   = flag.Int("shards", 0, "intra-simulation worker shards per point (0 = auto, 1 = serial; output is identical)")
 	)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	for _, pat := range patterns {
-		base := harness.SyntheticConfig{Pattern: pat, Seed: *seed}
+		base := harness.SyntheticConfig{Pattern: pat, Seed: *seed, Shards: *shards}
 		if *fast {
 			base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 15000
 		}

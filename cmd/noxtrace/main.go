@@ -89,6 +89,7 @@ func main() {
 		cycles   = flag.Int64("cycles", 2000, "cycles of traffic before the drain")
 		drain    = flag.Int64("drain", 20000, "drain cycle limit after traffic stops")
 		seed     = flag.Uint64("seed", 0xA11CE, "simulation seed")
+		shards   = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; exports are byte-identical)")
 		ring     = flag.Int("ring", 1<<18, "event ring capacity (rounded up to a power of two; the ring keeps the most recent events)")
 		sample   = flag.Int64("sample", 100, "time-series sampling interval in cycles (0 disables the sampler)")
 		out      = flag.String("out", "trace.json", "Chrome trace-event JSON output file ('-' = stdout, '' = skip)")
@@ -137,7 +138,8 @@ func main() {
 	}
 
 	pr := probe.New(probe.Config{RingEvents: *ring, SampleEvery: *sample, PeriodNs: periodNs})
-	net := network.New(network.Config{Topo: topo, Arch: arch, Probe: pr})
+	net := network.New(network.Config{Topo: topo, Arch: arch, Probe: pr, Shards: *shards})
+	defer net.Close()
 
 	var rep *probe.Progress
 	if *progress {

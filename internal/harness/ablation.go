@@ -34,12 +34,13 @@ type AblationPoint struct {
 // runConfigured runs uniform traffic at the given load through a custom
 // network configuration — the shared engine under the ablations.
 func runConfigured(arch router.Arch, rateMBps float64, bufferDepth int,
-	newArb func(int) arbiter.Arbiter, warm, meas, drain int64) AblationPoint {
+	newArb func(int) arbiter.Arbiter, warm, meas, drain int64, shards int) AblationPoint {
 	periodNs := physical.ClockPeriodNs(arch)
 	pktRate := FlitsPerNodeCycle(rateMBps, periodNs)
 
 	topo := noc.Topology{Width: 8, Height: 8}
-	net := network.New(network.Config{Topo: topo, Arch: arch, BufferDepth: bufferDepth, NewArbiter: newArb})
+	net := network.New(network.Config{Topo: topo, Arch: arch, BufferDepth: bufferDepth, NewArbiter: newArb, Shards: shards})
+	defer net.Close()
 	col := stats.NewCollector(warm, warm+meas)
 	col.Reserve(int(pktRate*float64(topo.Nodes())*float64(meas)) + 64)
 	net.OnDeliver = col.OnDeliver
@@ -64,6 +65,10 @@ func runConfigured(arch router.Arch, rateMBps float64, bufferDepth int,
 	}
 	deadline := net.Cycle() + drain
 	for !col.Complete() && net.Cycle() < deadline {
+		if net.FullyIdle() {
+			net.FastForwardIdle(deadline - net.Cycle())
+			break
+		}
 		net.Step()
 	}
 	return AblationPoint{
@@ -79,11 +84,11 @@ func runConfigured(arch router.Arch, rateMBps float64, bufferDepth int,
 // at a fixed uniform load for the given architectures. Shallower buffers
 // shrink the credit round-trip margin; NoX's decode register (one slot of
 // extra storage, freed-early winners) makes it the most robust.
-func AblateBufferDepth(depths []int, rateMBps float64, archs []router.Arch, pool *exp.Pool) []AblationPoint {
+func AblateBufferDepth(depths []int, rateMBps float64, archs []router.Arch, pool *exp.Pool, shards int) []AblationPoint {
 	out, _ := exp.Map(context.Background(), pool, len(depths)*len(archs),
 		func(_ context.Context, i int) (AblationPoint, error) {
 			d := depths[i/len(archs)]
-			pt := runConfigured(archs[i%len(archs)], rateMBps, d, nil, 1500, 4000, 15000)
+			pt := runConfigured(archs[i%len(archs)], rateMBps, d, nil, 1500, 4000, 15000, shards)
 			pt.Label = fmt.Sprintf("depth=%d", d)
 			return pt, nil
 		})
@@ -93,7 +98,7 @@ func AblateBufferDepth(depths []int, rateMBps float64, archs []router.Arch, pool
 // AblateArbiter compares round-robin against matrix (least recently
 // served) output arbiters at a fixed uniform load. The NoX decode order
 // follows grant order, so the arbiter choice is visible end to end.
-func AblateArbiter(rateMBps float64, archs []router.Arch, pool *exp.Pool) []AblationPoint {
+func AblateArbiter(rateMBps float64, archs []router.Arch, pool *exp.Pool, shards int) []AblationPoint {
 	kinds := []struct {
 		name string
 		mk   func(int) arbiter.Arbiter
@@ -104,7 +109,7 @@ func AblateArbiter(rateMBps float64, archs []router.Arch, pool *exp.Pool) []Abla
 	out, _ := exp.Map(context.Background(), pool, len(kinds)*len(archs),
 		func(_ context.Context, i int) (AblationPoint, error) {
 			k := kinds[i/len(archs)]
-			pt := runConfigured(archs[i%len(archs)], rateMBps, 4, k.mk, 1500, 4000, 15000)
+			pt := runConfigured(archs[i%len(archs)], rateMBps, 4, k.mk, 1500, 4000, 15000, shards)
 			pt.Label = k.name
 			return pt, nil
 		})
@@ -115,9 +120,9 @@ func AblateArbiter(rateMBps float64, archs []router.Arch, pool *exp.Pool) []Abla
 // Spec-Accurate and NoX shifts as the XOR fabric's per-traversal energy
 // premium varies around §2.5's "marginally more" (our default 1.06x).
 // Returned map: factor -> Spec-Accurate total power relative to NoX.
-func AblateXORCost(factors []float64, rateMBps float64, pool *exp.Pool) (map[float64]float64, error) {
+func AblateXORCost(factors []float64, rateMBps float64, pool *exp.Pool, shards int) (map[float64]float64, error) {
 	base := SyntheticConfig{Pattern: "uniform", RateMBps: rateMBps,
-		WarmupCycles: 1500, MeasureCycles: 4000}
+		WarmupCycles: 1500, MeasureCycles: 4000, Shards: shards}
 
 	archs := []router.Arch{router.SpecAccurate, router.NoX}
 	runs, err := exp.Map(context.Background(), pool, len(archs),

@@ -15,7 +15,7 @@ func TestAblateBufferDepthShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is slow")
 	}
-	pts := AblateBufferDepth([]int{2, 4}, 2000, []router.Arch{router.SpecAccurate, router.NoX}, nil)
+	pts := AblateBufferDepth([]int{2, 4}, 2000, []router.Arch{router.SpecAccurate, router.NoX}, nil, 0)
 	byKey := map[string]AblationPoint{}
 	for _, pt := range pts {
 		byKey[pt.Label+"/"+pt.Arch.String()] = pt
@@ -36,7 +36,7 @@ func TestAblateArbiterFunctional(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is slow")
 	}
-	pts := AblateArbiter(1500, []router.Arch{router.NoX}, nil)
+	pts := AblateArbiter(1500, []router.Arch{router.NoX}, nil, 0)
 	if len(pts) != 2 {
 		t.Fatalf("want 2 points, got %d", len(pts))
 	}
@@ -58,7 +58,7 @@ func TestAblateXORCostMonotonic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is slow")
 	}
-	rel, err := AblateXORCost([]float64{1.0, 1.06, 1.25}, 2000, nil)
+	rel, err := AblateXORCost([]float64{1.0, 1.06, 1.25}, 2000, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

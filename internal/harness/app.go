@@ -33,6 +33,10 @@ type AppConfig struct {
 	Probe *probe.Probe
 	// Progress, when set, receives per-cycle ticks for cycles/sec reporting.
 	Progress *probe.Progress
+	// Shards selects each physical network's execution mode (see
+	// network.Config): 0 = auto, 1 = serial, N >= 2 = sharded. Results are
+	// bit-identical at every setting.
+	Shards int
 }
 
 // AppResult captures one (architecture, workload) outcome for Figures 10
@@ -77,7 +81,8 @@ func RunApp(cfg AppConfig) AppResult {
 	periodPs := physical.ClockPeriodPs(cfg.Arch)
 	topo := cfg.Trace.Topo
 
-	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe})
+	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards})
+	defer multi.Close()
 	// Every trace packet is measured: the collector's window spans the run,
 	// giving the same latency record a serial tally would produce plus the
 	// percentile machinery.
@@ -101,6 +106,18 @@ func RunApp(cfg AppConfig) AppResult {
 	lastEventCycle := int64(float64(events[len(events)-1].TimePs)/periodPs) + 1
 	deadline := lastEventCycle + cfg.DrainCycles
 	for cycle < deadline && (idx < len(events) || multi.Outstanding() > 0) {
+		// Traces have idle gaps between bursts; once every network has fully
+		// quiesced, jump straight to the next event's injection cycle. The
+		// fast-forward replays per-cycle hooks, so probed output is unchanged.
+		if idx < len(events) && multi.Outstanding() == 0 {
+			if due := int64(float64(events[idx].TimePs) / periodPs); due > cycle {
+				if skipped := multi.FastForwardIdle(due - cycle); skipped > 0 {
+					cycle += skipped
+					cfg.Progress.Tick(cycle)
+					continue
+				}
+			}
+		}
 		for idx < len(events) {
 			due := int64(float64(events[idx].TimePs) / periodPs)
 			if due > cycle {
@@ -149,12 +166,13 @@ func RunApp(cfg AppConfig) AppResult {
 
 // RunAppAllArchs replays one trace on every architecture. The four replays
 // are independent (the trace is read-only; each builds its own networks),
-// so a pool with multiple workers runs them concurrently; results are
-// identical either way.
-func RunAppAllArchs(tr *trace.Trace, bufferDepth int, pool *exp.Pool) map[router.Arch]AppResult {
+// so a pool with multiple workers runs them concurrently; shards
+// additionally parallelizes within each replay (0 = auto). Results are
+// identical at every setting.
+func RunAppAllArchs(tr *trace.Trace, bufferDepth int, pool *exp.Pool, shards int) map[router.Arch]AppResult {
 	results, _ := exp.Map(context.Background(), pool, len(router.Archs),
 		func(_ context.Context, i int) (AppResult, error) {
-			return RunApp(AppConfig{Arch: router.Archs[i], Trace: tr, BufferDepth: bufferDepth}), nil
+			return RunApp(AppConfig{Arch: router.Archs[i], Trace: tr, BufferDepth: bufferDepth, Shards: shards}), nil
 		})
 	out := map[router.Arch]AppResult{}
 	for i, arch := range router.Archs {

@@ -28,36 +28,83 @@ import (
 // SystemKind selects the 64-core organization under study.
 type SystemKind int
 
-// The two organizations of the future-work comparison.
+// The organizations of the future-work comparison: the paper's two
+// 64-core points plus the larger meshes the sharded simulation kernel
+// makes practical to sweep.
 const (
 	// Mesh8x8 is the paper's baseline: one core per radix-5 router.
 	Mesh8x8 SystemKind = iota
 	// CMesh4x4 is the concentrated mesh: four cores per radix-8 router.
 	CMesh4x4
+	// Mesh16x16 scales the baseline organization to 256 cores.
+	Mesh16x16
+	// Mesh32x32 scales it to 1024 cores.
+	Mesh32x32
 )
 
 // String names the system kind.
 func (k SystemKind) String() string {
-	if k == CMesh4x4 {
+	switch k {
+	case CMesh4x4:
 		return "CMesh 4x4 (radix 8)"
+	case Mesh16x16:
+		return "Mesh 16x16 (radix 5)"
+	case Mesh32x32:
+		return "Mesh 32x32 (radix 5)"
+	default:
+		return "Mesh 8x8 (radix 5)"
 	}
-	return "Mesh 8x8 (radix 5)"
 }
 
 // System returns the noc-level system description.
 func (k SystemKind) System() noc.System {
-	if k == CMesh4x4 {
+	switch k {
+	case CMesh4x4:
 		return noc.System{Grid: noc.Topology{Width: 4, Height: 4}, Concentration: 4}
+	case Mesh16x16:
+		return noc.MeshSystem(noc.Topology{Width: 16, Height: 16})
+	case Mesh32x32:
+		return noc.MeshSystem(noc.Topology{Width: 32, Height: 32})
+	default:
+		return noc.MeshSystem(noc.Topology{Width: 8, Height: 8})
 	}
-	return noc.MeshSystem(noc.Topology{Width: 8, Height: 8})
 }
 
-// Datapath returns the implementation point's component delays.
+// Datapath returns the implementation point's component delays. The large
+// meshes keep the baseline tile (radix-5 routers, 2 mm channels) — they
+// grow the grid, not the router.
 func (k SystemKind) Datapath() physical.Datapath {
 	if k == CMesh4x4 {
 		return physical.CMeshDatapath()
 	}
 	return physical.MeshDatapath()
+}
+
+// ParseSystemKinds parses a comma-separated system list (e.g.
+// "mesh8x8,cmesh4x4,mesh16x16,mesh32x32") into kinds.
+func ParseSystemKinds(s string) ([]SystemKind, error) {
+	names := map[string]SystemKind{
+		"mesh8x8":   Mesh8x8,
+		"cmesh4x4":  CMesh4x4,
+		"mesh16x16": Mesh16x16,
+		"mesh32x32": Mesh32x32,
+	}
+	var kinds []SystemKind
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(strings.ToLower(f))
+		if f == "" {
+			continue
+		}
+		k, ok := names[f]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown system %q (want mesh8x8, cmesh4x4, mesh16x16, or mesh32x32)", f)
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, errors.New("harness: empty system list")
+	}
+	return kinds, nil
 }
 
 // EnergyModel returns the per-event energies for the system: CMesh pays
@@ -84,6 +131,10 @@ type FutureConfig struct {
 	MeasureCycles int64
 	DrainCycles   int64
 	Seed          uint64
+	// Shards selects the execution mode (see network.Config): 0 = auto,
+	// which keeps the 64-core systems serial and shards the 16x16/32x32
+	// meshes on multicore hosts.
+	Shards int
 }
 
 func (c *FutureConfig) fill() {
@@ -135,7 +186,9 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 		Topo:          sys.Grid,
 		Concentration: sys.Concentration,
 		Arch:          cfg.Arch,
+		Shards:        cfg.Shards,
 	})
+	defer net.Close()
 	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
 	col.Reserve(int(pktRate*float64(sys.Cores())*float64(cfg.MeasureCycles)) + 64)
 	net.OnDeliver = col.OnDeliver
@@ -180,6 +233,10 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 
 	deadline := net.Cycle() + cfg.DrainCycles
 	for !col.Complete() && net.Cycle() < deadline {
+		if net.FullyIdle() {
+			net.FastForwardIdle(deadline - net.Cycle())
+			break
+		}
 		net.Step()
 	}
 
@@ -208,20 +265,28 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 	return res, nil
 }
 
-// FutureStudy sweeps both systems at the given per-core rates and reports
-// NoX's gap to Spec-Accurate on each — the §8 hypothesis test.
+// FutureStudy sweeps the selected systems at the given per-core rates and
+// reports NoX's gap to Spec-Accurate on each — the §8 hypothesis test.
 type FutureStudy struct {
+	Kinds   []SystemKind
 	Rates   []float64
 	Results map[SystemKind]map[float64]map[router.Arch]RunResult
 }
 
-// RunFutureStudy executes the comparison at the given offered rates. Rates
-// a system's clock cannot offer (ErrRateInfeasible) simply leave a hole in
-// the table, matching the serial study; any other failure aborts the whole
-// study. Every (system, rate, architecture) point is independent, so a
-// multi-worker pool fans them all out.
+// RunFutureStudy executes the paper's two-system comparison at the given
+// offered rates. It is RunFutureStudyKinds fixed to the §8 organizations.
 func RunFutureStudy(rates []float64, pattern string, seed uint64, pool *exp.Pool) (*FutureStudy, error) {
-	kinds := []SystemKind{Mesh8x8, CMesh4x4}
+	return RunFutureStudyKinds([]SystemKind{Mesh8x8, CMesh4x4}, rates, pattern, seed, pool, 0)
+}
+
+// RunFutureStudyKinds executes the comparison over an arbitrary system
+// list — including the 16x16 and 32x32 meshes the sharded kernel makes
+// tractable. Rates a system's clock cannot offer (ErrRateInfeasible)
+// simply leave a hole in the table, matching the serial study; any other
+// failure aborts the whole study. Every (system, rate, architecture)
+// point is independent, so a multi-worker pool fans them all out; shards
+// additionally parallelizes within each simulation (0 = auto).
+func RunFutureStudyKinds(kinds []SystemKind, rates []float64, pattern string, seed uint64, pool *exp.Pool, shards int) (*FutureStudy, error) {
 	type outcome struct {
 		res RunResult
 		err error
@@ -232,14 +297,14 @@ func RunFutureStudy(rates []float64, pattern string, seed uint64, pool *exp.Pool
 			kind := kinds[i/perKind]
 			rate := rates[i%perKind/len(router.Archs)]
 			arch := router.Archs[i%len(router.Archs)]
-			res, err := RunFuture(FutureConfig{Kind: kind, Arch: arch, RateMBps: rate, Pattern: pattern, Seed: seed})
+			res, err := RunFuture(FutureConfig{Kind: kind, Arch: arch, RateMBps: rate, Pattern: pattern, Seed: seed, Shards: shards})
 			return outcome{res, err}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 
-	st := &FutureStudy{Rates: rates, Results: map[SystemKind]map[float64]map[router.Arch]RunResult{}}
+	st := &FutureStudy{Kinds: kinds, Rates: rates, Results: map[SystemKind]map[float64]map[router.Arch]RunResult{}}
 	i := 0
 	for _, kind := range kinds {
 		st.Results[kind] = map[float64]map[router.Arch]RunResult{}
@@ -275,11 +340,16 @@ func (st *FutureStudy) NoXGapVsSpecAccurate(kind SystemKind, rate float64) (floa
 	return nox.MeanLatencyNs / sa.MeanLatencyNs, true
 }
 
-// FormatFutureStudy renders the §8 comparison.
+// FormatFutureStudy renders the §8 comparison for whatever systems the
+// study covered.
 func FormatFutureStudy(st *FutureStudy) string {
+	kinds := st.Kinds
+	if len(kinds) == 0 {
+		kinds = []SystemKind{Mesh8x8, CMesh4x4}
+	}
 	var b strings.Builder
-	b.WriteString("Future work (§8): 64 cores as baseline mesh vs concentrated mesh\n")
-	for _, kind := range []SystemKind{Mesh8x8, CMesh4x4} {
+	b.WriteString("Future work (§8): router architectures across mesh organizations\n")
+	for _, kind := range kinds {
 		dp := kind.Datapath()
 		fmt.Fprintf(&b, "\n%s — clocks:", kind)
 		for _, a := range router.Archs {
@@ -309,11 +379,12 @@ func FormatFutureStudy(st *FutureStudy) string {
 		}
 	}
 	b.WriteString("\nNoX latency relative to Spec-Accurate (lower is better):\n")
+	short := map[SystemKind]string{Mesh8x8: "mesh", CMesh4x4: "cmesh", Mesh16x16: "mesh16", Mesh32x32: "mesh32"}
 	for _, rate := range st.Rates {
 		fmt.Fprintf(&b, "%12.0f", rate)
-		for _, kind := range []SystemKind{Mesh8x8, CMesh4x4} {
+		for _, kind := range kinds {
 			if gap, ok := st.NoXGapVsSpecAccurate(kind, rate); ok {
-				fmt.Fprintf(&b, "   %s %.3f", map[SystemKind]string{Mesh8x8: "mesh", CMesh4x4: "cmesh"}[kind], gap)
+				fmt.Fprintf(&b, "   %s %.3f", short[kind], gap)
 			}
 		}
 		b.WriteString("\n")

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// shardCounts are the worker-pool sizes the invariance suite sweeps,
+// matching the network-level equivalence tests: serial, even splits, an
+// uneven 7, and one shard per router on the 4x4 mesh.
+var shardCounts = []int{1, 2, 4, 7, 16}
+
+// TestShardInvarianceSweepCSV is the experiment-surface half of the
+// bit-exactness contract: a full latency/energy sweep must render to a
+// byte-identical CSV at every shard count — same latencies, same power
+// counters, same saturation verdicts, for all four architectures.
+func TestShardInvarianceSweepCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard invariance sweep is slow")
+	}
+	sweep := func(shards int) string {
+		base := SyntheticConfig{
+			Topo:          noc.Topology{Width: 4, Height: 4},
+			Pattern:       "uniform",
+			WarmupCycles:  600,
+			MeasureCycles: 1500,
+			DrainCycles:   8000,
+			Seed:          0x51AD,
+			Shards:        shards,
+		}
+		points, err := SweepSynthetic(base, []float64{800, 2000}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SweepCSV("uniform", points)
+	}
+	want := sweep(shardCounts[0])
+	if len(want) == 0 {
+		t.Fatal("reference sweep produced an empty CSV")
+	}
+	for _, shards := range shardCounts[1:] {
+		if got := sweep(shards); got != want {
+			t.Errorf("shards=%d: sweep CSV not byte-identical (%d vs %d bytes)", shards, len(got), len(want))
+		}
+	}
+}
+
+// TestShardInvarianceAppTrace replays one application trace at every shard
+// count and requires byte-identical AppCSV output — delivered counts,
+// latencies, energies, and ED^2 all exact.
+func TestShardInvarianceAppTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard invariance replay is slow")
+	}
+	w, err := trace.WorkloadByName("tpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(w, Table1().Topo, 6000, 42)
+	replay := func(shards int) string {
+		res := map[router.Arch]AppResult{
+			router.NoX: RunApp(AppConfig{Arch: router.NoX, Trace: tr, Shards: shards}),
+		}
+		return AppCSV([]map[router.Arch]AppResult{res})
+	}
+	want := replay(shardCounts[0])
+	for _, shards := range shardCounts[1:] {
+		if got := replay(shards); got != want {
+			t.Errorf("shards=%d: app CSV not byte-identical\n got: %s\nwant: %s", shards, got, want)
+		}
+	}
+}
+
+// TestFutureLargeMeshPoint smoke-tests the new large-mesh study points end
+// to end at low load: a sharded 16x16 run must complete, stay unsaturated,
+// and agree exactly with its own serial execution.
+func TestFutureLargeMeshPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-mesh point is slow")
+	}
+	run := func(shards int) RunResult {
+		res, err := RunFuture(FutureConfig{
+			Kind:          Mesh16x16,
+			Arch:          router.NoX,
+			RateMBps:      300,
+			WarmupCycles:  300,
+			MeasureCycles: 800,
+			DrainCycles:   6000,
+			Shards:        shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.Nodes != 256 {
+		t.Fatalf("Mesh16x16 has %d nodes, want 256", serial.Nodes)
+	}
+	if serial.Saturated {
+		t.Error("16x16 mesh saturated at 300 MB/s/core")
+	}
+	if sharded := run(4); sharded != serial {
+		t.Errorf("sharded 16x16 run diverged from serial\nsharded: %+v\nserial:  %+v", sharded, serial)
+	}
+}
+
+// TestParseSystemKinds pins the -systems flag grammar.
+func TestParseSystemKinds(t *testing.T) {
+	kinds, err := ParseSystemKinds("mesh8x8, CMesh4x4,mesh16x16,mesh32x32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SystemKind{Mesh8x8, CMesh4x4, Mesh16x16, Mesh32x32}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("got %v, want %v", kinds, want)
+		}
+	}
+	if _, err := ParseSystemKinds("mesh9x9"); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := ParseSystemKinds(""); err == nil {
+		t.Error("empty system list accepted")
+	}
+}

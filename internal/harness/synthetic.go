@@ -46,6 +46,10 @@ type SyntheticConfig struct {
 	Probe *probe.Probe
 	// Progress, when set, receives per-cycle ticks for cycles/sec reporting.
 	Progress *probe.Progress
+	// Shards selects the simulation execution mode (see network.Config):
+	// 0 = automatic crossover, 1 = serial, N >= 2 = sharded worker pool.
+	// Results are bit-identical at every setting.
+	Shards int
 }
 
 func (c *SyntheticConfig) fill() {
@@ -103,7 +107,8 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 		}
 	}
 
-	net := network.New(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe})
+	net := network.New(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards})
+	defer net.Close()
 	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
 	col.Reserve(int(pktRate*float64(cfg.Topo.Nodes())*float64(cfg.MeasureCycles)) + 64)
 	net.OnDeliver = col.OnDeliver
@@ -151,9 +156,16 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 	}
 	window := net.Counters().Sub(startCounters)
 
-	// Drain without new traffic so measured packets can complete.
+	// Drain without new traffic so measured packets can complete. A fully
+	// quiescent network with the collector still incomplete is wedged —
+	// no evaluation can deliver anything further — so jump to the deadline
+	// instead of stepping dead cycles.
 	deadline := net.Cycle() + cfg.DrainCycles
 	for !col.Complete() && net.Cycle() < deadline {
+		if net.FullyIdle() {
+			net.FastForwardIdle(deadline - net.Cycle())
+			break
+		}
 		net.Step()
 		cfg.Progress.Tick(net.Cycle())
 	}

@@ -73,11 +73,46 @@ func (m *Multi) OnDeliver(fn func(p *noc.Packet, cycle int64)) {
 	}
 }
 
+// Close releases every class network's sharded worker pool.
+func (m *Multi) Close() {
+	for _, nw := range m.nets {
+		nw.Close()
+	}
+}
+
+// FullyIdle reports that every class network is fully quiescent.
+func (m *Multi) FullyIdle() bool {
+	for _, nw := range m.nets {
+		if !nw.FullyIdle() {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForwardIdle advances every class network's clock by up to limit
+// cycles in bulk, keeping them in lockstep; legal only while all classes
+// are fully quiescent (returns 0 otherwise).
+func (m *Multi) FastForwardIdle(limit int64) int64 {
+	if limit <= 0 || !m.FullyIdle() {
+		return 0
+	}
+	for _, nw := range m.nets {
+		nw.FastForwardIdle(limit)
+	}
+	return limit
+}
+
 // Drain steps without new traffic until everything is delivered or limit
-// cycles elapse.
+// cycles elapse. Like Network.Drain, a fully quiescent system with packets
+// outstanding is wedged, so the clock jumps to the deadline.
 func (m *Multi) Drain(limit int64) bool {
 	deadline := m.Cycle() + limit
 	for m.Outstanding() > 0 && m.Cycle() < deadline {
+		if m.FullyIdle() {
+			m.FastForwardIdle(deadline - m.Cycle())
+			break
+		}
 		m.Step()
 	}
 	return m.Outstanding() == 0

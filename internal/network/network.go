@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/arbiter"
 	"repro/internal/noc"
@@ -37,6 +38,12 @@ type Config struct {
 	// metrics for this network. Nil disables all instrumentation at zero
 	// cost on the simulation hot path.
 	Probe *probe.Probe
+	// Shards selects the execution mode: 0 picks automatically (see
+	// AutoShards), 1 forces the serial kernel, and N >= 2 partitions the
+	// mesh into N spatial shards stepped by a persistent worker pool.
+	// Results are bit-identical at every shard count; call Close on the
+	// network when done so the workers are released.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -54,6 +61,34 @@ func (c *Config) fill() {
 	}
 }
 
+// AutoShards picks the worker-shard count for a mesh with the given router
+// count: the crossover heuristic behind Config.Shards == 0. Small meshes
+// (fewer than 256 routers) and single-CPU hosts stay serial — per-cycle
+// work there is too small to amortize three barriers — larger meshes get
+// roughly one shard per 64 routers, capped at GOMAXPROCS.
+func AutoShards(routers int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if routers < 256 || procs == 1 {
+		return 1
+	}
+	s := routers / 64
+	if s < 2 {
+		s = 2
+	}
+	if s > procs {
+		s = procs
+	}
+	return s
+}
+
+// delivery is one completed packet staged by a shard worker for the step
+// epilogue, which replays deliveries in interface order — the order the
+// serial kernel's NI walk would have completed them in.
+type delivery struct {
+	p  *noc.Packet
+	ni int32
+}
+
 // Network is a complete mesh NoC: routers, inter-router links, and network
 // interfaces, advanced in lockstep cycles.
 type Network struct {
@@ -67,6 +102,20 @@ type Network struct {
 	counters *power.Counters
 	probe    *probe.Probe
 
+	// Sharded-mode state. shardOfNode maps router nodes to contiguous
+	// spatial shards; every component is assigned to the shard of the node
+	// that RECEIVES from it (routers and NIs to their own node, each link
+	// to its sink's node), which keeps every commit-phase write except Wake
+	// inside one shard. shardCounters splits the power accounting per shard
+	// (folded on Counters calls); mailboxes stage completed deliveries per
+	// shard until the epilogue merges them. All nil/zero on the serial path.
+	shards        int
+	shardOfNode   []int32
+	shardCounters []power.Counters
+	aggCounters   power.Counters
+	mailboxes     [][]delivery
+	mailHeads     []int
+
 	ejectLinks []*noc.Link
 
 	nextPacketID uint64
@@ -74,7 +123,9 @@ type Network struct {
 	delivered    int64
 
 	// OnDeliver, when set, observes every completed packet at its delivery
-	// cycle (after DeliverCycle is stamped).
+	// cycle (after DeliverCycle is stamped). Sharded runs invoke it from
+	// the step epilogue on the stepping goroutine, in the same
+	// interface-order sequence as serial runs.
 	OnDeliver func(p *noc.Packet, cycle int64)
 }
 
@@ -83,20 +134,64 @@ func New(cfg Config) *Network {
 	cfg.fill()
 	sys := noc.System{Grid: cfg.Topo, Concentration: cfg.Concentration}
 	sys.Validate()
-	n := &Network{
-		cfg:      cfg,
-		sys:      sys,
-		kernel:   sim.NewKernel(),
-		routes:   routing.NewSystemTable(sys),
-		counters: &power.Counters{},
-		probe:    cfg.Probe,
-	}
-
 	routers := sys.Routers()
 	cores := sys.Cores()
+
+	shards := cfg.Shards
+	if shards < 0 {
+		panic(fmt.Sprintf("network: negative shard count %d", shards))
+	}
+	if shards == 0 {
+		shards = AutoShards(routers)
+	}
+	if shards > routers {
+		shards = routers
+	}
+	sharded := shards > 1
+
+	n := &Network{
+		cfg:    cfg,
+		sys:    sys,
+		kernel: sim.NewKernel(),
+		routes: routing.NewSystemTable(sys),
+		probe:  cfg.Probe,
+		shards: shards,
+	}
+
 	if n.probe != nil {
 		n.probe.Attach(cfg.Topo.Width, cfg.Topo.Height, sys.Ports(), cores, cfg.BufferDepth)
 	}
+
+	// countersFor/probeFor resolve the instrumentation sinks for a component
+	// co-located with the given router node. Serial: one shared counter
+	// block and the probe itself. Sharded: the node's shard gets its own
+	// counter block and probe child, so workers never write shared state.
+	var countersFor func(node int) *power.Counters
+	var probeFor func(node int) *probe.Probe
+	var probeChildren []*probe.Probe
+	if sharded {
+		n.shardOfNode = make([]int32, routers)
+		for id := range n.shardOfNode {
+			// Contiguous row-major node ranges: spatially coherent tiles with
+			// balanced sizes at any shard count.
+			n.shardOfNode[id] = int32(id * shards / routers)
+		}
+		n.shardCounters = make([]power.Counters, shards)
+		n.mailboxes = make([][]delivery, shards)
+		n.mailHeads = make([]int, shards)
+		countersFor = func(node int) *power.Counters { return &n.shardCounters[n.shardOfNode[node]] }
+		if n.probe != nil {
+			probeChildren = n.probe.ShardChildren(shards)
+			probeFor = func(node int) *probe.Probe { return probeChildren[n.shardOfNode[node]] }
+		} else {
+			probeFor = func(int) *probe.Probe { return nil }
+		}
+	} else {
+		n.counters = &power.Counters{}
+		countersFor = func(int) *power.Counters { return n.counters }
+		probeFor = func(int) *probe.Probe { return n.probe }
+	}
+
 	n.routers = make([]router.Router, routers)
 	n.nis = make([]*NI, cores)
 	n.ejectLinks = make([]*noc.Link, cores)
@@ -107,14 +202,21 @@ func New(cfg Config) *Network {
 			Node:        noc.NodeID(id),
 			Routes:      n.routes,
 			BufferDepth: cfg.BufferDepth,
-			Counters:    n.counters,
+			Counters:    countersFor(id),
 			Ports:       sys.Ports(),
 			NewArbiter:  cfg.NewArbiter,
-			Probe:       n.probe,
+			Probe:       probeFor(id),
 		})
 	}
 	for c := 0; c < cores; c++ {
-		n.nis[c] = newNI(noc.NodeID(c), n, cfg.SinkDepth)
+		home := int(sys.RouterOf(noc.NodeID(c)))
+		ni := newNI(noc.NodeID(c), n, cfg.SinkDepth)
+		ni.counters = countersFor(home)
+		ni.probe = probeFor(home)
+		if sharded {
+			ni.shard = n.shardOfNode[home]
+		}
+		n.nis[c] = ni
 	}
 
 	// Components compute/commit in registration order: routers and NIs
@@ -122,18 +224,30 @@ func New(cfg Config) *Network {
 	// to senders exactly one cycle later. The order also serves the
 	// quiescence machinery: a compute-phase Send or a commit-phase
 	// ReturnCredit always wakes a link whose commit slot is still ahead in
-	// the same cycle.
+	// the same cycle. The sharded executor preserves exactly this ordering
+	// through the kernel's early/late commit classes (links register via
+	// AddLate), and shardOf co-locates every component with the node it
+	// delivers into, so all commit-phase writes except Wake stay
+	// shard-local.
+	var shardOf []int
 	routerHandle := make([]sim.Handle, routers)
 	for id := 0; id < routers; id++ {
 		routerHandle[id] = n.kernel.Add(n.routers[id])
+		if sharded {
+			shardOf = append(shardOf, int(n.shardOfNode[id]))
+		}
 	}
 	n.niHandle = make([]sim.Handle, cores)
 	for c := 0; c < cores; c++ {
 		n.niHandle[c] = n.kernel.Add(n.nis[c])
+		if sharded {
+			shardOf = append(shardOf, int(n.nis[c].shard))
+		}
 	}
 
 	// Each link is registered together with the handle of the component its
-	// sink belongs to, so a delivery re-activates the consumer.
+	// sink belongs to, so a delivery re-activates the consumer; the link
+	// also inherits that owner's shard (receiver-side assignment).
 	var links []*noc.Link
 	var sinkOwner []sim.Handle
 	for id := 0; id < routers; id++ {
@@ -149,7 +263,7 @@ func New(cfg Config) *Network {
 			r.SetOutputLink(p, l)
 			dst.SetInputLink(p.Opposite(), l)
 			if n.probe != nil {
-				l.SetProbe(n.probe, id, int(p))
+				l.SetProbe(probeFor(int(nb)), id, int(p))
 			}
 			links = append(links, l)
 			sinkOwner = append(sinkOwner, routerHandle[nb])
@@ -162,14 +276,14 @@ func New(cfg Config) *Network {
 			n.nis[coreID].injectLink = inj
 			r.SetInputLink(port, inj)
 			if n.probe != nil {
-				inj.SetProbe(n.probe, int(coreID), -1)
+				inj.SetProbe(probeFor(id), int(coreID), -1)
 			}
 			links = append(links, inj)
 			sinkOwner = append(sinkOwner, routerHandle[id])
 			ej := noc.NewLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
 			r.SetOutputLink(port, ej)
 			if n.probe != nil {
-				ej.SetProbe(n.probe, id, int(port))
+				ej.SetProbe(probeFor(id), id, int(port))
 			}
 			n.ejectLinks[coreID] = ej
 			links = append(links, ej)
@@ -177,14 +291,66 @@ func New(cfg Config) *Network {
 		}
 	}
 	for i, l := range links {
-		lh := n.kernel.Add(l)
+		lh := n.kernel.AddLate(l)
 		l.SetWake(n.kernel.Waker(lh), n.kernel.Waker(sinkOwner[i]))
+		if sharded {
+			shardOf = append(shardOf, shardOf[sinkOwner[i]])
+		}
 	}
 	n.kernel.SetAlwaysActive(cfg.AlwaysActive)
+	if sharded {
+		n.kernel.SetSharding(shards, shardOf)
+		n.kernel.SetEpilogue(n.drainShardMail)
+		if n.probe != nil {
+			n.kernel.SetEvalHook(func(shard, phase, comp int) {
+				probeChildren[shard].SetShardContext(phase, comp)
+			})
+		}
+	}
 	if n.probe != nil {
 		n.kernel.SetObserver(n.probe.Tick)
 	}
 	return n
+}
+
+// drainShardMail is the sharded step epilogue: it replays the deliveries
+// the shards staged this cycle in interface order (the order the serial NI
+// walk completes them in) and merges per-shard probe event buffers back
+// into the parent ring. Runs on the stepping goroutine after the cycle's
+// last barrier.
+func (n *Network) drainShardMail(cycle int64) {
+	total := 0
+	for s := range n.mailboxes {
+		n.mailHeads[s] = 0
+		total += len(n.mailboxes[s])
+	}
+	if total > 0 {
+		// Each shard's mailbox is already in ascending interface order (its
+		// worker walks NIs in registration order, one delivery per NI per
+		// cycle), so a k-way min pick reproduces the global order.
+		for ; total > 0; total-- {
+			best := -1
+			var bestNI int32
+			for s := range n.mailboxes {
+				h := n.mailHeads[s]
+				if h >= len(n.mailboxes[s]) {
+					continue
+				}
+				if ni := n.mailboxes[s][h].ni; best < 0 || ni < bestNI {
+					best, bestNI = s, ni
+				}
+			}
+			d := n.mailboxes[best][n.mailHeads[best]]
+			n.mailHeads[best]++
+			n.deliver(d.p, cycle)
+		}
+		for s := range n.mailboxes {
+			n.mailboxes[s] = n.mailboxes[s][:0]
+		}
+	}
+	if n.probe != nil {
+		n.probe.MergeShards()
+	}
 }
 
 // Probe returns the attached observability probe, nil when disabled.
@@ -202,8 +368,38 @@ func (n *Network) Cores() int { return n.sys.Cores() }
 // Arch returns the router architecture.
 func (n *Network) Arch() router.Arch { return n.cfg.Arch }
 
-// Counters returns the shared event counters (live; snapshot to window).
-func (n *Network) Counters() *power.Counters { return n.counters }
+// Counters returns the network's event counters. On the serial path this
+// is the live shared block; on the sharded path each call folds the
+// per-shard blocks into a snapshot (callers already dereference
+// immediately to window counters, so both behave identically). Only call
+// between steps.
+func (n *Network) Counters() *power.Counters {
+	if n.shardCounters == nil {
+		return n.counters
+	}
+	n.aggCounters = power.Counters{}
+	for i := range n.shardCounters {
+		n.aggCounters.Add(n.shardCounters[i])
+	}
+	return &n.aggCounters
+}
+
+// Shards returns the resolved worker-shard count (1 = serial execution).
+func (n *Network) Shards() int { return n.shards }
+
+// Close releases the sharded worker pool; stepping after Close panics.
+// A no-op on the serial path (and safe to call repeatedly).
+func (n *Network) Close() { n.kernel.Close() }
+
+// FullyIdle reports that every component is quiescent, so cycles advance
+// without any evaluation until the next injection.
+func (n *Network) FullyIdle() bool { return n.kernel.FullyIdle() }
+
+// FastForwardIdle advances the clock up to limit cycles in bulk while the
+// network is fully quiescent, returning the cycles skipped (0 if busy).
+// Probe sampling still observes every skipped cycle, so probed output is
+// identical to stepping.
+func (n *Network) FastForwardIdle(limit int64) int64 { return n.kernel.FastForward(limit) }
 
 // Routes returns the network's route table.
 func (n *Network) Routes() *routing.Table { return n.routes }
@@ -263,10 +459,16 @@ func (n *Network) QueueLen(node noc.NodeID) int { return n.nis[node].QueueLen() 
 
 // Drain runs the network without new traffic until every injected packet is
 // delivered or limit additional cycles elapse; it reports whether the
-// network fully drained.
+// network fully drained. A fully quiescent network with packets still
+// outstanding is wedged (no evaluation can ever deliver them), so Drain
+// jumps the clock to the deadline instead of stepping empty cycles.
 func (n *Network) Drain(limit int64) bool {
 	deadline := n.Cycle() + limit
 	for n.Outstanding() > 0 && n.Cycle() < deadline {
+		if n.kernel.FullyIdle() {
+			n.kernel.FastForward(deadline - n.Cycle())
+			break
+		}
 		n.Step()
 	}
 	return n.Outstanding() == 0

@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/probe"
 )
 
 // NI is a tile's network interface. The injection side holds an unbounded
@@ -22,6 +24,14 @@ import (
 type NI struct {
 	node noc.NodeID
 	net  *Network
+
+	// counters and probe are this interface's instrumentation sinks: the
+	// network-wide blocks on the serial path, the home shard's blocks when
+	// sharded (so workers never write shared state). shard is the home
+	// shard index, 0 when serial.
+	counters *power.Counters
+	probe    *probe.Probe
+	shard    int32
 
 	injectLink *noc.Link
 	queue      []*noc.Packet
@@ -73,8 +83,8 @@ type niReceiver struct{ ni *NI }
 // Receive buffers a flit arriving from the router's local output port.
 func (r niReceiver) Receive(f *noc.Flit, cycle int64) {
 	r.ni.sink.Receive(f)
-	r.ni.net.counters.BufWrite++
-	if pr := r.ni.net.probe; pr != nil {
+	r.ni.counters.BufWrite++
+	if pr := r.ni.probe; pr != nil {
 		if f.Encoded {
 			pr.NIBufWrite(cycle, int(r.ni.node), f.Raw, -1)
 		} else {
@@ -96,7 +106,7 @@ func (ni *NI) Compute(cycle int64) {
 	if ni.cur != nil && ni.injectLink.Credits() > 0 {
 		if ni.curSeq == 0 {
 			ni.cur.InjectCycle = cycle
-			if pr := ni.net.probe; pr != nil {
+			if pr := ni.probe; pr != nil {
 				pr.Inject(cycle, int(ni.node), ni.cur.ID, ni.cur.Length)
 			}
 		}
@@ -110,7 +120,7 @@ func (ni *NI) Compute(cycle int64) {
 	// Ejection side: at most one flit per cycle leaves the sink port.
 	if f, decoded, ok := ni.sink.Offer(); ok {
 		if decoded {
-			if pr := ni.net.probe; pr != nil {
+			if pr := ni.probe; pr != nil {
 				pr.NIDecode(cycle, int(ni.node), f.Packet.ID)
 			}
 		}
@@ -133,7 +143,7 @@ func (ni *NI) Quiet() bool {
 // Commit applies the sink port's staged actions and returns its credits.
 func (ni *NI) Commit(cycle int64) {
 	ev := ni.sink.Commit()
-	c := ni.net.counters
+	c := ni.counters
 	c.BufRead += int64(ev.Reads)
 	if ev.Latched {
 		c.RegWrite++
@@ -141,7 +151,7 @@ func (ni *NI) Commit(cycle int64) {
 	if ev.Decoded {
 		c.Decode++
 	}
-	if pr := ni.net.probe; pr != nil && ev.Reads > 0 {
+	if pr := ni.probe; pr != nil && ev.Reads > 0 {
 		pr.NIBufRead(cycle, int(ni.node), ev.Reads)
 	}
 	eject := ni.net.ejectLinks[ni.node]
@@ -174,9 +184,17 @@ func (ni *NI) deliver(f *noc.Flit, cycle int64) {
 	if f.Seq == p.Length-1 {
 		ni.assembling = nil
 		p.DeliverCycle = cycle
-		if pr := ni.net.probe; pr != nil {
+		if pr := ni.probe; pr != nil {
 			pr.Deliver(cycle, int(ni.node), p.ID, cycle-p.CreateCycle)
 		}
-		ni.net.deliver(p, cycle)
+		if n := ni.net; n.mailboxes != nil {
+			// Sharded: stage the completed packet for the step epilogue,
+			// which replays deliveries in interface order on the stepping
+			// goroutine — the network's delivered count and OnDeliver
+			// observers are shared state a worker must not touch.
+			n.mailboxes[ni.shard] = append(n.mailboxes[ni.shard], delivery{p: p, ni: int32(ni.node)})
+		} else {
+			n.deliver(p, cycle)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 func driveBursty(t *testing.T, cfg Config, seed uint64) (string, power.Counters) {
 	t.Helper()
 	net := New(cfg)
+	defer net.Close()
 	var log []string
 	net.OnDeliver = func(p *noc.Packet, cycle int64) {
 		log = append(log, fmt.Sprintf("%d:%d->%d@%d", p.ID, p.Src, p.Dst, cycle))

@@ -1,0 +1,233 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/probe"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// shardCounts are the worker-pool sizes the equivalence suite sweeps:
+// 1 (the serial kernel), even splits, a deliberately uneven 7, and one
+// shard per router on the 4x4 test mesh.
+var shardCounts = []int{1, 2, 4, 7, 16}
+
+// TestShardedEquivalence is the bit-exactness contract of the sharded
+// executor: for every router architecture and every shard count, the
+// bursty workload must produce the same deliveries at the same cycles and
+// the same power counters as the serial kernel.
+func TestShardedEquivalence(t *testing.T) {
+	for _, arch := range router.Archs {
+		t.Run(arch.String(), func(t *testing.T) {
+			cfg := Config{Topo: noc.Topology{Width: 4, Height: 4}, Arch: arch, Shards: 1}
+			wantFP, wantC := driveBursty(t, cfg, 0x51AD)
+			for _, shards := range shardCounts[1:] {
+				scfg := cfg
+				scfg.Shards = shards
+				gotFP, gotC := driveBursty(t, scfg, 0x51AD)
+				if gotFP != wantFP {
+					t.Errorf("shards=%d: delivery fingerprint diverged\nsharded: %.200s\nserial:  %.200s", shards, gotFP, wantFP)
+				}
+				if gotC != wantC {
+					t.Errorf("shards=%d: event counters diverged\nsharded: %+v\nserial:  %+v", shards, gotC, wantC)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEquivalenceAlwaysActive repeats the check with quiescence
+// skipping disabled, so every component is evaluated by the worker pool
+// every cycle — the maximal-parallelism schedule.
+func TestShardedEquivalenceAlwaysActive(t *testing.T) {
+	cfg := Config{Topo: noc.Topology{Width: 4, Height: 4}, Arch: router.NoX, AlwaysActive: true, Shards: 1}
+	wantFP, wantC := driveBursty(t, cfg, 0xAC71)
+	for _, shards := range shardCounts[1:] {
+		scfg := cfg
+		scfg.Shards = shards
+		gotFP, gotC := driveBursty(t, scfg, 0xAC71)
+		if gotFP != wantFP {
+			t.Errorf("shards=%d: delivery fingerprint diverged", shards)
+		}
+		if gotC != wantC {
+			t.Errorf("shards=%d: counters diverged\nsharded: %+v\nserial:  %+v", shards, gotC, wantC)
+		}
+	}
+}
+
+// TestShardedEquivalenceConcentrated checks the radix-8 concentrated mesh,
+// whose per-node NI fanout makes each shard own several interfaces and
+// their delivery ordering.
+func TestShardedEquivalenceConcentrated(t *testing.T) {
+	cfg := Config{Topo: noc.Topology{Width: 2, Height: 2}, Concentration: 4, Arch: router.NoX, Shards: 1}
+	wantFP, wantC := driveBursty(t, cfg, 0xCC04)
+	for _, shards := range []int{2, 3, 4} {
+		scfg := cfg
+		scfg.Shards = shards
+		gotFP, gotC := driveBursty(t, scfg, 0xCC04)
+		if gotFP != wantFP {
+			t.Errorf("shards=%d: delivery fingerprint diverged", shards)
+		}
+		if gotC != wantC {
+			t.Errorf("shards=%d: counters diverged", shards)
+		}
+	}
+}
+
+// driveProbed runs a loaded-then-idle NoX workload on an 8x8 mesh with a
+// full probe attached and returns every probe export that must be
+// byte-identical between serial and sharded execution: the raw event
+// stream, Chrome trace JSON, per-router CSV, heatmap CSV, and the sampled
+// time series.
+func driveProbed(t *testing.T, shards int) (events []probe.Event, exports map[string]string) {
+	t.Helper()
+	p := probe.New(probe.Config{RingEvents: 1 << 20, SampleEvery: 16})
+	net := New(Config{Topo: noc.Topology{Width: 8, Height: 8}, Arch: router.NoX, Probe: p, Shards: shards})
+	defer net.Close()
+	rng := sim.NewRNG(0x9B0B)
+	cores := net.Cores()
+	for cyc := 0; cyc < 300; cyc++ {
+		if cyc < 180 {
+			for inj := 0; inj < 4; inj++ {
+				src := noc.NodeID(rng.Intn(cores))
+				dst := noc.NodeID(rng.Intn(cores))
+				if src == dst {
+					continue
+				}
+				length := 1
+				if rng.Intn(3) == 0 {
+					length = 4
+				}
+				net.Inject(src, dst, length, 0)
+			}
+		}
+		net.Step()
+	}
+	if !net.Drain(3000) {
+		t.Fatalf("probed run did not drain (outstanding %d)", net.Outstanding())
+	}
+	exports = make(map[string]string)
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"chrome-trace": func(b *bytes.Buffer) error { return p.WriteChromeTrace(b) },
+		"router-csv":   func(b *bytes.Buffer) error { return p.WriteRouterCSV(b) },
+		"heatmap-csv":  func(b *bytes.Buffer) error { return p.WriteHeatmapCSV(b) },
+		"series-csv":   func(b *bytes.Buffer) error { return p.WriteTimeSeriesCSV(b) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s export: %v", name, err)
+		}
+		exports[name] = buf.String()
+	}
+	return p.Events(), exports
+}
+
+// TestShardedProbeDeterminism: a probed 8x8 NoX run must emit the exact
+// serial event stream — and therefore byte-identical Chrome trace JSON and
+// CSV exports — at every shard count. This pins down the epilogue merge of
+// per-shard event buffers, not just aggregate counts.
+func TestShardedProbeDeterminism(t *testing.T) {
+	wantEvents, wantExports := driveProbed(t, 1)
+	if len(wantEvents) == 0 {
+		t.Fatal("probed reference run recorded no events")
+	}
+	for _, shards := range shardCounts[1:] {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			gotEvents, gotExports := driveProbed(t, shards)
+			if len(gotEvents) != len(wantEvents) {
+				t.Fatalf("event count %d, want %d", len(gotEvents), len(wantEvents))
+			}
+			for i := range gotEvents {
+				if gotEvents[i] != wantEvents[i] {
+					t.Fatalf("event %d diverged: got %+v want %+v", i, gotEvents[i], wantEvents[i])
+				}
+			}
+			for name, want := range wantExports {
+				if got := gotExports[name]; got != want {
+					t.Errorf("%s export not byte-identical (%d vs %d bytes)", name, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestShardedQuiescence checks the per-shard idle accounting: a sharded
+// network drains to zero active components, skips quiescent cycles, and
+// wakes correctly on post-idle injection.
+func TestShardedQuiescence(t *testing.T) {
+	net := New(Config{Topo: noc.Topology{Width: 4, Height: 4}, Arch: router.NoX, Shards: 4})
+	defer net.Close()
+	net.Inject(0, 15, 3, 0)
+	net.Inject(5, 10, 1, 0)
+	if !net.Drain(500) {
+		t.Fatal("did not drain")
+	}
+	for i := 0; i < 4; i++ {
+		net.Step()
+	}
+	if n := net.kernel.ActiveComponents(); n != 0 {
+		t.Errorf("%d components still active after drain", n)
+	}
+	if !net.FullyIdle() {
+		t.Error("network not fully idle after drain")
+	}
+	if skipped := net.FastForwardIdle(100); skipped != 100 {
+		t.Errorf("FastForwardIdle skipped %d cycles, want 100", skipped)
+	}
+	p := net.Inject(3, 12, 1, 0)
+	if !net.Drain(500) {
+		t.Fatal("post-quiescence injection never delivered")
+	}
+	if p.DeliverCycle < 0 {
+		t.Error("packet not delivered after wake")
+	}
+}
+
+// TestShardedStepAllocs pins the 0 allocs/op contract: once mailboxes and
+// event buffers have reached steady-state capacity, stepping a sharded
+// network with traffic in flight (probe disabled) must not allocate.
+func TestShardedStepAllocs(t *testing.T) {
+	net := New(Config{Topo: noc.Topology{Width: 8, Height: 8}, Arch: router.NoX, Shards: 4})
+	defer net.Close()
+	rng := sim.NewRNG(7)
+	cores := net.Cores()
+	warm := func() {
+		for inj := 0; inj < 3; inj++ {
+			src := noc.NodeID(rng.Intn(cores))
+			dst := noc.NodeID(rng.Intn(cores))
+			if src != dst {
+				net.Inject(src, dst, 2, 0)
+			}
+		}
+		net.Step()
+	}
+	for cyc := 0; cyc < 200; cyc++ {
+		warm()
+	}
+	if avg := testing.AllocsPerRun(100, func() { net.Step() }); avg != 0 {
+		t.Errorf("sharded Step allocates %v allocs/op in steady state", avg)
+	}
+}
+
+// TestAutoShards pins the crossover heuristic's fixed points: small meshes
+// and single-CPU hosts must stay serial.
+func TestAutoShards(t *testing.T) {
+	if got := AutoShards(64); got != 1 {
+		t.Errorf("AutoShards(64) = %d, want 1 (below crossover)", got)
+	}
+	if got := AutoShards(255); got != 1 {
+		t.Errorf("AutoShards(255) = %d, want 1 (below crossover)", got)
+	}
+	// At or above the crossover the answer depends on GOMAXPROCS; it must
+	// never exceed it and never be zero.
+	for _, routers := range []int{256, 1024} {
+		got := AutoShards(routers)
+		if got < 1 {
+			t.Errorf("AutoShards(%d) = %d", routers, got)
+		}
+	}
+}

@@ -13,9 +13,10 @@
 // decode energy) emerge from simulated event counts.
 package power
 
-// Counters accumulates datapath events for one network. A single Counters
-// instance is shared by all routers of a network; simulations are
-// single-goroutine so no synchronization is needed.
+// Counters accumulates datapath events for one network. Serial simulations
+// share a single Counters instance across all routers; sharded simulations
+// give each shard its own block (every writer stays on one worker, so no
+// synchronization is needed) and fold them with Add when read.
 type Counters struct {
 	// BufWrite counts flits written into input SRAM FIFOs.
 	BufWrite int64

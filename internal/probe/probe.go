@@ -18,10 +18,14 @@
 // 0 allocs/op). A Probe itself never allocates per event: the ring buffer is
 // preallocated and wraps, keeping the most recent events.
 //
-// A Probe belongs to one simulation goroutine. Runs that execute in
-// parallel (internal/exp pools) must each own a distinct Probe; the event
-// stream of a probed run is a pure function of its configuration, so
-// serialized streams are byte-identical at any worker count.
+// A Probe belongs to one stepping goroutine. Runs that execute in parallel
+// (internal/exp pools) must each own a distinct Probe; the event stream of
+// a probed run is a pure function of its configuration, so serialized
+// streams are byte-identical at any worker count. Sharded simulations
+// (sim.SetSharding) give each shard a child probe (ShardChildren): workers
+// emit into per-shard buffers tagged with their evaluation slot, and the
+// step epilogue merges them back into the parent ring in exactly the order
+// the serial walk would have emitted them — see shard.go.
 package probe
 
 import "fmt"
@@ -239,6 +243,18 @@ type Probe struct {
 	lastSample Totals
 	lastCycle  int64
 	attached   bool
+
+	// Shard-child state (see shard.go). parent is non-nil on a child: its
+	// emits divert into shardBuf, tagged with the evaluation-slot key, and
+	// its totals accumulate locally until MergeShards folds them into the
+	// parent. A child shares the parent's routers slice — every metrics
+	// write for router n comes from n's own shard, so elements never race.
+	parent   *Probe
+	children []*Probe
+	shardBuf []taggedEvent
+	ctxKey   uint64
+	ctxSeq   uint32
+	heads    []int
 }
 
 // New builds a probe with the given configuration.
@@ -282,8 +298,14 @@ func (p *Probe) Geometry() (width, height, ports int) {
 	return p.width, p.height, p.ports
 }
 
-// emit appends one event to the ring.
+// emit appends one event to the ring; on a shard child it buffers the
+// event under the current evaluation-slot key instead (see shard.go).
 func (p *Probe) emit(ev Event) {
+	if p.parent != nil {
+		p.shardBuf = append(p.shardBuf, taggedEvent{key: p.ctxKey | uint64(p.ctxSeq), ev: ev})
+		p.ctxSeq++
+		return
+	}
 	p.ring[p.n&p.mask] = ev
 	p.n++
 }

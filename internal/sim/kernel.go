@@ -7,6 +7,11 @@ package sim
 // component (staged actions are applied and become visible at the next
 // cycle). This models edge-triggered hardware without ordering artifacts:
 // no component ever observes another component's same-cycle updates.
+//
+// The Compute contract — read only committed state, stage into storage you
+// own (a component may also stage onto a channel it is the sole driver of,
+// e.g. Link.Send) — is what makes the compute phase embarrassingly
+// parallel: see SetSharding.
 type Clocked interface {
 	// Compute stages the component's actions for the given cycle based on
 	// the committed state from the previous cycle.
@@ -37,35 +42,62 @@ type Quiescable interface {
 type Handle int
 
 // Kernel drives a set of Clocked components through lockstep cycles,
-// skipping components that have declared themselves quiescent.
+// skipping components that have declared themselves quiescent. It runs
+// serially by default; SetSharding partitions the components across a
+// persistent worker pool for intra-simulation parallelism with bit-exact
+// results.
 type Kernel struct {
 	components []Clocked
 	// quiesc[i] is components[i]'s Quiescable interface, nil if it does not
 	// opt in (such components are evaluated every cycle forever).
 	quiesc []Quiescable
-	// active[i] marks components evaluated this cycle. Wake may flip an
-	// entry mid-step: a wake during the compute phase takes effect for the
-	// same cycle's commit phase if the target's registration index has not
-	// been passed yet (links are registered last for exactly this reason),
-	// otherwise next cycle.
-	active []bool
-	// idle counts inactive components; when it equals len(components) a
-	// step is pure clock advance.
+	// active[i] marks components evaluated this cycle (1 = active). Wake may
+	// flip an entry mid-step: a wake during the compute phase takes effect
+	// for the same cycle's commit phase if the target's registration index
+	// has not been passed yet (late components are registered last for
+	// exactly this reason), otherwise next cycle. Plain loads/stores on the
+	// serial path; atomic on the sharded path, where any worker may wake any
+	// component.
+	active []uint32
+	// idle counts inactive components on the serial path; when it equals
+	// len(components) a step is pure clock advance. The sharded path tracks
+	// idleness per shard instead (see sharding.idle).
 	idle int
 	// alwaysActive disables quiescence skipping (reference mode used by
 	// equivalence tests and benchmarks).
 	alwaysActive bool
 	cycle        int64
 
+	// lateMark is the registration index of the first late component (see
+	// AddLate); len(components) while none are registered. Early components
+	// commit before every late component, matching the serial registration
+	// order, so the sharded commit phases preserve cross-component write
+	// semantics (links commit after the routers that stage credit returns).
+	lateMark int
+
+	// stepping guards against reentrant stepping and mid-step registration:
+	// observer/epilogue hooks and component methods must not call Step, Add,
+	// or AddLate. The guard is always on — it costs two byte writes per
+	// step — so contract violations fail loudly in every build.
+	stepping bool
+
 	// observer, when set, is called at the end of every Step with the
 	// completed cycle and the number of components evaluated next step
 	// (observability hook; see internal/probe).
 	observer func(cycle int64, active int)
+	// epilogue, when set, runs at the end of every Step before the observer,
+	// on the stepping goroutine with all workers quiescent. The sharded
+	// network uses it to drain per-shard mailboxes (deliveries, probe event
+	// buffers) deterministically.
+	epilogue func(cycle int64)
+
+	// sh is the sharded execution state, nil on the serial path.
+	sh *sharding
 }
 
 // NewKernel returns an empty kernel at cycle 0.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{lateMark: -1}
 }
 
 // Add registers a component and returns its wake handle. Components are
@@ -74,12 +106,44 @@ func NewKernel() *Kernel {
 // writes performed during commits (e.g. links must commit after the
 // routers that stage credit returns on them), so registration order is
 // preserved even when quiescent components are skipped.
+//
+// Add panics once a late component has been registered: the sharded
+// executor relies on every early component preceding every late one.
 func (k *Kernel) Add(c Clocked) Handle {
+	if k.stepping {
+		panic("sim: Add called during Step (hooks must not register components)")
+	}
+	if k.lateMark >= 0 {
+		panic("sim: Add after AddLate (late components must be registered last)")
+	}
+	return k.add(c)
+}
+
+// AddLate registers a component that commits in the late phase: after every
+// early component, in registration order — the slot the network wires links
+// into, so credits and flits staged during early commits are applied the
+// same cycle. On the serial path AddLate is identical to Add (late
+// components are last in registration order anyway); the sharded executor
+// uses the early/late split as its commit barrier.
+func (k *Kernel) AddLate(c Clocked) Handle {
+	if k.stepping {
+		panic("sim: AddLate called during Step (hooks must not register components)")
+	}
+	if k.lateMark < 0 {
+		k.lateMark = len(k.components)
+	}
+	return k.add(c)
+}
+
+func (k *Kernel) add(c Clocked) Handle {
+	if k.sh != nil {
+		panic("sim: Add after SetSharding")
+	}
 	h := Handle(len(k.components))
 	k.components = append(k.components, c)
 	q, _ := c.(Quiescable)
 	k.quiesc = append(k.quiesc, q)
-	k.active = append(k.active, true)
+	k.active = append(k.active, 1)
 	return h
 }
 
@@ -90,18 +154,34 @@ func (k *Kernel) SetAlwaysActive(on bool) {
 	k.alwaysActive = on
 	if on {
 		for i := range k.active {
-			k.active[i] = true
+			k.active[i] = 1
 		}
 		k.idle = 0
+		if k.sh != nil {
+			k.sh.resetIdle()
+		}
 	}
 }
 
-// Wake re-activates a component so it is evaluated again. Safe to call at
-// any time, including from another component's Compute or Commit; waking an
+// Wake re-activates a component so it is evaluated again; waking an
 // already-active component is a no-op.
+//
+// Concurrency contract: on the serial path Wake must be called from the
+// stepping goroutine only (component Compute/Commit methods, or between
+// steps). On the sharded path Wake is atomic and may be called from any
+// worker — that is what lets NI injection and cross-shard neighbors wake
+// components they do not own — with one restriction the network wiring
+// upholds: during the early commit phase wakes may target only late
+// components, and during the late phase only early ones, so a wake never
+// races the owner shard's own quiescence bookkeeping for the same
+// component.
 func (k *Kernel) Wake(h Handle) {
-	if !k.active[h] {
-		k.active[h] = true
+	if sh := k.sh; sh != nil {
+		sh.wake(k, h)
+		return
+	}
+	if k.active[h] == 0 {
+		k.active[h] = 1
 		k.idle--
 	}
 }
@@ -114,13 +194,34 @@ func (k *Kernel) Waker(h Handle) func() {
 
 // SetObserver installs a hook called at the end of every Step with the
 // completed cycle number and the active-component count. A nil fn removes
-// the hook. The hook must not call Step or Add.
+// the hook. The hook runs on the stepping goroutine with all shard workers
+// quiescent; it must not call Step, Add, or AddLate — the kernel's
+// reentrancy guard panics if it does.
 func (k *Kernel) SetObserver(fn func(cycle int64, active int)) {
 	k.observer = fn
 }
 
+// SetEpilogue installs a hook that runs at the end of every Step, before
+// the observer, on the stepping goroutine with all shard workers quiescent.
+// The sharded network drains its per-shard mailboxes here (deliveries in
+// interface order, probe event buffers merged into registration order) so
+// every cross-shard effect lands deterministically. The same reentrancy
+// contract as SetObserver applies.
+func (k *Kernel) SetEpilogue(fn func(cycle int64)) {
+	k.epilogue = fn
+}
+
 // ActiveComponents returns how many components will be evaluated next step.
-func (k *Kernel) ActiveComponents() int { return len(k.components) - k.idle }
+func (k *Kernel) ActiveComponents() int {
+	if k.sh != nil {
+		return len(k.components) - k.sh.totalIdle()
+	}
+	return len(k.components) - k.idle
+}
+
+// FullyIdle reports that every component is quiescent: a Step would be pure
+// clock advance. Always false in always-active reference mode.
+func (k *Kernel) FullyIdle() bool { return k.ActiveComponents() == 0 && len(k.components) > 0 }
 
 // Cycle returns the number of completed cycles.
 func (k *Kernel) Cycle() int64 {
@@ -129,6 +230,28 @@ func (k *Kernel) Cycle() int64 {
 
 // Step advances the simulation by one cycle.
 func (k *Kernel) Step() {
+	if k.stepping {
+		panic("sim: Step called reentrantly (observer/epilogue hooks must not step the kernel)")
+	}
+	k.stepping = true
+	if k.sh != nil {
+		k.stepSharded()
+	} else {
+		k.stepSerial()
+	}
+	if k.epilogue != nil {
+		k.epilogue(k.cycle)
+	}
+	if k.observer != nil {
+		k.observer(k.cycle, k.ActiveComponents())
+	}
+	k.cycle++
+	k.stepping = false
+}
+
+// stepSerial is the single-goroutine step: the reference semantics the
+// sharded executor reproduces bit for bit.
+func (k *Kernel) stepSerial() {
 	switch {
 	case k.idle == 0:
 		// Everything active: the original tight loops, plus the post-commit
@@ -144,7 +267,7 @@ func (k *Kernel) Step() {
 			for i, c := range k.components {
 				c.Commit(k.cycle)
 				if q := k.quiesc[i]; q != nil && q.Quiet() {
-					k.active[i] = false
+					k.active[i] = 0
 					k.idle++
 				}
 			}
@@ -155,25 +278,21 @@ func (k *Kernel) Step() {
 		// need evaluation mid-step.
 	default:
 		for i, c := range k.components {
-			if k.active[i] {
+			if k.active[i] != 0 {
 				c.Compute(k.cycle)
 			}
 		}
 		for i, c := range k.components {
-			if !k.active[i] {
+			if k.active[i] == 0 {
 				continue
 			}
 			c.Commit(k.cycle)
 			if q := k.quiesc[i]; q != nil && q.Quiet() {
-				k.active[i] = false
+				k.active[i] = 0
 				k.idle++
 			}
 		}
 	}
-	if k.observer != nil {
-		k.observer(k.cycle, len(k.components)-k.idle)
-	}
-	k.cycle++
 }
 
 // Run advances the simulation by n cycles.
@@ -183,12 +302,50 @@ func (k *Kernel) Run(n int64) {
 	}
 }
 
+// FastForward advances the clock up to n cycles without evaluating any
+// component. It is only legal — and only has an effect — while the kernel
+// is fully quiescent: a quiescent step is pure clock advance, so skipping
+// the component walk is unobservable. Per-cycle hooks (epilogue, observer)
+// still fire for every skipped cycle, keeping probed output byte-identical
+// to stepping; with no hooks installed the advance is O(1). Returns the
+// cycles actually skipped (0 if the kernel is busy or in always-active
+// reference mode).
+func (k *Kernel) FastForward(n int64) int64 {
+	if n <= 0 || !k.FullyIdle() {
+		return 0
+	}
+	if k.epilogue == nil && k.observer == nil {
+		k.cycle += n
+		return n
+	}
+	for i := int64(0); i < n; i++ {
+		if k.epilogue != nil {
+			k.epilogue(k.cycle)
+		}
+		if k.observer != nil {
+			k.observer(k.cycle, 0)
+		}
+		k.cycle++
+	}
+	return n
+}
+
 // RunUntil steps the simulation until done returns true or the cycle limit
 // is reached, and reports whether done was satisfied.
+//
+// done must be a read-only function of committed component state (it must
+// not mutate the simulation, and must not depend on the cycle counter):
+// once the kernel is fully quiescent nothing a step evaluates can change
+// done's verdict, so RunUntil fast-forwards the clock to the limit in bulk
+// instead of stepping idle cycles one by one.
 func (k *Kernel) RunUntil(done func() bool, limit int64) bool {
 	for k.cycle < limit {
 		if done() {
 			return true
+		}
+		if k.FullyIdle() {
+			k.FastForward(limit - k.cycle)
+			break
 		}
 		k.Step()
 	}

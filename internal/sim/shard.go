@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded execution: the kernel's two-phase cycle split across a persistent
+// worker pool, bit-exact with the serial path.
+//
+// The cycle becomes three barrier-separated phases:
+//
+//	phase 0  Compute  — every shard evaluates all of its active components.
+//	phase 1  Commit-early — shards commit their active early components
+//	         (routers, NIs) in registration order within the shard.
+//	phase 2  Commit-late  — shards commit their active late components
+//	         (links) in registration order within the shard.
+//
+// Why this is equivalent to the serial registration-order walk:
+//
+//   - Compute, by the kernel's contract, reads only committed state and
+//     stages into sender-owned storage, so compute order is unobservable.
+//   - Commits perform cross-component writes in exactly one direction:
+//     early components stage onto late ones (credit returns, staged flits
+//     already placed by compute), and late components deliver into early
+//     ones. Within a class, no commit writes to another component of the
+//     same class, so intra-class order is unobservable and classes can run
+//     in parallel; the barrier between phases 1 and 2 preserves the only
+//     order that matters (early-before-late), which is the same order the
+//     serial walk gets from links being registered last.
+//   - Wakes are phase-disjoint: compute-phase wakes target late components
+//     (whose Compute is a no-op, so missing them mid-phase is
+//     unobservable), phase-1 wakes target late components, and phase-2
+//     wakes target early components. A component's active flag is
+//     therefore never woken concurrently with its owner shard clearing it,
+//     and every wake lands before the phase that next evaluates the
+//     target.
+//
+// Cross-shard effects that are order-sensitive at the simulation surface
+// (deliveries, probe events) are not handled here: owners stage them into
+// per-shard mailboxes and drain them in the kernel epilogue (see
+// SetEpilogue), which runs on the stepping goroutine after the last
+// barrier.
+
+// Phase identifiers passed to the eval hook; also the most significant
+// ordering key when per-shard probe buffers are merged back into serial
+// emission order.
+const (
+	PhaseCompute = 0
+	PhaseEarly   = 1
+	PhaseLate    = 2
+)
+
+// pad separates per-shard counters onto their own cache lines so workers
+// incrementing adjacent shards' counters do not false-share.
+type pad struct {
+	v int32
+	_ [60]byte
+}
+
+type sharding struct {
+	shards  int
+	shardOf []int32 // component index -> shard
+
+	// Per-shard ascending component-index lists. all is the compute-phase
+	// walk; early/late are the commit-phase walks.
+	all   [][]int32
+	early [][]int32
+	late  [][]int32
+
+	// idle[s].v counts quiescent components in shard s (atomic: owner
+	// batches increments after its commit walk, any worker decrements via
+	// wake). total[s] is the shard's component count.
+	idle  []pad
+	total []int32
+
+	// evalHook, when set, runs immediately before every component
+	// evaluation on the worker that performs it. The probe layer uses it to
+	// tag per-shard event buffers with (phase, component) so they can be
+	// merged into serial emission order.
+	evalHook func(shard, phase, comp int)
+
+	work   []chan uint8
+	wg     sync.WaitGroup
+	closed bool
+
+	// dispatchMask is per-phase scratch: the snapshot of which shards were
+	// dispatched. Snapshotting matters — an already-running worker can wake
+	// a component in a shard the dispatcher has not reached yet, and the
+	// send loop must agree with the count handed to wg.Add.
+	dispatchMask []bool
+}
+
+// SetSharding partitions the registered components into shards and starts
+// one persistent worker goroutine per shard. shardOf[i] assigns component
+// (Handle) i; the caller chooses the partition — the network co-locates
+// each node's router, NIs, and incoming links so every commit-phase write
+// except Wake stays inside one shard.
+//
+// Must be called after all components are registered and before the first
+// Step; the kernel rejects further Add/AddLate calls. Call Close when the
+// simulation is done to release the workers.
+func (k *Kernel) SetSharding(shards int, shardOf []int) {
+	if k.sh != nil {
+		panic("sim: SetSharding called twice")
+	}
+	if k.stepping {
+		panic("sim: SetSharding called during Step")
+	}
+	if shards < 1 {
+		panic("sim: SetSharding requires at least one shard")
+	}
+	if len(shardOf) != len(k.components) {
+		panic(fmt.Sprintf("sim: SetSharding got %d assignments for %d components", len(shardOf), len(k.components)))
+	}
+	sh := &sharding{
+		shards:  shards,
+		shardOf: make([]int32, len(shardOf)),
+		all:     make([][]int32, shards),
+		early:   make([][]int32, shards),
+		late:    make([][]int32, shards),
+		idle:    make([]pad, shards),
+		total:   make([]int32, shards),
+		work:    make([]chan uint8, shards),
+
+		dispatchMask: make([]bool, shards),
+	}
+	lateMark := k.lateMark
+	if lateMark < 0 {
+		lateMark = len(k.components)
+	}
+	for i, s := range shardOf {
+		if s < 0 || s >= shards {
+			panic(fmt.Sprintf("sim: component %d assigned to shard %d of %d", i, s, shards))
+		}
+		sh.shardOf[i] = int32(s)
+		sh.all[s] = append(sh.all[s], int32(i))
+		if i < lateMark {
+			sh.early[s] = append(sh.early[s], int32(i))
+		} else {
+			sh.late[s] = append(sh.late[s], int32(i))
+		}
+		sh.total[s]++
+		if k.active[i] == 0 {
+			sh.idle[s].v++
+		}
+	}
+	k.idle = 0 // per-shard counters take over
+	for s := 0; s < shards; s++ {
+		ch := make(chan uint8, 1)
+		sh.work[s] = ch
+		go func(s int, ch chan uint8) {
+			for ph := range ch {
+				k.runShard(s, int(ph))
+				sh.wg.Done()
+			}
+		}(s, ch)
+	}
+	k.sh = sh
+}
+
+// Sharded reports whether the kernel runs on the sharded executor.
+func (k *Kernel) Sharded() bool { return k.sh != nil }
+
+// Shards returns the worker-shard count (0 on the serial path).
+func (k *Kernel) Shards() int {
+	if k.sh == nil {
+		return 0
+	}
+	return k.sh.shards
+}
+
+// SetEvalHook installs a callback invoked immediately before every
+// component evaluation on the sharded path, on the worker goroutine that
+// performs it, with the shard, phase (PhaseCompute/PhaseEarly/PhaseLate),
+// and component index. Nil removes it. The serial path never calls it.
+func (k *Kernel) SetEvalHook(fn func(shard, phase, comp int)) {
+	if k.sh != nil {
+		k.sh.evalHook = fn
+	}
+}
+
+// Close shuts down the sharded worker pool. Stepping a closed kernel
+// panics; Close on a serial kernel is a no-op. Safe to call more than once.
+func (k *Kernel) Close() {
+	sh := k.sh
+	if sh == nil || sh.closed {
+		return
+	}
+	sh.closed = true
+	for _, ch := range sh.work {
+		close(ch)
+	}
+}
+
+func (sh *sharding) totalIdle() int {
+	n := 0
+	for s := range sh.idle {
+		n += int(atomic.LoadInt32(&sh.idle[s].v))
+	}
+	return n
+}
+
+func (sh *sharding) resetIdle() {
+	for s := range sh.idle {
+		atomic.StoreInt32(&sh.idle[s].v, 0)
+	}
+}
+
+// wake is the sharded Wake: safe from any worker goroutine. The unlocked
+// load keeps the common already-active case to one read; the CAS makes the
+// 0→1 transition exclusive so the shard's idle counter is decremented
+// exactly once per sleep→wake edge.
+func (sh *sharding) wake(k *Kernel, h Handle) {
+	if atomic.LoadUint32(&k.active[h]) != 0 {
+		return
+	}
+	if atomic.CompareAndSwapUint32(&k.active[h], 0, 1) {
+		atomic.AddInt32(&sh.idle[sh.shardOf[h]].v, -1)
+	}
+}
+
+// stepSharded runs one cycle across the worker pool. Step has already set
+// the reentrancy guard; epilogue/observer/cycle advance happen back in
+// Step after the last barrier.
+func (k *Kernel) stepSharded() {
+	sh := k.sh
+	if sh.closed {
+		panic("sim: Step on a closed kernel")
+	}
+	if !k.alwaysActive && sh.totalIdle() == len(k.components) {
+		// Fully quiescent: pure clock advance, same as the serial path.
+		return
+	}
+	sh.dispatch(k, PhaseCompute)
+	sh.dispatch(k, PhaseEarly)
+	sh.dispatch(k, PhaseLate)
+}
+
+// dispatch fans one phase out to every shard that has work, running the
+// first working shard inline on the stepping goroutine, and waits for the
+// barrier. Idleness is re-read per phase: commit-phase wakes can hand work
+// to a shard that was fully idle when the cycle started.
+func (sh *sharding) dispatch(k *Kernel, phase int) {
+	inline := -1
+	n := 0
+	mask := sh.dispatchMask
+	for s := 0; s < sh.shards; s++ {
+		w := sh.shardWorks(k, s, phase)
+		mask[s] = w
+		if !w {
+			continue
+		}
+		if inline < 0 {
+			inline = s
+			continue
+		}
+		n++
+	}
+	if inline < 0 {
+		return
+	}
+	if n > 0 {
+		sh.wg.Add(n)
+		for s := inline + 1; s < sh.shards; s++ {
+			if mask[s] {
+				sh.work[s] <- uint8(phase)
+			}
+		}
+	}
+	k.runShard(inline, phase)
+	if n > 0 {
+		sh.wg.Wait()
+	}
+}
+
+// shardWorks reports whether shard s has anything to do in the phase. A
+// false positive (dispatched shard finds all its components asleep) only
+// costs a scan; a false negative would drop work, so the test is
+// conservative: any active component in the shard dispatches it for every
+// phase that has a non-empty walk list.
+func (sh *sharding) shardWorks(k *Kernel, s, phase int) bool {
+	var list []int32
+	switch phase {
+	case PhaseCompute:
+		list = sh.all[s]
+	case PhaseEarly:
+		list = sh.early[s]
+	default:
+		list = sh.late[s]
+	}
+	if len(list) == 0 {
+		return false
+	}
+	return k.alwaysActive || atomic.LoadInt32(&sh.idle[s].v) < sh.total[s]
+}
+
+// runShard executes one phase of one shard. Runs on a worker goroutine (or
+// inline on the stepping goroutine for the first working shard).
+func (k *Kernel) runShard(s, phase int) {
+	sh := k.sh
+	hook := sh.evalHook
+	cycle := k.cycle
+	if phase == PhaseCompute {
+		if k.alwaysActive {
+			for _, i := range sh.all[s] {
+				if hook != nil {
+					hook(s, PhaseCompute, int(i))
+				}
+				k.components[i].Compute(cycle)
+			}
+			return
+		}
+		for _, i := range sh.all[s] {
+			if atomic.LoadUint32(&k.active[i]) != 0 {
+				if hook != nil {
+					hook(s, PhaseCompute, int(i))
+				}
+				k.components[i].Compute(cycle)
+			}
+		}
+		return
+	}
+	list := sh.early[s]
+	if phase == PhaseLate {
+		list = sh.late[s]
+	}
+	if k.alwaysActive {
+		for _, i := range list {
+			if hook != nil {
+				hook(s, phase, int(i))
+			}
+			k.components[i].Commit(cycle)
+		}
+		return
+	}
+	quiets := int32(0)
+	for _, i := range list {
+		if atomic.LoadUint32(&k.active[i]) == 0 {
+			continue
+		}
+		if hook != nil {
+			hook(s, phase, int(i))
+		}
+		k.components[i].Commit(cycle)
+		if q := k.quiesc[i]; q != nil && q.Quiet() {
+			atomic.StoreUint32(&k.active[i], 0)
+			quiets++
+		}
+	}
+	if quiets != 0 {
+		atomic.AddInt32(&sh.idle[s].v, quiets)
+	}
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// mustPanic runs fn and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// hostile is a Clocked whose hooks poke the kernel in forbidden ways.
+type hostile struct {
+	onCompute func()
+}
+
+func (h *hostile) Compute(cycle int64) {
+	if h.onCompute != nil {
+		h.onCompute()
+	}
+}
+func (h *hostile) Commit(cycle int64) {}
+
+// TestReentrancyGuard pins the hook contract: observers and component
+// methods must not step the kernel or register components mid-step, and
+// registration order (early before late) is enforced at Add time.
+func TestReentrancyGuard(t *testing.T) {
+	t.Run("StepFromObserver", func(t *testing.T) {
+		k := NewKernel()
+		k.Add(&hostile{})
+		k.SetObserver(func(cycle int64, active int) { k.Step() })
+		mustPanic(t, "Step from observer", k.Step)
+	})
+	t.Run("StepFromEpilogue", func(t *testing.T) {
+		k := NewKernel()
+		k.Add(&hostile{})
+		k.SetEpilogue(func(cycle int64) { k.Step() })
+		mustPanic(t, "Step from epilogue", k.Step)
+	})
+	t.Run("AddDuringStep", func(t *testing.T) {
+		k := NewKernel()
+		k.Add(&hostile{onCompute: func() { k.Add(&hostile{}) }})
+		mustPanic(t, "Add during Step", k.Step)
+	})
+	t.Run("AddAfterAddLate", func(t *testing.T) {
+		k := NewKernel()
+		k.Add(&hostile{})
+		k.AddLate(&hostile{})
+		mustPanic(t, "Add after AddLate", func() { k.Add(&hostile{}) })
+	})
+	t.Run("AddAfterSetSharding", func(t *testing.T) {
+		k := NewKernel()
+		k.Add(&hostile{})
+		k.SetSharding(1, []int{0})
+		defer k.Close()
+		mustPanic(t, "Add after SetSharding", func() { k.Add(&hostile{}) })
+	})
+}
+
+// TestSetShardingValidation pins the partition sanity checks.
+func TestSetShardingValidation(t *testing.T) {
+	mk := func() *Kernel {
+		k := NewKernel()
+		k.Add(&quiescer{})
+		k.Add(&quiescer{})
+		return k
+	}
+	mustPanic(t, "zero shards", func() { mk().SetSharding(0, []int{0, 0}) })
+	mustPanic(t, "length mismatch", func() { mk().SetSharding(2, []int{0}) })
+	mustPanic(t, "out-of-range shard", func() { mk().SetSharding(2, []int{0, 2}) })
+	k := mk()
+	k.SetSharding(2, []int{0, 1})
+	defer k.Close()
+	mustPanic(t, "double SetSharding", func() { k.SetSharding(2, []int{0, 1}) })
+}
+
+// TestStepAfterClosePanics: a closed worker pool cannot step.
+func TestStepAfterClosePanics(t *testing.T) {
+	k := NewKernel()
+	k.Add(&quiescer{pending: 3})
+	k.SetSharding(1, []int{0})
+	k.Close()
+	k.Close() // idempotent
+	mustPanic(t, "Step after Close", k.Step)
+}
+
+// TestFastForward pins the bulk clock advance: no effect while busy, pure
+// advance while idle, per-cycle hook replay when hooks are installed.
+func TestFastForward(t *testing.T) {
+	k := NewKernel()
+	q := &quiescer{pending: 2}
+	k.Add(q)
+	if got := k.FastForward(10); got != 0 {
+		t.Fatalf("FastForward on a busy kernel skipped %d cycles, want 0", got)
+	}
+	k.Run(3) // q quiet after 2 cycles
+	if !k.FullyIdle() {
+		t.Fatal("kernel not idle after drain")
+	}
+	start := k.Cycle()
+	if got := k.FastForward(50); got != 50 {
+		t.Fatalf("FastForward skipped %d cycles, want 50", got)
+	}
+	if k.Cycle() != start+50 {
+		t.Fatalf("cycle = %d, want %d", k.Cycle(), start+50)
+	}
+	if q.computes != 2 {
+		t.Fatalf("FastForward evaluated components: %d computes, want 2", q.computes)
+	}
+
+	// With hooks installed the advance replays them every skipped cycle, in
+	// epilogue-then-observer order, with active == 0.
+	var cycles []int64
+	k.SetEpilogue(func(cycle int64) { cycles = append(cycles, cycle) })
+	k.SetObserver(func(cycle int64, active int) {
+		if active != 0 {
+			t.Fatalf("observer saw %d active components during fast-forward", active)
+		}
+		if n := len(cycles); n == 0 || cycles[n-1] != cycle {
+			t.Fatalf("observer at cycle %d did not follow its epilogue (%v)", cycle, cycles)
+		}
+	})
+	before := k.Cycle()
+	if got := k.FastForward(7); got != 7 {
+		t.Fatalf("hooked FastForward skipped %d cycles, want 7", got)
+	}
+	if len(cycles) != 7 || cycles[0] != before || cycles[6] != before+6 {
+		t.Fatalf("epilogue cycles = %v, want %d..%d", cycles, before, before+6)
+	}
+}
+
+// pinger is an early component holding tokens: each active cycle it burns
+// one and pokes its late partner with a unit of work plus a wake — the
+// early-commit-writes-late pattern (credit returns) the phase barrier
+// makes safe.
+type pinger struct {
+	tokens   int
+	computes int
+	commits  int
+	partner  *ponger
+	wake     func()
+}
+
+func (p *pinger) Compute(cycle int64) { p.computes++ }
+func (p *pinger) Commit(cycle int64) {
+	p.commits++
+	if p.tokens > 0 {
+		p.tokens--
+		p.partner.pending++
+		p.wake()
+	}
+}
+func (p *pinger) Quiet() bool { return p.tokens == 0 }
+
+// ponger is a late component: it works off the pending units its pinger
+// staged, and each time it finishes a batch it refuels the pinger — the
+// late-commit-writes-early pattern (link delivery) plus a cross-phase wake.
+type ponger struct {
+	pending  int
+	refills  int
+	computes int
+	commits  int
+	partner  *pinger
+	wake     func()
+}
+
+func (p *ponger) Compute(cycle int64) { p.computes++ }
+func (p *ponger) Commit(cycle int64) {
+	p.commits++
+	if p.pending > 0 {
+		p.pending--
+		if p.pending == 0 && p.refills > 0 {
+			p.refills--
+			p.partner.tokens += 2
+			p.wake()
+		}
+	}
+}
+func (p *ponger) Quiet() bool { return p.pending == 0 }
+
+// buildPingPong wires nPairs pinger/ponger pairs into a kernel, optionally
+// sharded with each pair's components co-assigned round-robin. Returns the
+// kernel plus the components for inspection.
+func buildPingPong(nPairs, shards int) (*Kernel, []*pinger, []*ponger) {
+	k := NewKernel()
+	pingers := make([]*pinger, nPairs)
+	pongers := make([]*ponger, nPairs)
+	for i := range pingers {
+		pingers[i] = &pinger{tokens: 3 + i%4}
+		pongers[i] = &ponger{refills: 2}
+		pingers[i].partner = pongers[i]
+		pongers[i].partner = pingers[i]
+	}
+	var shardOf []int
+	for i, p := range pingers {
+		h := k.Add(p)
+		pongers[i].wake = k.Waker(h)
+		shardOf = append(shardOf, i%max(shards, 1))
+	}
+	for i, p := range pongers {
+		h := k.AddLate(p)
+		pingers[i].wake = k.Waker(h)
+		// Deliberately co-locate some pairs and split others across shards,
+		// so both intra- and cross-shard wakes are exercised.
+		shardOf = append(shardOf, (i+i%2)%max(shards, 1))
+	}
+	if shards > 0 {
+		k.SetSharding(shards, shardOf)
+	}
+	return k, pingers, pongers
+}
+
+// TestShardedToyEquivalence runs the ping-pong workload — cross-phase,
+// cross-shard wakes and writes in both directions — serial and at several
+// shard counts, and requires identical per-component evaluation counts and
+// identical final state. Run under -race this also proves the wake path and
+// phase barriers are data-race free.
+func TestShardedToyEquivalence(t *testing.T) {
+	const nPairs = 13
+	type snapshot struct {
+		computes, commits []int
+		active            int
+		cycle             int64
+	}
+	run := func(shards int) snapshot {
+		k, pingers, pongers := buildPingPong(nPairs, shards)
+		defer k.Close()
+		k.Run(60)
+		var s snapshot
+		for i := range pingers {
+			s.computes = append(s.computes, pingers[i].computes, pongers[i].computes)
+			s.commits = append(s.commits, pingers[i].commits, pongers[i].commits)
+		}
+		s.active = k.ActiveComponents()
+		s.cycle = k.Cycle()
+		return s
+	}
+	want := run(0) // serial reference
+	if want.active != 0 {
+		t.Fatalf("reference run did not quiesce: %d active", want.active)
+	}
+	for _, shards := range []int{1, 2, 3, 5, 13} {
+		got := run(shards)
+		if got.cycle != want.cycle || got.active != want.active {
+			t.Errorf("shards=%d: cycle/active = %d/%d, want %d/%d", shards, got.cycle, got.active, want.cycle, want.active)
+		}
+		for i := range want.computes {
+			if got.computes[i] != want.computes[i] || got.commits[i] != want.commits[i] {
+				t.Fatalf("shards=%d: component %d evaluated %d/%d times, want %d/%d",
+					shards, i, got.computes[i], got.commits[i], want.computes[i], want.commits[i])
+			}
+		}
+	}
+}
+
+// TestShardedWakeCrossGoroutine asserts the documented Wake contract: on
+// the sharded path Wake is atomic and legal from any goroutine (the NI
+// injection path). Concurrent wakes of overlapping components must leave
+// the idle accounting exact.
+func TestShardedWakeCrossGoroutine(t *testing.T) {
+	k := NewKernel()
+	const n = 32
+	handles := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		handles[i] = k.Add(&quiescer{pending: 1})
+	}
+	shardOf := make([]int, n)
+	for i := range shardOf {
+		shardOf[i] = i % 4
+	}
+	k.SetSharding(4, shardOf)
+	defer k.Close()
+	k.Run(3) // everything goes quiet
+	if !k.FullyIdle() {
+		t.Fatalf("kernel not idle: %d active", k.ActiveComponents())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Goroutines deliberately overlap on the same handles.
+			for i := g % 2; i < n; i += 2 {
+				k.Wake(handles[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := k.ActiveComponents(); got != n {
+		t.Fatalf("after concurrent wakes %d components active, want %d", got, n)
+	}
+	k.Run(3)
+	if !k.FullyIdle() {
+		t.Errorf("kernel did not re-quiesce: %d active", k.ActiveComponents())
+	}
+}
