@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json trace-smoke
+.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke
 
 ## check: the CI gate — build, vet, static analysis, the full test suite
 ## under the race detector (the parallel experiment engine makes this
-## mandatory), and the tracing smoke test.
-check: build vet lint race trace-smoke
+## mandatory), the tracing smoke test, and a soft benchmark-regression
+## check against the newest committed snapshot.
+check: build vet lint race trace-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -46,6 +47,26 @@ bench-json:
 	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
 	$(GO) test -run '^$$' -bench . -benchtime 1x . | tee "$$tmp" && \
 	$(GO) run ./cmd/noxbench -in "$$tmp"
+
+## bench-compare: run the benchmark suite once and diff it against the newest
+## committed BENCH_*.json via `noxbench -compare`. The threshold is a
+## deliberately generous 50%: `-benchtime 1x` single-iteration timings are
+## noisy (machine load, turbo state), so only a gross slowdown should trip
+## it. Slowdowns under noxbench's absolute noise floor (-floor, default
+## 50µs) never trip regardless of percentage — nanosecond-scale benchmarks
+## jitter past any relative threshold on timer granularity alone.
+## Soft gate: a regression prints a loud warning but does not fail
+## `make check` — timings from different machines are not comparable, and
+## the committed snapshots are the authoritative record. Investigate any
+## warning with a longer -benchtime run before trusting it.
+bench-compare:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1); \
+	if [ -z "$$base" ]; then echo "bench-compare: no committed BENCH_*.json baseline, skipping"; exit 0; fi; \
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) test -run '^$$' -bench . -benchtime 1x . > "$$tmp/bench.txt" && \
+	$(GO) run ./cmd/noxbench -in "$$tmp/bench.txt" -out "$$tmp/new.json" && \
+	{ $(GO) run ./cmd/noxbench -compare -threshold 0.50 "$$base" "$$tmp/new.json" || \
+	  { [ $$? -eq 1 ] && echo "bench-compare: WARNING: regression vs $$base (soft gate, check not failed)"; }; }
 
 ## trace-smoke: run noxtrace on a tiny mesh and validate that the emitted
 ## Chrome trace JSON parses and that every CSV exporter produces output.

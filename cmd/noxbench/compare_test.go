@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(benches ...Benchmark) Snapshot {
+	return Snapshot{Schema: "nox-bench/v1", Benchmarks: benches}
+}
+
+func bench(name string, ns, bytes, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkA", 1000, 64, 2)),
+		snap(bench("BenchmarkA", 1100, 64, 2)),
+		0.20, 0)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("10%% slowdown under 20%% threshold flagged: %v", res.Regressions)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkA", 1000, 64, 2), bench("BenchmarkB", 500, -1, -1)),
+		snap(bench("BenchmarkA", 1300, 64, 2), bench("BenchmarkB", 490, -1, -1)),
+		0.20, 0)
+	if len(res.Regressions) != 1 || res.Regressions[0] != "BenchmarkA" {
+		t.Fatalf("regressions = %v, want [BenchmarkA]", res.Regressions)
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkA", 1000, 64, 2)),
+		snap(bench("BenchmarkA", 10, 0, 0)),
+		0.20, 0)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("speedup flagged as regression: %v", res.Regressions)
+	}
+}
+
+// TestCompareAllocSentinels: a -1 bytes/allocs sentinel on either side means
+// "not measured" and must be skipped with a note, never gated.
+func TestCompareAllocSentinels(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkA", 1000, -1, -1)),
+		snap(bench("BenchmarkA", 1000, 300000, 4637)),
+		0.20, 0)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("alloc sentinel produced regression: %v", res.Regressions)
+	}
+	joined := strings.Join(res.Lines, "\n")
+	if !strings.Contains(joined, "not measured") {
+		t.Fatalf("expected a skip note for unmeasured allocs, got:\n%s", joined)
+	}
+}
+
+// TestCompareMissingMetrics: metrics blocks are optional on either side;
+// present-only-on-one-side metrics print informationally.
+func TestCompareMissingMetrics(t *testing.T) {
+	oldB := bench("BenchmarkA", 1000, 64, 2)
+	newB := bench("BenchmarkA", 1000, 64, 2)
+	newB.Metrics = map[string]float64{"avg-latency-cycles": 21.5}
+	res := compareSnapshots(snap(oldB), snap(newB), 0.20, 0)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("metric-only difference flagged: %v", res.Regressions)
+	}
+	joined := strings.Join(res.Lines, "\n")
+	if !strings.Contains(joined, "avg-latency-cycles") {
+		t.Fatalf("new metric not reported:\n%s", joined)
+	}
+}
+
+// TestCompareDisjointNames: benchmarks present in only one snapshot are
+// noted, not failed.
+func TestCompareDisjointNames(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkOld", 1000, -1, -1)),
+		snap(bench("BenchmarkNew", 1000, -1, -1)),
+		0.20, 0)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("disjoint benchmark sets flagged: %v", res.Regressions)
+	}
+	joined := strings.Join(res.Lines, "\n")
+	if !strings.Contains(joined, "no baseline") || !strings.Contains(joined, "in baseline only") {
+		t.Fatalf("missing/new benchmarks not noted:\n%s", joined)
+	}
+}
+
+// TestCompareNoiseFloor: a relative slowdown past the threshold only gates
+// when the absolute delta also clears the noise floor — a 100ns reading
+// doubling is timer jitter, a 100µs one doubling is a regression.
+func TestCompareNoiseFloor(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkTiny", 100, -1, -1), bench("BenchmarkBig", 100_000, -1, -1)),
+		snap(bench("BenchmarkTiny", 250, -1, -1), bench("BenchmarkBig", 250_000, -1, -1)),
+		0.20, 50_000)
+	if len(res.Regressions) != 1 || res.Regressions[0] != "BenchmarkBig" {
+		t.Fatalf("regressions = %v, want [BenchmarkBig]", res.Regressions)
+	}
+	joined := strings.Join(res.Lines, "\n")
+	if !strings.Contains(joined, "noise") {
+		t.Fatalf("sub-floor slowdown not marked as noise:\n%s", joined)
+	}
+}
+
+func writeSnap(t *testing.T, dir, name string, s Snapshot) string {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCompareExitCodes drives the full file-level entry point: 0 clean,
+// 1 regression, 2 unreadable input.
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", snap(bench("BenchmarkA", 1000, 64, 2)))
+	goodPath := writeSnap(t, dir, "good.json", snap(bench("BenchmarkA", 900, 64, 2)))
+	badPath := writeSnap(t, dir, "bad.json", snap(bench("BenchmarkA", 2000, 64, 2)))
+
+	var sb strings.Builder
+	if code := runCompare(&sb, oldPath, goodPath, 0.20, 0); code != 0 {
+		t.Errorf("clean compare exited %d, want 0\n%s", code, sb.String())
+	}
+	if code := runCompare(&sb, oldPath, badPath, 0.20, 0); code != 1 {
+		t.Errorf("regressed compare exited %d, want 1", code)
+	}
+	if code := runCompare(&sb, oldPath, filepath.Join(dir, "absent.json"), 0.20, 0); code != 2 {
+		t.Errorf("missing file exited %d, want 2", code)
+	}
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare(&sb, oldPath, garbled, 0.20, 0); code != 2 {
+		t.Errorf("garbled file exited %d, want 2", code)
+	}
+}
+
+// TestLoadSnapshotSchemaGuard rejects JSON that parses but is not a
+// nox-bench snapshot.
+func TestLoadSnapshotSchemaGuard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"something-else/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(path); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

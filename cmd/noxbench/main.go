@@ -4,10 +4,21 @@
 // metrics reported via b.ReportMetric (the paper's headline numbers ride
 // along with the timings).
 //
-// Usage (see `make bench-json`):
+// Usage (see `make bench-json` and `make bench-compare`):
 //
 //	go test -run '^$' -bench . -benchtime 1x . | noxbench -out BENCH_20260806T120000Z.json
 //	noxbench -in bench.txt -out -          # JSON to stdout
+//	noxbench -compare old.json new.json    # per-benchmark deltas; exit 1 on regression
+//
+// Compare mode matches benchmarks by name and gates on ns/op only: exit
+// status 1 when any benchmark got slower than -threshold (default 20%) by
+// more than -floor nanoseconds absolute, 2 on bad input. The floor keeps
+// sub-microsecond single-iteration readings — where a relative threshold
+// would gate on timer jitter — from failing the comparison. B/op,
+// allocs/op, and custom metrics print informationally; a -1 sentinel
+// (allocations not measured) or a missing metrics block on either side is
+// skipped with a note, never a failure, so snapshots from partial benchmark
+// runs stay comparable.
 package main
 
 import (
@@ -105,10 +116,21 @@ func fatal(err error) {
 
 func main() {
 	var (
-		in  = flag.String("in", "-", "benchmark output to parse ('-' = stdin)")
-		out = flag.String("out", "", "JSON output file ('-' = stdout; default BENCH_<stamp>.json)")
+		in        = flag.String("in", "-", "benchmark output to parse ('-' = stdin)")
+		out       = flag.String("out", "", "JSON output file ('-' = stdout; default BENCH_<stamp>.json)")
+		compare   = flag.Bool("compare", false, "compare two snapshots: noxbench -compare old.json new.json")
+		threshold = flag.Float64("threshold", 0.20, "ns/op regression threshold for -compare (0.20 = 20% slower fails)")
+		floor     = flag.Float64("floor", 50_000, "absolute ns/op noise floor for -compare: slowdowns smaller than this never fail")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "noxbench: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *floor))
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "-" {

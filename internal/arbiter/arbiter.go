@@ -5,6 +5,8 @@
 // is exactly the comparison the paper sets up.
 package arbiter
 
+import "math/bits"
+
 // Arbiter selects one requester from a bitmask of requests. Implementations
 // must be work-conserving (grant whenever requests != 0) and produce at most
 // one grant per invocation.
@@ -32,34 +34,46 @@ type RoundRobin struct {
 // NewRoundRobin returns an arbiter over n request lines with initial
 // priority at line 0.
 func NewRoundRobin(n int) *RoundRobin {
+	rr := &RoundRobin{}
+	rr.Init(n)
+	return rr
+}
+
+// Init initializes a zero RoundRobin in place over n request lines — the
+// slab-construction form letting a router carve its per-output arbiters from
+// one allocation.
+func (a *RoundRobin) Init(n int) {
 	if n <= 0 || n > 32 {
 		panic("arbiter: width must be in [1,32]")
 	}
-	return &RoundRobin{n: n}
+	*a = RoundRobin{n: n}
 }
 
 // Width returns the number of request lines.
 func (a *RoundRobin) Width() int { return a.n }
 
-// Peek returns the requester that would win without rotating the priority.
+// Peek returns the requester that would win without rotating the priority:
+// the lowest set bit at or above the priority pointer, wrapping to the
+// lowest set bit overall. Two trailing-zero counts replace the rotate-and-
+// scan loop on what is the single hottest decision in every router.
 func (a *RoundRobin) Peek(requests uint32) (int, bool) {
 	if requests == 0 {
 		return 0, false
 	}
-	for i := 0; i < a.n; i++ {
-		idx := (a.next + i) % a.n
-		if requests&(1<<idx) != 0 {
-			return idx, true
-		}
+	if hi := requests >> uint(a.next); hi != 0 {
+		return a.next + bits.TrailingZeros32(hi), true
 	}
-	return 0, false
+	return bits.TrailingZeros32(requests), true
 }
 
 // Grant returns the highest-priority requester and rotates priority past it.
 func (a *RoundRobin) Grant(requests uint32) (int, bool) {
 	w, ok := a.Peek(requests)
 	if ok {
-		a.next = (w + 1) % a.n
+		a.next = w + 1
+		if a.next == a.n {
+			a.next = 0
+		}
 	}
 	return w, ok
 }

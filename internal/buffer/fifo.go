@@ -5,29 +5,70 @@ package buffer
 
 import "repro/internal/noc"
 
-// FIFO is a fixed-capacity flit queue.
+// FIFO is a fixed-capacity flit queue backed by a power-of-two ring, so the
+// hot Push/Pop/Head index arithmetic is a mask instead of a division. The
+// advertised capacity stays exactly the requested depth — the credit
+// protocol and overflow panics see the configured buffer size, not the
+// rounded ring.
 type FIFO struct {
 	slots []*noc.Flit
+	mask  int
+	depth int
 	head  int
 	count int
 }
 
+// ringSize returns the power-of-two ring length backing a FIFO of the given
+// depth.
+func ringSize(depth int) int {
+	n := 1
+	for n < depth {
+		n <<= 1
+	}
+	return n
+}
+
 // New returns an empty FIFO holding up to depth flits.
 func New(depth int) *FIFO {
+	f := &FIFO{}
+	f.Init(depth, nil)
+	return f
+}
+
+// Init initializes a zero FIFO in place. slots, when non-nil, becomes the
+// backing ring — the slab-construction form letting a router carve every
+// port's buffer from one allocation; it must be empty and exactly
+// SlotsFor(depth) long. A nil slots allocates the ring.
+func (f *FIFO) Init(depth int, slots []*noc.Flit) {
 	if depth <= 0 {
 		panic("buffer: FIFO depth must be positive")
 	}
-	return &FIFO{slots: make([]*noc.Flit, depth)}
+	n := ringSize(depth)
+	if slots == nil {
+		slots = make([]*noc.Flit, n)
+	} else if len(slots) != n {
+		panic("buffer: Init slots length must be SlotsFor(depth)")
+	}
+	*f = FIFO{slots: slots, mask: n - 1, depth: depth}
+}
+
+// SlotsFor returns the backing-slice length Init requires for a FIFO of the
+// given depth.
+func SlotsFor(depth int) int {
+	if depth <= 0 {
+		panic("buffer: FIFO depth must be positive")
+	}
+	return ringSize(depth)
 }
 
 // Cap returns the FIFO capacity in flits.
-func (f *FIFO) Cap() int { return len(f.slots) }
+func (f *FIFO) Cap() int { return f.depth }
 
 // Len returns the number of buffered flits.
 func (f *FIFO) Len() int { return f.count }
 
 // Free returns the number of empty slots.
-func (f *FIFO) Free() int { return len(f.slots) - f.count }
+func (f *FIFO) Free() int { return f.depth - f.count }
 
 // Empty reports whether the FIFO holds no flits.
 func (f *FIFO) Empty() bool { return f.count == 0 }
@@ -46,10 +87,10 @@ func (f *FIFO) Push(fl *noc.Flit) {
 	if fl == nil {
 		panic("buffer: Push of nil flit")
 	}
-	if f.count == len(f.slots) {
+	if f.count == f.depth {
 		panic("buffer: FIFO overflow (credit protocol violated)")
 	}
-	f.slots[(f.head+f.count)%len(f.slots)] = fl
+	f.slots[(f.head+f.count)&f.mask] = fl
 	f.count++
 }
 
@@ -60,7 +101,7 @@ func (f *FIFO) Pop() *noc.Flit {
 	}
 	fl := f.slots[f.head]
 	f.slots[f.head] = nil
-	f.head = (f.head + 1) % len(f.slots)
+	f.head = (f.head + 1) & f.mask
 	f.count--
 	return fl
 }

@@ -28,14 +28,23 @@ import (
 // are compute-phase (Offer is a pure function of committed state, Service
 // stages the consumption), Commit applies staged actions and performs the
 // latch, and Receive is called by the upstream link's commit.
+//
+// When an arena is attached the port also owns two ends of the pooled-flit
+// lifetime: decode-path presentation copies it creates, and the encoded
+// register value (with the constituents it absorbs) it retires. See Commit.
 type InputPort struct {
-	fifo *buffer.FIFO
+	fifo buffer.FIFO
 	reg  *noc.Flit
 
-	// route computes the lookahead output port at this router for a packet
-	// headed to the given destination; decoded flits need their route
-	// recomputed locally because their objects originate upstream.
-	route func(noc.NodeID) noc.Port
+	// row is this router's precomputed route-table row indexed by packet
+	// destination (lookahead route computation in one load); routeFn is the
+	// closure fallback for callers without a table. Exactly one is set.
+	row     []noc.Port
+	routeFn func(noc.NodeID) noc.Port
+
+	// arena recycles decode copies and dead register superpositions; nil
+	// falls back to heap allocation with no recycling.
+	arena *noc.Arena
 
 	// offerCache memoizes the decoded presentation within a cycle so the
 	// same *Flit object is offered, sent, and serviced.
@@ -43,6 +52,13 @@ type InputPort struct {
 	offerCacheValid bool
 
 	serviceStaged bool
+	// absorbed marks that this cycle's offer was superimposed into an
+	// encoded output flit, which then owns it (see OfferAbsorbed).
+	absorbed bool
+
+	// lastSuccessor is retireRegister scratch for the single-element
+	// successor set of a chain's final raw member.
+	lastSuccessor [1]*noc.Flit
 }
 
 // Events reports what an InputPort did at a clock edge, for energy and
@@ -62,7 +78,26 @@ type Events struct {
 // NewInputPort returns an input port with the given FIFO depth. route maps
 // a packet destination to this router's output port (lookahead routing).
 func NewInputPort(depth int, route func(noc.NodeID) noc.Port) *InputPort {
-	return &InputPort{fifo: buffer.New(depth), route: route}
+	p := &InputPort{routeFn: route}
+	p.fifo.Init(depth, nil)
+	return p
+}
+
+// Init initializes a zero InputPort in place — the slab-construction form:
+// slots (length buffer.SlotsFor(depth)) backs the FIFO ring, row is the
+// router's precomputed route-table row, and arena (optional) recycles the
+// port's pooled flits.
+func (p *InputPort) Init(depth int, slots []*noc.Flit, row []noc.Port, arena *noc.Arena) {
+	*p = InputPort{row: row, arena: arena}
+	p.fifo.Init(depth, slots)
+}
+
+// route computes the lookahead output port at this router for dst.
+func (p *InputPort) route(dst noc.NodeID) noc.Port {
+	if p.row != nil {
+		return p.row[dst]
+	}
+	return p.routeFn(dst)
 }
 
 // Free returns the number of free FIFO slots (initial link credits).
@@ -99,13 +134,12 @@ func (p *InputPort) Offer() (f *noc.Flit, decoded bool, ok bool) {
 			if err != nil {
 				panic(fmt.Sprintf("core: decode protocol violated: %v", err))
 			}
-			// Present a local copy: the original object may still be live
+			// Present a pooled copy: the original object may still be live
 			// in an upstream buffer (it was a collision loser there), so
 			// its lookahead route must not be overwritten in place.
-			cp := *orig
+			cp := p.arena.Clone(orig)
 			cp.OutPort = p.route(cp.Packet.Dst)
-			cp.Parts = nil
-			p.offerCache = &cp
+			p.offerCache = cp
 			p.offerCacheValid = true
 		}
 		return p.offerCache, true, true
@@ -128,58 +162,114 @@ func (p *InputPort) Service() {
 	p.serviceStaged = true
 }
 
+// OfferAbsorbed marks that this cycle's offer was superimposed into an
+// encoded output flit, whose constituent set now owns the object. The NoX
+// router calls it for every collider of a productive collision. It matters
+// only for decode-path presentations: an unserviced decode copy is normally
+// dead at the clock edge (a fresh copy is decoded next cycle) and returns
+// to the arena — unless a superposition absorbed it, in which case it must
+// stay live until that superposition dies downstream and the stale copy
+// cancels by packet identity against the copy that eventually traversed.
+func (p *InputPort) OfferAbsorbed() { p.absorbed = true }
+
 // Commit applies the staged service and, when the head is encoded and the
 // register free, performs the latch. It returns the edge's events.
+//
+// Commit is also where pooled flits die. When a serviced decode empties or
+// replaces the register, the old register superposition is retired: every
+// constituent not carried forward by its successor (the new register's
+// constituent set, or the raw head itself for the final chain member) is
+// unreachable — the recovered original whose copy traversed this cycle, and
+// any stale absorbed copies — and returns to the arena, followed by the
+// register flit itself. An unserviced, unabsorbed decode copy is likewise
+// retired (next cycle decodes a fresh one). Serviced presentations are
+// never released here: the consumer owns them (sent downstream by the
+// router, or released after delivery by the network interface).
 func (p *InputPort) Commit() Events {
 	var ev Events
-	defer func() {
-		p.offerCache = nil
-		p.offerCacheValid = false
-	}()
+	serviced := p.serviceStaged
+	p.serviceStaged = false
 
-	if p.serviceStaged {
-		p.serviceStaged = false
-		if p.reg != nil {
-			// A decoded presentation was consumed.
-			ev.Decoded = true
-			head := p.fifo.Head()
-			if head == nil {
-				panic("core: serviced decode with empty FIFO")
-			}
-			if head.Encoded {
-				// Chain continues: the head becomes the new register value.
-				p.fifo.Pop()
-				ev.Reads++
-				ev.FreedSlots++
-				p.reg = head
-				ev.Latched = true
-			} else {
-				// Final chain member: it stays buffered and will be
-				// presented raw next cycle (Fig. 3: C is read for decoding
-				// on cycle 3 and transmitted itself on cycle 4).
-				ev.Reads++
-				p.reg = nil
-			}
-			return ev
+	switch {
+	case serviced && p.reg != nil:
+		// A decoded presentation was consumed.
+		ev.Decoded = true
+		head := p.fifo.Head()
+		if head == nil {
+			panic("core: serviced decode with empty FIFO")
 		}
+		old := p.reg
+		if head.Encoded {
+			// Chain continues: the head becomes the new register value.
+			p.fifo.Pop()
+			ev.Reads++
+			ev.FreedSlots++
+			p.reg = head
+			ev.Latched = true
+			p.retireRegister(old, head.Parts)
+		} else {
+			// Final chain member: it stays buffered and will be
+			// presented raw next cycle (Fig. 3: C is read for decoding
+			// on cycle 3 and transmitted itself on cycle 4).
+			ev.Reads++
+			p.reg = nil
+			p.lastSuccessor[0] = head
+			p.retireRegister(old, p.lastSuccessor[:])
+		}
+
+	case serviced:
 		head := p.fifo.Pop()
 		if head.Encoded {
 			panic("core: raw service consumed an encoded flit")
 		}
 		ev.Reads++
 		ev.FreedSlots++
-		return ev
-	}
 
-	// No service this cycle: latch an encoded head into the free register.
-	if p.reg == nil {
-		if h := p.fifo.Head(); h != nil && h.Encoded {
-			p.fifo.Pop()
-			ev.Reads++
-			ev.FreedSlots++
-			p.reg = h
-			ev.Latched = true
+	default:
+		// No service this cycle: latch an encoded head into the free register.
+		if p.reg == nil {
+			if h := p.fifo.Head(); h != nil && h.Encoded {
+				p.fifo.Pop()
+				ev.Reads++
+				ev.FreedSlots++
+				p.reg = h
+				ev.Latched = true
+			}
+		}
+		// An unserviced decode copy is stale — unless a collision absorbed
+		// it into a live superposition.
+		if p.offerCache != nil && !p.absorbed {
+			p.arena.Release(p.offerCache)
 		}
 	}
+
+	p.offerCache = nil
+	p.offerCacheValid = false
+	p.absorbed = false
 	return ev
+}
+
+// retireRegister releases the dead register superposition old: every
+// constituent not present (by object identity) in the successor set is
+// unreachable and returns to the arena, then old itself. Identity, not
+// packet ID: a raw constituent still buffered upstream reappears in the
+// successor as the same object and must stay live, while a stale decode
+// copy of the same packet is a different object and dies here.
+func (p *InputPort) retireRegister(old *noc.Flit, successor []*noc.Flit) {
+	if p.arena == nil {
+		return
+	}
+	for _, m := range old.Parts {
+		live := false
+		for _, s := range successor {
+			if s == m {
+				live = true
+				break
+			}
+		}
+		if !live {
+			p.arena.Release(m)
+		}
+	}
+	p.arena.Release(old)
 }

@@ -53,6 +53,10 @@ type Decision struct {
 	// the field fits existing struct padding — Decision returns by value on
 	// the switch's hottest path.
 	Colliders uint8
+	// ColliderMask is the input set of a productive collision (Collided set,
+	// Invalid clear), 0 otherwise. The router uses it to mark each collider's
+	// offer as absorbed into the encoded output (arena lifetime tracking).
+	ColliderMask uint32
 	// Arbitrated reports that the arbiter evaluated a non-empty request set
 	// (for energy accounting).
 	Arbitrated bool
@@ -78,21 +82,44 @@ type OutputControl struct {
 	nextSwitchMask uint32
 	nextArbMask    uint32
 	nextLockOwner  int
+
+	// arena pools the encoded superpositions this output creates; colliders
+	// is the reusable gather scratch for their constituent sets.
+	arena     *noc.Arena
+	colliders []*noc.Flit
 }
 
 // NewOutputControl returns control logic for one output fed by n inputs,
 // starting in Recovery mode with all inputs enabled.
 func NewOutputControl(n int, arb arbiter.Arbiter) *OutputControl {
+	o := &OutputControl{}
+	o.Init(n, arb, nil, nil)
+	return o
+}
+
+// Init initializes a zero OutputControl in place — the slab-construction
+// form. A nil arb installs a round-robin arbiter; a nil arena falls back to
+// heap-allocated superpositions. colliders, when non-nil, becomes the gather
+// scratch (must be empty with capacity >= n), letting a router carve every
+// output's scratch from one slab.
+func (o *OutputControl) Init(n int, arb arbiter.Arbiter, arena *noc.Arena, colliders []*noc.Flit) {
 	if arb == nil {
 		arb = arbiter.NewRoundRobin(n)
 	}
 	if arb.Width() != n {
 		panic("core: arbiter width mismatch")
 	}
+	if colliders == nil {
+		colliders = make([]*noc.Flit, 0, n)
+	} else if len(colliders) != 0 || cap(colliders) < n {
+		panic("core: Init colliders must be empty with capacity >= n")
+	}
 	all := uint32(1<<n) - 1
-	return &OutputControl{
+	*o = OutputControl{
 		n: n, all: all, arb: arb,
 		mode: Recovery, switchMask: all, arbMask: all, lockOwner: -1,
+		arena:     arena,
+		colliders: colliders,
 	}
 }
 
@@ -275,8 +302,8 @@ func (o *OutputControl) Decide(offers []*noc.Flit, creditOK bool) Decision {
 		d.Colliders = uint8(bits.OnesCount32(s))
 
 		multi := false
-		for i := 0; i < o.n; i++ {
-			if s&(1<<i) != 0 && offers[i].MultiFlit() {
+		for m := s; m != 0; m &= m - 1 {
+			if offers[bits.TrailingZeros32(m)].MultiFlit() {
 				multi = true
 				break
 			}
@@ -303,14 +330,13 @@ func (o *OutputControl) Decide(offers []*noc.Flit, creditOK bool) Decision {
 
 		// Productive collision: superimpose the colliders, service the
 		// winner, and narrow the masks to the losers.
-		colliders := make([]*noc.Flit, 0, bits.OnesCount32(s))
-		for i := 0; i < o.n; i++ {
-			if s&(1<<i) != 0 {
-				colliders = append(colliders, offers[i])
-			}
+		colliders := o.colliders[:0]
+		for m := s; m != 0; m &= m - 1 {
+			colliders = append(colliders, offers[bits.TrailingZeros32(m)])
 		}
-		d.Out = noc.Encode(colliders)
+		d.Out = o.arena.Encode(colliders)
 		d.Serviced = g
+		d.ColliderMask = s
 
 		next := s &^ (1 << g)
 		switch bits.OnesCount32(next) {

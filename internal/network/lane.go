@@ -1,0 +1,50 @@
+package network
+
+// niLane is the typed dispatch lane over the network's interfaces for the
+// kernel's serial step (see internal/sim.Lane and internal/router.NewLane for
+// the pattern). The NIs must be in kernel registration order — which they
+// are: n.nis is registered element by element.
+type niLane []*NI
+
+// Len returns the number of interfaces the lane covers.
+func (l niLane) Len() int { return len(l) }
+
+// ComputeAll computes every interface (reference mode).
+func (l niLane) ComputeAll(cycle int64) {
+	for _, ni := range l {
+		ni.Compute(cycle)
+	}
+}
+
+// CommitAll commits every interface (reference mode).
+func (l niLane) CommitAll(cycle int64) {
+	for _, ni := range l {
+		ni.Commit(cycle)
+	}
+}
+
+// ComputeActive computes interfaces with a nonzero activity flag.
+func (l niLane) ComputeActive(cycle int64, active []uint32) {
+	for i, ni := range l {
+		if active[i] != 0 {
+			ni.Compute(cycle)
+		}
+	}
+}
+
+// CommitActive commits active interfaces, clears the flags of those that
+// went quiet, and returns how many it put to sleep.
+func (l niLane) CommitActive(cycle int64, active []uint32) int {
+	quiets := 0
+	for i, ni := range l {
+		if active[i] == 0 {
+			continue
+		}
+		ni.Commit(cycle)
+		if ni.Quiet() {
+			active[i] = 0
+			quiets++
+		}
+	}
+	return quiets
+}

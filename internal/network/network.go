@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"repro/internal/arbiter"
+	"repro/internal/buffer"
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/probe"
@@ -44,6 +45,12 @@ type Config struct {
 	// Results are bit-identical at every shard count; call Close on the
 	// network when done so the workers are released.
 	Shards int
+	// DisableLanes turns off typed-lane dispatch on the serial path, driving
+	// every component through the generic interface walk instead — the
+	// reference mode the lane-equivalence tests compare against. Behavior is
+	// identical either way; only dispatch mechanics differ. No effect when
+	// sharded (lanes are serial-only).
+	DisableLanes bool
 }
 
 func (c *Config) fill() {
@@ -116,6 +123,12 @@ type Network struct {
 	mailboxes     [][]delivery
 	mailHeads     []int
 
+	// arenas pool every flit the simulation materializes, one per shard so
+	// all allocation and recycling is worker-local (serial runs use a single
+	// arena). Flits migrate between arenas — only the summed Outstanding is
+	// meaningful; see ArenaOutstanding.
+	arenas []noc.Arena
+
 	ejectLinks []*noc.Link
 
 	nextPacketID uint64
@@ -153,7 +166,7 @@ func New(cfg Config) *Network {
 		cfg:    cfg,
 		sys:    sys,
 		kernel: sim.NewKernel(),
-		routes: routing.NewSystemTable(sys),
+		routes: routing.SharedSystemTable(sys),
 		probe:  cfg.Probe,
 		shards: shards,
 	}
@@ -166,6 +179,7 @@ func New(cfg Config) *Network {
 	// co-located with the given router node. Serial: one shared counter
 	// block and the probe itself. Sharded: the node's shard gets its own
 	// counter block and probe child, so workers never write shared state.
+	n.arenas = make([]noc.Arena, shards)
 	var countersFor func(node int) *power.Counters
 	var probeFor func(node int) *probe.Probe
 	var probeChildren []*probe.Probe
@@ -191,11 +205,20 @@ func New(cfg Config) *Network {
 		countersFor = func(int) *power.Counters { return n.counters }
 		probeFor = func(int) *probe.Probe { return n.probe }
 	}
+	arenaFor := func(node int) *noc.Arena {
+		if sharded {
+			return &n.arenas[n.shardOfNode[node]]
+		}
+		return &n.arenas[0]
+	}
 
 	n.routers = make([]router.Router, routers)
 	n.nis = make([]*NI, cores)
 	n.ejectLinks = make([]*noc.Link, cores)
 
+	// One batch allocator for every router: their ports, FIFOs, scratch
+	// vectors, and arbiters are carved from shared chunks.
+	slabs := router.NewSlabs()
 	for id := 0; id < routers; id++ {
 		n.routers[id] = router.New(router.Config{
 			Arch:        cfg.Arch,
@@ -206,11 +229,24 @@ func New(cfg Config) *Network {
 			Ports:       sys.Ports(),
 			NewArbiter:  cfg.NewArbiter,
 			Probe:       probeFor(id),
+			Arena:       arenaFor(id),
+			Slabs:       slabs,
 		})
 	}
+	// Network interfaces come from one slab, their sink rings from another,
+	// and all share one all-Local route row (every flit reaching a sink
+	// ejects locally).
+	niSlab := make([]NI, cores)
+	localRow := make([]noc.Port, cores)
+	for c := range localRow {
+		localRow[c] = noc.Local
+	}
+	sinkSl := buffer.SlotsFor(cfg.SinkDepth)
+	sinkSlots := make([]*noc.Flit, cores*sinkSl)
 	for c := 0; c < cores; c++ {
 		home := int(sys.RouterOf(noc.NodeID(c)))
-		ni := newNI(noc.NodeID(c), n, cfg.SinkDepth)
+		ni := &niSlab[c]
+		ni.init(noc.NodeID(c), n, cfg.SinkDepth, sinkSlots[c*sinkSl:(c+1)*sinkSl:(c+1)*sinkSl], localRow, arenaFor(home))
 		ni.counters = countersFor(home)
 		ni.probe = probeFor(home)
 		if sharded {
@@ -229,6 +265,19 @@ func New(cfg Config) *Network {
 	// AddLate), and shardOf co-locates every component with the node it
 	// delivers into, so all commit-phase writes except Wake stay
 	// shard-local.
+	// Every channel of the mesh comes from one value slab: 2 directed links
+	// per grid adjacency plus an injection and an ejection channel per core.
+	linkCount := 2*(cfg.Topo.Width*(cfg.Topo.Height-1)+cfg.Topo.Height*(cfg.Topo.Width-1)) + 2*cores
+	linkSlab := make([]noc.Link, linkCount)
+	linksUsed := 0
+	newLink := func(sink noc.Receiver, credits int) *noc.Link {
+		l := &linkSlab[linksUsed]
+		linksUsed++
+		l.Init(sink, credits)
+		return l
+	}
+	n.kernel.Reserve(routers + cores + linkCount)
+
 	var shardOf []int
 	routerHandle := make([]sim.Handle, routers)
 	for id := 0; id < routers; id++ {
@@ -248,8 +297,8 @@ func New(cfg Config) *Network {
 	// Each link is registered together with the handle of the component its
 	// sink belongs to, so a delivery re-activates the consumer; the link
 	// also inherits that owner's shard (receiver-side assignment).
-	var links []*noc.Link
-	var sinkOwner []sim.Handle
+	links := make([]*noc.Link, 0, linkCount)
+	sinkOwner := make([]sim.Handle, 0, linkCount)
 	for id := 0; id < routers; id++ {
 		r := n.routers[id]
 		// Inter-router channels.
@@ -259,7 +308,7 @@ func New(cfg Config) *Network {
 				continue
 			}
 			dst := n.routers[nb]
-			l := noc.NewLink(dst.InputReceiver(p.Opposite()), cfg.BufferDepth)
+			l := newLink(dst.InputReceiver(p.Opposite()), cfg.BufferDepth)
 			r.SetOutputLink(p, l)
 			dst.SetInputLink(p.Opposite(), l)
 			if n.probe != nil {
@@ -272,7 +321,7 @@ func New(cfg Config) *Network {
 		for k := 0; k < sys.Concentration; k++ {
 			coreID := sys.CoreID(noc.NodeID(id), k)
 			port := sys.LocalPort(coreID)
-			inj := noc.NewLink(r.InputReceiver(port), cfg.BufferDepth)
+			inj := newLink(r.InputReceiver(port), cfg.BufferDepth)
 			n.nis[coreID].injectLink = inj
 			r.SetInputLink(port, inj)
 			if n.probe != nil {
@@ -280,7 +329,7 @@ func New(cfg Config) *Network {
 			}
 			links = append(links, inj)
 			sinkOwner = append(sinkOwner, routerHandle[id])
-			ej := noc.NewLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
+			ej := newLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
 			r.SetOutputLink(port, ej)
 			if n.probe != nil {
 				ej.SetProbe(probeFor(id), id, int(port))
@@ -290,12 +339,24 @@ func New(cfg Config) *Network {
 			sinkOwner = append(sinkOwner, n.niHandle[coreID])
 		}
 	}
+	if linksUsed != linkCount {
+		panic(fmt.Sprintf("network: wired %d links, slab sized for %d", linksUsed, linkCount))
+	}
 	for i, l := range links {
 		lh := n.kernel.AddLate(l)
-		l.SetWake(n.kernel.Waker(lh), n.kernel.Waker(sinkOwner[i]))
+		l.SetWake(n.kernel, int(lh), int(sinkOwner[i]))
 		if sharded {
 			shardOf = append(shardOf, shardOf[sinkOwner[i]])
 		}
+	}
+	if !sharded && !cfg.DisableLanes {
+		// Typed dense lanes devirtualize the serial step's dispatch. The
+		// three component classes occupy contiguous handle ranges by
+		// construction: routers at [0, R), interfaces at [R, R+C), channels
+		// after that.
+		n.kernel.BindLane(0, router.NewLane(n.routers))
+		n.kernel.BindLane(sim.Handle(routers), niLane(n.nis))
+		n.kernel.BindLane(sim.Handle(routers+cores), noc.LinkLane(links))
 	}
 	n.kernel.SetAlwaysActive(cfg.AlwaysActive)
 	if sharded {
@@ -447,6 +508,19 @@ func (n *Network) deliver(p *noc.Packet, cycle int64) {
 
 // Outstanding returns the number of injected packets not yet delivered.
 func (n *Network) Outstanding() int64 { return n.injected - n.delivered }
+
+// ArenaOutstanding returns the number of pooled flits currently live inside
+// the simulation, summed over every shard arena (individual arenas can go
+// negative as flits migrate between shards). After a successful Drain it must
+// be zero — the leak invariant the network tests assert: every flit the
+// datapath materializes is recycled exactly once. Only call between steps.
+func (n *Network) ArenaOutstanding() int {
+	total := 0
+	for i := range n.arenas {
+		total += n.arenas[i].Outstanding()
+	}
+	return total
+}
 
 // Injected returns the total packets accepted by Inject so far.
 func (n *Network) Injected() int64 { return n.injected }

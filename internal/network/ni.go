@@ -39,17 +39,28 @@ type NI struct {
 	cur        *noc.Packet
 	curSeq     int
 
-	sink *core.InputPort
+	// arena pools the flits this interface materializes on injection; the
+	// flit of every delivered presentation returns to the home arena in
+	// Commit (see released).
+	arena *noc.Arena
+
+	sink core.InputPort
+	// released is the flit delivered this cycle, staged in Compute and
+	// returned to the arena in Commit once the sink port has retired its
+	// own references (at most one delivery per cycle).
+	released *noc.Flit
 	// assembling is the multi-flit packet currently being reassembled.
 	assembling  *noc.Packet
 	expectSeq   int
 	injectedPkt int64
 }
 
-func newNI(node noc.NodeID, net *Network, sinkDepth int) *NI {
-	ni := &NI{node: node, net: net}
-	ni.sink = core.NewInputPort(sinkDepth, func(noc.NodeID) noc.Port { return noc.Local })
-	return ni
+// init wires a slab-allocated NI: slots backs the sink port's FIFO ring,
+// localRow is the shared all-Local route row (every flit reaching a sink
+// ejects), and arena is the home shard's flit pool.
+func (ni *NI) init(node noc.NodeID, net *Network, sinkDepth int, slots []*noc.Flit, localRow []noc.Port, arena *noc.Arena) {
+	ni.node, ni.net, ni.arena = node, net, arena
+	ni.sink.Init(sinkDepth, slots, localRow, arena)
 }
 
 // Node returns the tile this interface serves.
@@ -110,7 +121,7 @@ func (ni *NI) Compute(cycle int64) {
 				pr.Inject(cycle, int(ni.node), ni.cur.ID, ni.cur.Length)
 			}
 		}
-		ni.injectLink.Send(ni.cur.Flit(ni.curSeq))
+		ni.injectLink.Send(ni.arena.NewFlit(ni.cur, ni.curSeq))
 		ni.curSeq++
 		if ni.curSeq == ni.cur.Length {
 			ni.cur = nil
@@ -158,6 +169,14 @@ func (ni *NI) Commit(cycle int64) {
 	for i := 0; i < ev.FreedSlots; i++ {
 		eject.ReturnCredit()
 	}
+	if f := ni.released; f != nil {
+		// The flit delivered this cycle is now unreachable: the sink commit
+		// above retired the port's own references, and delivery consumed the
+		// payload. It returns to this interface's arena regardless of which
+		// arena allocated it (pooled flits migrate across shards).
+		ni.released = nil
+		ni.arena.Release(f)
+	}
 }
 
 // deliver consumes one decoded flit, verifies it bit-exactly, reassembles
@@ -181,6 +200,7 @@ func (ni *NI) deliver(f *noc.Flit, cycle int64) {
 		panic(fmt.Sprintf("network: interleaved wormhole delivery: got %v want pkt%d.%d", f, ni.assembling.ID, ni.expectSeq))
 	}
 	ni.expectSeq++
+	ni.released = f
 	if f.Seq == p.Length-1 {
 		ni.assembling = nil
 		p.DeliverCycle = cycle

@@ -1,0 +1,98 @@
+package noc
+
+import "testing"
+
+func TestArenaAllocRelease(t *testing.T) {
+	var a Arena
+	p := NewPacket(1, 0, 3, 2, 0, 0)
+	f := a.NewFlit(p, 1)
+	if f.Packet != p || f.Seq != 1 || f.Raw != p.Payloads[1] {
+		t.Fatalf("NewFlit fields wrong: %+v", f)
+	}
+	if a.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", a.Outstanding())
+	}
+	a.Release(f)
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after release, want 0", a.Outstanding())
+	}
+	if f.Packet != nil || f.Seq != 0 || f.Raw != 0 {
+		t.Fatalf("released flit not scrubbed: %+v", f)
+	}
+}
+
+// TestArenaRecycles verifies releases actually feed later allocations: a
+// release/alloc cycle must not grow the pool.
+func TestArenaRecycles(t *testing.T) {
+	var a Arena
+	p := NewPacket(2, 0, 1, 1, 0, 0)
+	f1 := a.NewFlit(p, 0)
+	a.Release(f1)
+	f2 := a.NewFlit(p, 0)
+	if f1 != f2 {
+		t.Error("released flit not recycled by next alloc")
+	}
+	a.Release(f2)
+}
+
+func TestArenaClone(t *testing.T) {
+	var a Arena
+	p := NewPacket(3, 0, 1, 1, 0, 0)
+	src := a.NewFlit(p, 0)
+	src.OutPort = East
+	src.Parts = []*Flit{src}
+	cp := a.Clone(src)
+	if cp == src {
+		t.Fatal("Clone returned the source")
+	}
+	if cp.Packet != src.Packet || cp.Seq != src.Seq || cp.Raw != src.Raw || cp.OutPort != East {
+		t.Errorf("Clone dropped fields: %+v", cp)
+	}
+	if cp.Parts != nil {
+		t.Error("Clone must clear the constituent set")
+	}
+	if a.Outstanding() != 2 {
+		t.Errorf("outstanding = %d, want 2", a.Outstanding())
+	}
+}
+
+// TestArenaPartsRecycled verifies a released superposition's Parts slice
+// returns to the pool and backs a later Encode without reallocating.
+func TestArenaPartsRecycled(t *testing.T) {
+	var a Arena
+	p1 := NewPacket(4, 0, 3, 1, 0, 0)
+	p2 := NewPacket(5, 1, 3, 1, 0, 0)
+	f1, f2 := a.NewFlit(p1, 0), a.NewFlit(p2, 0)
+	enc := a.Encode([]*Flit{f1, f2})
+	if !enc.Encoded || len(enc.Parts) != 2 {
+		t.Fatalf("Encode wrong: %+v", enc)
+	}
+	buf := &enc.Parts[0]
+	a.Release(enc)
+	enc2 := a.Encode([]*Flit{f1, f2})
+	if &enc2.Parts[0] != buf {
+		t.Error("Encode did not reuse the pooled Parts slice")
+	}
+}
+
+// TestArenaNilReceiver checks the no-pool fallback: every method must be
+// safe on a nil *Arena, so call sites need no arena-enabled branch.
+func TestArenaNilReceiver(t *testing.T) {
+	var a *Arena
+	p := NewPacket(6, 0, 1, 1, 0, 0)
+	f := a.NewFlit(p, 0)
+	if f == nil || f.Packet != p {
+		t.Fatal("nil arena NewFlit broken")
+	}
+	cp := a.Clone(f)
+	if cp == nil || cp == f {
+		t.Fatal("nil arena Clone broken")
+	}
+	a.Release(f)
+	if f.Packet != p {
+		t.Error("nil arena Release must not scrub")
+	}
+	if a.Outstanding() != 0 {
+		t.Error("nil arena Outstanding must be 0")
+	}
+}

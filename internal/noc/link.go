@@ -2,6 +2,13 @@ package noc
 
 import "repro/internal/probe"
 
+// Waker re-activates simulation components identified by their integer
+// kernel handle. *sim.Kernel implements it (WakeInt); the indirection keeps
+// noc free of a kernel dependency.
+type Waker interface {
+	WakeInt(h int)
+}
+
 // Receiver consumes flits delivered by a link: a router input port or a
 // network-interface sink.
 type Receiver interface {
@@ -27,12 +34,14 @@ type Link struct {
 	staged  *Flit
 	returns int
 
-	// wakeSelf re-activates this link in the simulation kernel when a
-	// neighbor writes to it (Send, ReturnCredit); wakeSink re-activates the
-	// component owning sink when a flit is delivered to it. Both are
-	// optional: an unwired link is simply evaluated every cycle.
-	wakeSelf func()
-	wakeSink func()
+	// waker re-activates kernel components by handle: selfH when a neighbor
+	// writes to this link (Send, ReturnCredit), sinkH when a flit is
+	// delivered to the component owning sink. Optional: an unwired link is
+	// simply evaluated every cycle. One shared waker value per network
+	// replaces the two per-link closures this used to cost.
+	waker Waker
+	selfH int32
+	sinkH int32
 
 	// probe, when non-nil, receives an EvLink event per delivered flit.
 	// probeNode/probePort identify the channel by its driver: (router, port)
@@ -46,21 +55,28 @@ type Link struct {
 // NewLink returns a link feeding sink whose receiver advertises credits
 // buffer slots.
 func NewLink(sink Receiver, credits int) *Link {
+	l := &Link{}
+	l.Init(sink, credits)
+	return l
+}
+
+// Init initializes a zero Link in place — the slab-construction form of
+// NewLink, letting a network carve all of its channels from one allocation.
+func (l *Link) Init(sink Receiver, credits int) {
 	if sink == nil {
 		panic("noc: link requires a sink")
 	}
 	if credits <= 0 {
 		panic("noc: link requires positive credits")
 	}
-	return &Link{sink: sink, credits: credits}
+	*l = Link{sink: sink, credits: credits}
 }
 
-// SetWake installs the quiescence wake hooks: wakeSelf re-activates the
-// link itself on any neighbor write, wakeSink re-activates the receiver's
-// owning component when a flit is delivered. Either may be nil.
-func (l *Link) SetWake(wakeSelf, wakeSink func()) {
-	l.wakeSelf = wakeSelf
-	l.wakeSink = wakeSink
+// SetWake installs the quiescence wake hooks: self is this link's kernel
+// handle (re-activated on any neighbor write), sink the handle of the
+// receiver's owning component (re-activated when a flit is delivered).
+func (l *Link) SetWake(w Waker, self, sink int) {
+	l.waker, l.selfH, l.sinkH = w, int32(self), int32(sink)
 }
 
 // SetProbe attaches the observability probe to this link, identified by the
@@ -87,8 +103,8 @@ func (l *Link) Send(f *Flit) {
 	}
 	l.credits--
 	l.staged = f
-	if l.wakeSelf != nil {
-		l.wakeSelf()
+	if l.waker != nil {
+		l.waker.WakeInt(int(l.selfH))
 	}
 }
 
@@ -97,8 +113,8 @@ func (l *Link) Send(f *Flit) {
 // next cycle.
 func (l *Link) ReturnCredit() {
 	l.returns++
-	if l.wakeSelf != nil {
-		l.wakeSelf()
+	if l.waker != nil {
+		l.waker.WakeInt(int(l.selfH))
 	}
 }
 
@@ -119,8 +135,8 @@ func (l *Link) Commit(cycle int64) {
 		}
 		l.sink.Receive(l.staged, cycle)
 		l.staged = nil
-		if l.wakeSink != nil {
-			l.wakeSink()
+		if l.waker != nil {
+			l.waker.WakeInt(int(l.sinkH))
 		}
 	}
 	l.credits += l.returns

@@ -15,11 +15,18 @@ import "fmt"
 // when a multi-flit packet is involved) or previously decoded originals; at
 // least two flits are required.
 func Encode(flits []*Flit) *Flit {
+	return (*Arena)(nil).Encode(flits)
+}
+
+// Encode is the pooled form of the package-level Encode: the wire flit and
+// its constituent-set slice come from the arena and return to it when the
+// superposition dies at the downstream decode register.
+func (a *Arena) Encode(flits []*Flit) *Flit {
 	if len(flits) < 2 {
 		panic("noc: Encode requires at least two flits")
 	}
 	var raw uint64
-	parts := make([]*Flit, 0, len(flits))
+	parts := a.partsBuf(len(flits))
 	for _, f := range flits {
 		if f.Encoded {
 			panic("noc: Encode of an already-encoded flit")
@@ -30,52 +37,66 @@ func Encode(flits []*Flit) *Flit {
 		raw ^= f.Raw
 		parts = append(parts, f)
 	}
-	return &Flit{Raw: raw, Encoded: true, Parts: parts}
+	e := a.alloc()
+	e.Raw, e.Encoded, e.Parts = raw, true, parts
+	return e
 }
 
-// parts returns the constituent set of a wire flit: itself when unencoded.
-func parts(f *Flit) []*Flit {
+// partsOf returns the constituent set of a wire flit: itself when unencoded,
+// viewed through the caller's stack buffer so no allocation happens.
+func partsOf(f *Flit, buf *[1]*Flit) []*Flit {
 	if f.Encoded {
 		return f.Parts
 	}
-	return []*Flit{f}
+	buf[0] = f
+	return buf[:]
+}
+
+// containsID reports whether set holds a flit of the given owning packet.
+// Chain members are single-flit packets, so packet ID is a sufficient key —
+// and it must be the key rather than object identity: an input port
+// re-presents a fresh decode copy of the same packet each cycle, and the
+// stale copy absorbed into an earlier superposition cancels against the copy
+// that eventually traversed.
+func containsID(set []*Flit, id uint64) bool {
+	for _, f := range set {
+		if f.Packet.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Decode XORs two contiguously received wire flits and returns the original
 // flit their difference encodes (paper property: (A^B^C) ^ (B^C) = A). The
 // constituent sets must differ by exactly one flit, and the XOR of the raw
 // images must equal that flit's payload word; any violation indicates a
-// protocol bug and is returned as an error.
+// protocol bug and is returned as an error. The sets are tiny (bounded by
+// the router radix), so the symmetric difference is two membership scans —
+// no map, no allocation.
 func Decode(reg, next *Flit) (*Flit, error) {
-	diff := symmetricDifference(parts(reg), parts(next))
-	if len(diff) != 1 {
-		return nil, fmt.Errorf("noc: decode difference has %d flits (want 1): reg=%v next=%v", len(diff), reg, next)
+	var rbuf, nbuf [1]*Flit
+	rp := partsOf(reg, &rbuf)
+	np := partsOf(next, &nbuf)
+	var orig *Flit
+	diff := 0
+	for _, f := range rp {
+		if !containsID(np, f.Packet.ID) {
+			orig = f
+			diff++
+		}
 	}
-	orig := diff[0]
+	for _, f := range np {
+		if !containsID(rp, f.Packet.ID) {
+			orig = f
+			diff++
+		}
+	}
+	if diff != 1 {
+		return nil, fmt.Errorf("noc: decode difference has %d flits (want 1): reg=%v next=%v", diff, reg, next)
+	}
 	if got := reg.Raw ^ next.Raw; got != orig.Raw {
 		return nil, fmt.Errorf("noc: decode mismatch: XOR image %#x != payload %#x of %v", got, orig.Raw, orig)
 	}
 	return orig, nil
-}
-
-// symmetricDifference returns the flits present in exactly one of a and b,
-// keyed by owning packet identity. Chain members are single-flit packets, so
-// packet ID is a sufficient key.
-func symmetricDifference(a, b []*Flit) []*Flit {
-	seen := make(map[uint64]*Flit, len(a)+len(b))
-	for _, f := range a {
-		seen[f.Packet.ID] = f
-	}
-	for _, f := range b {
-		if _, dup := seen[f.Packet.ID]; dup {
-			delete(seen, f.Packet.ID)
-		} else {
-			seen[f.Packet.ID] = f
-		}
-	}
-	out := make([]*Flit, 0, len(seen))
-	for _, f := range seen {
-		out = append(out, f)
-	}
-	return out
 }

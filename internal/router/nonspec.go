@@ -13,7 +13,8 @@ import (
 // contention — the architecture trades clock period for efficiency.
 type nonspecRouter struct {
 	base
-	in   []*buffer.FIFO
+	// in is a value slab; its FIFO rings are carved from one shared slot slab.
+	in   []buffer.FIFO
 	arb  []arbiter.Arbiter
 	lock []int
 
@@ -27,27 +28,28 @@ type nonspecRouter struct {
 }
 
 func newNonSpec(cfg Config) *nonspecRouter {
-	r := &nonspecRouter{}
+	s := cfg.Slabs
+	r := &s.nonspecs.take(1, s.chunk)[0]
 	r.init(cfg)
 	n := r.ports
-	r.in = make([]*buffer.FIFO, n)
-	r.arb = make([]arbiter.Arbiter, n)
-	r.lock = make([]int, n)
-	r.pops = make([]bool, n)
-	r.lockNext = make([]int, n)
-	r.req = make([]uint32, n)
-	r.head = make([]*noc.Flit, n)
+	r.in = s.fifos.take(n, s.chunk)
+	r.arb = s.arbIfs.take(n, s.chunk)
+	ints := s.ints.take(2*n, s.chunk)
+	r.lock = ints[:n:n]
+	r.lockNext = ints[n:]
+	r.pops = s.bools.take(n, s.chunk)
+	r.req = s.uint32s.take(n, s.chunk)
+	r.head = s.flits.take(n, s.chunk)
+	sl := buffer.SlotsFor(cfg.BufferDepth)
+	slots := s.flits.take(n*sl, s.chunk)
+	arb := arbMaker(&cfg, n)
 	for p := range r.in {
-		r.in[p] = buffer.New(cfg.BufferDepth)
-		r.arb[p] = cfg.NewArbiter(n)
+		r.in[p].Init(cfg.BufferDepth, slots[p*sl:(p+1)*sl:(p+1)*sl])
+		r.arb[p] = arb(p)
 		r.lock[p] = -1
 	}
+	r.initReceivers(r)
 	return r
-}
-
-// InputReceiver returns the link sink for port p.
-func (r *nonspecRouter) InputReceiver(p noc.Port) noc.Receiver {
-	return portReceiver{recv: r.receive, port: p}
 }
 
 func (r *nonspecRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {

@@ -1,6 +1,9 @@
 package router
 
 import (
+	"math/bits"
+
+	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/noc"
 )
@@ -14,11 +17,13 @@ import (
 // contiguously received flits.
 type noxRouter struct {
 	base
-	in  []*core.InputPort
-	ctl []*core.OutputControl
+	// in and ctl are value slabs: one allocation each for the router's whole
+	// port complement, with FIFO rings carved from a shared slot slab.
+	in  []core.InputPort
+	ctl []core.OutputControl
 
-	// offers is per-cycle scratch: [output][input] presentations.
-	offers [][]*noc.Flit
+	// offers is per-cycle scratch, flattened [output*ports + input].
+	offers []*noc.Flit
 	// decoded is per-cycle scratch: decoded[i] reports input i's current
 	// offer came through the decode path (probe instrumentation; written
 	// only when a probe is attached).
@@ -26,24 +31,24 @@ type noxRouter struct {
 }
 
 func newNoX(cfg Config) *noxRouter {
-	r := &noxRouter{}
+	s := cfg.Slabs
+	r := &s.noxes.take(1, s.chunk)[0]
 	r.init(cfg)
 	n := r.ports
-	r.in = make([]*core.InputPort, n)
-	r.ctl = make([]*core.OutputControl, n)
-	r.offers = make([][]*noc.Flit, n)
-	r.decoded = make([]bool, n)
-	for p := range r.in {
-		r.in[p] = core.NewInputPort(cfg.BufferDepth, r.route)
-		r.ctl[p] = core.NewOutputControl(n, cfg.NewArbiter(n))
-		r.offers[p] = make([]*noc.Flit, n)
+	r.in = s.inPorts.take(n, s.chunk)
+	r.ctl = s.ctls.take(n, s.chunk)
+	r.offers = s.flits.take(n*n, s.chunk)
+	r.decoded = s.bools.take(n, s.chunk)
+	sl := buffer.SlotsFor(cfg.BufferDepth)
+	slots := s.flits.take(n*sl, s.chunk)
+	arb := arbMaker(&cfg, n)
+	colliders := s.flits.take(n*n, s.chunk)
+	for p := 0; p < n; p++ {
+		r.in[p].Init(cfg.BufferDepth, slots[p*sl:(p+1)*sl:(p+1)*sl], r.row, cfg.Arena)
+		r.ctl[p].Init(n, arb(p), cfg.Arena, colliders[p*n:p*n:(p+1)*n])
 	}
+	r.initReceivers(r)
 	return r
-}
-
-// InputReceiver returns the link sink for port p.
-func (r *noxRouter) InputReceiver(p noc.Port) noc.Receiver {
-	return portReceiver{recv: r.receive, port: p}
 }
 
 func (r *noxRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
@@ -95,11 +100,10 @@ func (r *noxRouter) Compute(cycle int64) {
 
 	// Each input presents at most one flit; group presentations by their
 	// lookahead output port.
+	n := r.ports
 	offers := r.offers
-	for o := range offers {
-		for i := range offers[o] {
-			offers[o][i] = nil
-		}
+	for i := range offers {
+		offers[i] = nil
 	}
 	for i := range r.in {
 		f, decoded, ok := r.in[i].Offer()
@@ -112,7 +116,7 @@ func (r *noxRouter) Compute(cycle int64) {
 		if r.outLink[f.OutPort] == nil {
 			panic("router: flit routed to unwired output")
 		}
-		offers[f.OutPort][i] = f
+		offers[int(f.OutPort)*n+i] = f
 	}
 
 	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
@@ -120,7 +124,8 @@ func (r *noxRouter) Compute(cycle int64) {
 		if link == nil {
 			continue
 		}
-		d := r.ctl[o].Decide(offers[o], link.Credits() > 0)
+		row := offers[int(o)*n : int(o)*n+n]
+		d := r.ctl[o].Decide(row, link.Credits() > 0)
 		if d.Out != nil {
 			link.Send(d.Out)
 			c.Xbar++
@@ -146,6 +151,12 @@ func (r *noxRouter) Compute(cycle int64) {
 		}
 		if d.Collided && !d.Invalid {
 			c.Collisions++
+			// The encoded output absorbed every collider's presentation;
+			// their objects now belong to the superposition's constituent
+			// set (arena lifetime tracking in core.InputPort).
+			for m := d.ColliderMask; m != 0; m &= m - 1 {
+				r.in[bits.TrailingZeros32(m)].OfferAbsorbed()
+			}
 			if pr != nil {
 				pr.Collision(cycle, r.node(), int(o), int(d.Colliders), d.Out.Raw)
 			}
@@ -161,7 +172,7 @@ func (r *noxRouter) Compute(cycle int64) {
 			if pr != nil && r.decoded[d.Serviced] {
 				// The serviced presentation came out of the decode path: a
 				// Recovery decode recovered this flit from register XOR head.
-				pr.Decode(cycle, r.node(), d.Serviced, offers[o][d.Serviced].Packet.ID)
+				pr.Decode(cycle, r.node(), d.Serviced, row[d.Serviced].Packet.ID)
 			}
 		}
 	}
@@ -198,7 +209,7 @@ func (r *noxRouter) Commit(cycle int64) {
 		if r.outLink[o] == nil {
 			continue
 		}
-		ctl := r.ctl[o]
+		ctl := &r.ctl[o]
 		before := ctl.Mode()
 		// Count the cycle against the mode the output operated in.
 		pr.ModeCycle(r.node(), before == core.Scheduled)

@@ -89,11 +89,19 @@ type Config struct {
 	// attached core (default 5, the paper's mesh router; 8 for the
 	// 4-concentrated CMesh of the future-work study).
 	Ports int
-	// NewArbiter builds the per-output arbiter; nil selects round-robin.
+	// NewArbiter builds the per-output arbiter; nil selects round-robin
+	// (slab-allocated inside the router).
 	NewArbiter func(n int) arbiter.Arbiter
 	// Probe, when non-nil, receives flit-level trace events and per-router
 	// metrics. A nil probe disables all instrumentation at zero cost.
 	Probe *probe.Probe
+	// Arena, when non-nil, pools the flits the router creates and retires
+	// (NoX superpositions and decode copies). Nil falls back to the heap.
+	Arena *noc.Arena
+	// Slabs, when non-nil, batches the backing storage of many routers into
+	// shared chunks (one allocation per element type per ~kilobyte of
+	// routers) — the network construction path. Nil allocates per router.
+	Slabs *Slabs
 }
 
 func (c *Config) fill() {
@@ -112,8 +120,23 @@ func (c *Config) fill() {
 	if c.Counters == nil {
 		c.Counters = &power.Counters{}
 	}
-	if c.NewArbiter == nil {
-		c.NewArbiter = func(n int) arbiter.Arbiter { return arbiter.NewRoundRobin(n) }
+	if c.Slabs == nil {
+		// Zero chunk: every take allocates exactly its length, so a
+		// standalone router costs no slack memory.
+		c.Slabs = &Slabs{}
+	}
+}
+
+// arbMaker returns a function yielding output o's arbiter: cfg.NewArbiter
+// when set, otherwise pointers into one slab of round-robin arbiters.
+func arbMaker(cfg *Config, n int) func(o int) arbiter.Arbiter {
+	if cfg.NewArbiter != nil {
+		return func(int) arbiter.Arbiter { return cfg.NewArbiter(n) }
+	}
+	slab := cfg.Slabs.arbs.take(n, cfg.Slabs.chunk)
+	return func(o int) arbiter.Arbiter {
+		slab[o].Init(n)
+		return &slab[o]
 	}
 }
 
@@ -157,14 +180,34 @@ type base struct {
 	ports   int
 	inLink  []*noc.Link
 	outLink []*noc.Link
+	// row is this router's precomputed route-table row, indexed by
+	// destination core — lookahead route computation in one load.
+	row []noc.Port
+	// recvs is the per-port receiver slab InputReceiver hands out pointers
+	// into, so wiring allocates no per-port closures or interface boxes.
+	recvs []portReceiver
 }
 
 func (b *base) init(cfg Config) {
 	b.cfg = cfg
 	b.ports = cfg.Ports
-	b.inLink = make([]*noc.Link, b.ports)
-	b.outLink = make([]*noc.Link, b.ports)
+	links := cfg.Slabs.links.take(2*b.ports, cfg.Slabs.chunk)
+	b.inLink = links[:b.ports:b.ports]
+	b.outLink = links[b.ports:]
+	b.row = cfg.Routes.Row(cfg.Node)
 }
+
+// initReceivers builds the receiver slab pointing back at the architecture's
+// receive method (held as an interface — no closure allocation).
+func (b *base) initReceivers(sink flitSink) {
+	b.recvs = b.cfg.Slabs.recvs.take(b.ports, b.cfg.Slabs.chunk)
+	for p := range b.recvs {
+		b.recvs[p] = portReceiver{r: sink, port: noc.Port(p)}
+	}
+}
+
+// InputReceiver returns the link sink for port p.
+func (b *base) InputReceiver(p noc.Port) noc.Receiver { return &b.recvs[p] }
 
 // Node returns the tile this router serves.
 func (b *base) Node() noc.NodeID { return b.cfg.Node }
@@ -209,14 +252,20 @@ func (b *base) returnCredits(p noc.Port, n int) {
 
 // route computes the lookahead output port at this router for dst.
 func (b *base) route(dst noc.NodeID) noc.Port {
-	return b.cfg.Routes.Port(b.cfg.Node, dst)
+	return b.row[dst]
+}
+
+// flitSink is the ingress side every architecture implements: deliver a flit
+// into input port p.
+type flitSink interface {
+	receive(p noc.Port, f *noc.Flit, cycle int64)
 }
 
 // portReceiver adapts (router, port) to noc.Receiver.
 type portReceiver struct {
-	recv func(p noc.Port, f *noc.Flit, cycle int64)
+	r    flitSink
 	port noc.Port
 }
 
 // Receive forwards the delivered flit to the router's input port.
-func (pr portReceiver) Receive(f *noc.Flit, cycle int64) { pr.recv(pr.port, f, cycle) }
+func (pr *portReceiver) Receive(f *noc.Flit, cycle int64) { pr.r.receive(pr.port, f, cycle) }

@@ -46,7 +46,8 @@ type specRouter struct {
 	base
 	accurate bool
 
-	in []*buffer.FIFO
+	// in is a value slab; its FIFO rings are carved from one shared slot slab.
+	in []buffer.FIFO
 	// newlyExposed[i] is the cycle during which input i's head packet is
 	// barred from arbitration (Spec-Fast fairness rule).
 	newlyExposed []int64
@@ -69,34 +70,37 @@ type specRouter struct {
 }
 
 func newSpec(cfg Config) *specRouter {
-	r := &specRouter{accurate: cfg.Arch == SpecAccurate}
+	s := cfg.Slabs
+	r := &s.specs.take(1, s.chunk)[0]
+	r.accurate = cfg.Arch == SpecAccurate
 	r.init(cfg)
 	n := r.ports
-	r.in = make([]*buffer.FIFO, n)
-	r.newlyExposed = make([]int64, n)
-	r.arb = make([]arbiter.Arbiter, n)
-	r.lock = make([]int, n)
-	r.res = make([]int, n)
-	r.resPkt = make([]*noc.Packet, n)
-	r.pops = make([]bool, n)
-	r.lockNext = make([]int, n)
-	r.resNext = make([]int, n)
-	r.resPktNext = make([]*noc.Packet, n)
-	r.req = make([]uint32, n)
-	r.head = make([]*noc.Flit, n)
+	r.in = s.fifos.take(n, s.chunk)
+	r.newlyExposed = s.int64s.take(n, s.chunk)
+	r.arb = s.arbIfs.take(n, s.chunk)
+	ints := s.ints.take(4*n, s.chunk)
+	r.lock = ints[0*n : 1*n : 1*n]
+	r.res = ints[1*n : 2*n : 2*n]
+	r.lockNext = ints[2*n : 3*n : 3*n]
+	r.resNext = ints[3*n:]
+	pkts := s.pkts.take(2*n, s.chunk)
+	r.resPkt = pkts[:n:n]
+	r.resPktNext = pkts[n:]
+	r.pops = s.bools.take(n, s.chunk)
+	r.req = s.uint32s.take(n, s.chunk)
+	r.head = s.flits.take(n, s.chunk)
+	sl := buffer.SlotsFor(cfg.BufferDepth)
+	slots := s.flits.take(n*sl, s.chunk)
+	arb := arbMaker(&cfg, n)
 	for p := range r.in {
-		r.in[p] = buffer.New(cfg.BufferDepth)
-		r.arb[p] = cfg.NewArbiter(n)
+		r.in[p].Init(cfg.BufferDepth, slots[p*sl:(p+1)*sl:(p+1)*sl])
+		r.arb[p] = arb(p)
 		r.lock[p] = -1
 		r.res[p] = -1
 		r.newlyExposed[p] = -1
 	}
+	r.initReceivers(r)
 	return r
-}
-
-// InputReceiver returns the link sink for port p.
-func (r *specRouter) InputReceiver(p noc.Port) noc.Receiver {
-	return portReceiver{recv: r.receive, port: p}
 }
 
 func (r *specRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {

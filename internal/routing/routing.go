@@ -10,7 +10,11 @@
 // the core's local port on arrival.
 package routing
 
-import "repro/internal/noc"
+import (
+	"sync"
+
+	"repro/internal/noc"
+)
 
 // XY returns the output port a packet at cur takes toward dst under
 // dimension-ordered routing: correct X first, then Y, then eject via Local.
@@ -66,6 +70,23 @@ func NewSystemTable(sys noc.System) *Table {
 	return tbl
 }
 
+// tableCache memoizes route tables by system. A Table is immutable after
+// construction, so every network of the same system — an experiment sweep
+// builds hundreds — can share one instance instead of recomputing the
+// O(routers x cores) XY walk, which dominated network construction.
+var tableCache sync.Map // noc.System -> *Table
+
+// SharedSystemTable returns the memoized route table for sys, building it on
+// first use. Safe for concurrent callers; the returned table must be treated
+// as read-only (as all Tables are).
+func SharedSystemTable(sys noc.System) *Table {
+	if t, ok := tableCache.Load(sys); ok {
+		return t.(*Table)
+	}
+	t, _ := tableCache.LoadOrStore(sys, NewSystemTable(sys))
+	return t.(*Table)
+}
+
 // Topology returns the router grid the table was built for.
 func (t *Table) Topology() noc.Topology { return t.sys.Grid }
 
@@ -76,6 +97,15 @@ func (t *Table) System() noc.System { return t.sys }
 // destination core dst.
 func (t *Table) Port(cur, dst noc.NodeID) noc.Port {
 	return t.ports[int(cur)*t.sys.Cores()+int(dst)]
+}
+
+// Row returns router cur's precomputed route row, indexed by destination
+// core: Row(cur)[dst] == Port(cur, dst). The row aliases the table —
+// read-only, O(1), no per-lookup multiply — and is what each router's input
+// ports hold for lookahead route computation on the hot path.
+func (t *Table) Row(cur noc.NodeID) []noc.Port {
+	c := t.sys.Cores()
+	return t.ports[int(cur)*c : (int(cur)+1)*c : (int(cur)+1)*c]
 }
 
 // PathLength returns the number of routers a packet visits from core src

@@ -1,0 +1,65 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// TestTableExhaustive checks the precomputed route table — and the Row
+// aliasing view the routers' input ports hold on the hot path — against
+// on-the-fly XY route computation for every (current router, destination
+// core) pair on the systems the experiments actually run: the paper's 8x8
+// mesh, a 16x16 mesh, and the concentrated 4x4x4 configuration.
+func TestTableExhaustive(t *testing.T) {
+	systems := []struct {
+		name string
+		sys  noc.System
+	}{
+		{"mesh8x8", noc.MeshSystem(noc.Topology{Width: 8, Height: 8})},
+		{"mesh16x16", noc.MeshSystem(noc.Topology{Width: 16, Height: 16})},
+		{"cmesh4x4x4", noc.System{Grid: noc.Topology{Width: 4, Height: 4}, Concentration: 4}},
+	}
+	for _, tc := range systems {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := NewSystemTable(tc.sys)
+			routers, cores := tc.sys.Routers(), tc.sys.Cores()
+			for r := 0; r < routers; r++ {
+				row := tbl.Row(noc.NodeID(r))
+				if len(row) != cores {
+					t.Fatalf("router %d: Row length %d, want %d", r, len(row), cores)
+				}
+				for c := 0; c < cores; c++ {
+					cur, dst := noc.NodeID(r), noc.NodeID(c)
+					var want noc.Port
+					if dstRouter := tc.sys.RouterOf(dst); cur == dstRouter {
+						want = tc.sys.LocalPort(dst)
+					} else {
+						want = XY(tc.sys.Grid, cur, dstRouter)
+					}
+					if got := tbl.Port(cur, dst); got != want {
+						t.Errorf("Port(%d, %d) = %v, want %v", r, c, got, want)
+					}
+					if got := row[c]; got != want {
+						t.Errorf("Row(%d)[%d] = %v, want %v", r, c, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRowIsReadOnlyView confirms Row aliases the table storage with no
+// append room: the full-slice expression must make appends reallocate
+// instead of clobbering the next router's row.
+func TestRowIsReadOnlyView(t *testing.T) {
+	tbl := NewTable(noc.Topology{Width: 4, Height: 4})
+	row0 := tbl.Row(0)
+	if cap(row0) != len(row0) {
+		t.Fatalf("Row cap %d exceeds len %d: appends would clobber the table", cap(row0), len(row0))
+	}
+	_ = append(row0, noc.Local)
+	if got, want := tbl.Row(1)[0], tbl.Port(1, 0); got != want {
+		t.Fatalf("append through Row corrupted neighbor row: got %v want %v", got, want)
+	}
+}

@@ -93,6 +93,10 @@ type Kernel struct {
 
 	// sh is the sharded execution state, nil on the serial path.
 	sh *sharding
+
+	// lanes are the typed dense-iteration segments of the serial step,
+	// sorted by start handle (see BindLane). Empty means all-generic walks.
+	lanes []laneSeg
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -192,6 +196,11 @@ func (k *Kernel) Waker(h Handle) func() {
 	return func() { k.Wake(h) }
 }
 
+// WakeInt is Wake with an untyped handle — the noc.Waker form. It lets
+// hot-path wiring (links) hold the kernel through one shared interface value
+// instead of a pair of per-component closures.
+func (k *Kernel) WakeInt(h int) { k.Wake(Handle(h)) }
+
 // SetObserver installs a hook called at the end of every Step with the
 // completed cycle number and the active-component count. A nil fn removes
 // the hook. The hook runs on the stepping goroutine with all shard workers
@@ -250,48 +259,27 @@ func (k *Kernel) Step() {
 }
 
 // stepSerial is the single-goroutine step: the reference semantics the
-// sharded executor reproduces bit for bit.
+// sharded executor reproduces bit for bit. Each phase walks lane segments
+// and generic ranges interleaved in registration order (see lane.go); with
+// no lanes bound the walks reduce to the plain component loops.
 func (k *Kernel) stepSerial() {
 	switch {
 	case k.idle == 0:
-		// Everything active: the original tight loops, plus the post-commit
-		// quiescence check.
-		for _, c := range k.components {
-			c.Compute(k.cycle)
-		}
+		// Everything active: the tight no-flag-check loops, plus the
+		// post-commit quiescence check unless in reference mode.
+		k.walkCompute(true)
 		if k.alwaysActive {
-			for _, c := range k.components {
-				c.Commit(k.cycle)
-			}
+			k.walkCommitAll()
 		} else {
-			for i, c := range k.components {
-				c.Commit(k.cycle)
-				if q := k.quiesc[i]; q != nil && q.Quiet() {
-					k.active[i] = 0
-					k.idle++
-				}
-			}
+			k.walkCommitQuiesce(true)
 		}
 	case k.idle == len(k.components):
 		// Fully quiescent network: the cycle is pure clock advance. Wakes
 		// only arrive from outside the step (injection), so nothing can
 		// need evaluation mid-step.
 	default:
-		for i, c := range k.components {
-			if k.active[i] != 0 {
-				c.Compute(k.cycle)
-			}
-		}
-		for i, c := range k.components {
-			if k.active[i] == 0 {
-				continue
-			}
-			c.Commit(k.cycle)
-			if q := k.quiesc[i]; q != nil && q.Quiet() {
-				k.active[i] = 0
-				k.idle++
-			}
-		}
+		k.walkCompute(false)
+		k.walkCommitQuiesce(false)
 	}
 }
 

@@ -1,0 +1,196 @@
+package sim
+
+// Typed dense lanes: devirtualized component iteration for the serial step.
+//
+// The generic step drives every component through the Clocked interface — an
+// itab load and indirect call per phase per component per cycle, on objects
+// scattered across the heap. A Lane replaces one contiguous run of
+// registered components with a concrete-typed slice owned by the package
+// that knows the element type (router, link, network interface); its walk
+// methods are tight loops over that slice making direct calls, which the
+// compiler can devirtualize and the CPU can predict. Hand-written per-type
+// lanes are deliberate: a generics-based lane would still dispatch through a
+// dictionary and devirtualize nothing.
+//
+// Lanes change iteration mechanics only — never semantics. The kernel keeps
+// ownership of the activity flags and idle accounting, and the serial step
+// interleaves lane segments with generic ranges in registration order, so
+// commit-order guarantees and quiescence behavior are bit-identical to the
+// all-generic walk (asserted by the lane-equivalence tests in
+// internal/network). The sharded executor does not use lanes: its walk
+// lists are shard-local index permutations, and the barrier costs dominate
+// dispatch there.
+
+// Lane is a typed view over the components registered at a contiguous run of
+// kernel handles. Implementations hold the same objects the kernel holds,
+// in registration order, and evaluate them with direct (devirtualized)
+// calls.
+//
+// The active slice passed to the Active variants is the kernel's activity
+// flags for exactly this lane's components (index i flags element i).
+// ComputeActive evaluates elements whose flag is nonzero, reading each flag
+// at visit time — a wake earlier in the same phase must be honored, exactly
+// like the generic walk. CommitActive additionally performs the kernel's
+// quiescence bookkeeping inline: after committing an active element that now
+// reports quiet, it clears the element's flag and counts it, returning the
+// number of elements put to sleep (the kernel adjusts its idle counter; a
+// same-phase wake from a later component then re-raises the flag and the
+// accounting stays balanced). Elements whose concrete type does not
+// implement Quiescable must never be counted quiet.
+type Lane interface {
+	// Len returns the number of components the lane covers.
+	Len() int
+	// ComputeAll computes every element (reference mode / fully-active fast
+	// path).
+	ComputeAll(cycle int64)
+	// CommitAll commits every element with no quiescence bookkeeping
+	// (reference mode).
+	CommitAll(cycle int64)
+	// ComputeActive computes elements with a nonzero activity flag.
+	ComputeActive(cycle int64, active []uint32)
+	// CommitActive commits active elements, clears the flags of those that
+	// went quiet, and returns how many it put to sleep.
+	CommitActive(cycle int64, active []uint32) int
+}
+
+// laneSeg is one bound lane and the handle range it covers.
+type laneSeg struct {
+	start, end int
+	lane       Lane
+}
+
+// BindLane installs a typed lane over the components registered at handles
+// [start, start+lane.Len()). The lane must hold those same components in the
+// same order; the kernel cannot verify object identity, so a mismatched
+// binding silently diverges — bind only slices captured at registration
+// time. Lanes may not overlap, must be bound before the first Step, and are
+// a serial-path optimization: binding on a sharded kernel panics (shard walk
+// lists are index permutations a contiguous lane cannot serve).
+func (k *Kernel) BindLane(start Handle, lane Lane) {
+	if k.stepping {
+		panic("sim: BindLane called during Step")
+	}
+	if k.sh != nil {
+		panic("sim: BindLane on a sharded kernel")
+	}
+	n := lane.Len()
+	if n == 0 {
+		return
+	}
+	s, e := int(start), int(start)+n
+	if s < 0 || e > len(k.components) {
+		panic("sim: BindLane range outside registered components")
+	}
+	at := len(k.lanes)
+	for i, seg := range k.lanes {
+		if s < seg.end && seg.start < e {
+			panic("sim: BindLane ranges overlap")
+		}
+		if s < seg.start {
+			at = i
+			break
+		}
+	}
+	k.lanes = append(k.lanes, laneSeg{})
+	copy(k.lanes[at+1:], k.lanes[at:])
+	k.lanes[at] = laneSeg{start: s, end: e, lane: lane}
+}
+
+// Reserve pre-sizes the registration slices for n additional components, so
+// a network that knows its component count up front registers everything
+// with zero slice growth.
+func (k *Kernel) Reserve(n int) {
+	if need := len(k.components) + n; need > cap(k.components) {
+		components := make([]Clocked, len(k.components), need)
+		copy(components, k.components)
+		k.components = components
+		quiesc := make([]Quiescable, len(k.quiesc), need)
+		copy(quiesc, k.quiesc)
+		k.quiesc = quiesc
+		active := make([]uint32, len(k.active), need)
+		copy(active, k.active)
+		k.active = active
+	}
+}
+
+// walkCompute runs the compute phase in registration order, interleaving
+// lane segments with generic ranges. all selects the everything-active fast
+// path (no flag checks).
+func (k *Kernel) walkCompute(all bool) {
+	cycle := k.cycle
+	i := 0
+	for _, seg := range k.lanes {
+		if all {
+			for ; i < seg.start; i++ {
+				k.components[i].Compute(cycle)
+			}
+			seg.lane.ComputeAll(cycle)
+		} else {
+			for ; i < seg.start; i++ {
+				if k.active[i] != 0 {
+					k.components[i].Compute(cycle)
+				}
+			}
+			seg.lane.ComputeActive(cycle, k.active[seg.start:seg.end])
+		}
+		i = seg.end
+	}
+	if all {
+		for ; i < len(k.components); i++ {
+			k.components[i].Compute(cycle)
+		}
+	} else {
+		for ; i < len(k.components); i++ {
+			if k.active[i] != 0 {
+				k.components[i].Compute(cycle)
+			}
+		}
+	}
+}
+
+// walkCommitAll runs the reference-mode commit phase: every component, no
+// quiescence bookkeeping.
+func (k *Kernel) walkCommitAll() {
+	cycle := k.cycle
+	i := 0
+	for _, seg := range k.lanes {
+		for ; i < seg.start; i++ {
+			k.components[i].Commit(cycle)
+		}
+		seg.lane.CommitAll(cycle)
+		i = seg.end
+	}
+	for ; i < len(k.components); i++ {
+		k.components[i].Commit(cycle)
+	}
+}
+
+// walkCommitQuiesce runs the commit phase with quiescence bookkeeping. all
+// skips the flag checks (everything is known active); quiet components drop
+// out of the active set either way.
+func (k *Kernel) walkCommitQuiesce(all bool) {
+	cycle := k.cycle
+	i := 0
+	for _, seg := range k.lanes {
+		for ; i < seg.start; i++ {
+			k.commitOne(i, cycle, all)
+		}
+		k.idle += seg.lane.CommitActive(cycle, k.active[seg.start:seg.end])
+		i = seg.end
+	}
+	for ; i < len(k.components); i++ {
+		k.commitOne(i, cycle, all)
+	}
+}
+
+// commitOne is the generic-path commit of component i with quiet tracking.
+func (k *Kernel) commitOne(i int, cycle int64, all bool) {
+	if !all && k.active[i] == 0 {
+		return
+	}
+	k.components[i].Commit(cycle)
+	if q := k.quiesc[i]; q != nil && q.Quiet() {
+		k.active[i] = 0
+		k.idle++
+	}
+}

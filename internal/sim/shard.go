@@ -111,6 +111,9 @@ func (k *Kernel) SetSharding(shards int, shardOf []int) {
 	if shards < 1 {
 		panic("sim: SetSharding requires at least one shard")
 	}
+	if len(k.lanes) != 0 {
+		panic("sim: SetSharding on a kernel with bound lanes (lanes are serial-only)")
+	}
 	if len(shardOf) != len(k.components) {
 		panic(fmt.Sprintf("sim: SetSharding got %d assignments for %d components", len(shardOf), len(k.components)))
 	}
