@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke
+.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke fuzz-smoke
 
 ## check: the CI gate — build, vet, static analysis, the full test suite
 ## under the race detector (the parallel experiment engine makes this
-## mandatory), the tracing smoke test, and a soft benchmark-regression
+## mandatory), the tracing and fault-injection smoke tests, a short fuzz
+## pass over the user-facing decoders, and a soft benchmark-regression
 ## check against the newest committed snapshot.
-check: build vet lint race trace-smoke bench-compare
+check: build vet lint race trace-smoke fault-smoke fuzz-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -80,3 +81,27 @@ trace-smoke:
 		test -s "$$tmp/$$f" || { echo "trace-smoke: $$f is empty" >&2; exit 1; }; \
 	done && \
 	echo "trace-smoke: OK"
+
+## fault-smoke: run a small seeded fault campaign on every architecture
+## under the race detector, once serial and once sharded, and require the
+## two reports to be byte-identical — the standing proof that fault
+## injection (and everything downstream of it) is deterministic and
+## shard-invariant. Also fails on any UNDETECTED campaign: an injected
+## fault must be caught by the invariant layer or masked by the protocol.
+fault-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run -race ./cmd/noxfault -arch all -width 4 -height 4 -campaigns 2 \
+		-cycles 800 -drain 10000 -watchdog 3000 -seed 0xF001 -shards 1 -out "$$tmp/serial.txt" && \
+	$(GO) run -race ./cmd/noxfault -arch all -width 4 -height 4 -campaigns 2 \
+		-cycles 800 -drain 10000 -watchdog 3000 -seed 0xF001 -shards 4 -out "$$tmp/sharded.txt" && \
+	cmp "$$tmp/serial.txt" "$$tmp/sharded.txt" && \
+	{ ! grep -q UNDETECTED "$$tmp/serial.txt" || { echo "fault-smoke: campaign left faults undetected" >&2; cat "$$tmp/serial.txt" >&2; exit 1; }; } && \
+	echo "fault-smoke: OK"
+
+## fuzz-smoke: a short native-fuzz pass over the user-facing decoders
+## (noxtrace -validate, noxbench snapshot JSON). The committed seed corpora
+## always run under plain `go test`; this adds a little coverage-guided
+## mutation on top without turning CI into a fuzz farm.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzValidateTrace$$' -fuzztime 10s ./cmd/noxtrace
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime 10s ./cmd/noxbench

@@ -111,18 +111,28 @@ func compareSnapshots(oldSnap, newSnap Snapshot, threshold float64, floorNs floa
 	return res
 }
 
+// decodeSnapshot parses and validates snapshot JSON. Factored from
+// loadSnapshot so the fuzz target can drive it on raw bytes.
+func decodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, err
+	}
+	if !strings.HasPrefix(s.Schema, "nox-bench/") {
+		return Snapshot{}, fmt.Errorf("unexpected schema %q", s.Schema)
+	}
+	return s, nil
+}
+
 // loadSnapshot reads and validates one snapshot file.
 func loadSnapshot(path string) (Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Snapshot{}, err
 	}
-	var s Snapshot
-	if err := json.Unmarshal(data, &s); err != nil {
+	s, err := decodeSnapshot(data)
+	if err != nil {
 		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
-	}
-	if !strings.HasPrefix(s.Schema, "nox-bench/") {
-		return Snapshot{}, fmt.Errorf("%s: unexpected schema %q", path, s.Schema)
 	}
 	return s, nil
 }

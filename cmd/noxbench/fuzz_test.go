@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSnapshot drives the -compare path's snapshot decoder on
+// arbitrary bytes: it must never panic, every accepted snapshot carries the
+// nox-bench schema tag, and an accepted snapshot survives a full
+// self-comparison (which must report zero regressions — a snapshot cannot
+// be slower than itself).
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte(`{"schema":"nox-bench/1","generated_utc":"2026-01-01T00:00:00Z","benchmarks":[{"name":"BenchmarkNetworkCycleSteady/arch=NoX","iterations":1,"ns_per_op":120000,"bytes_per_op":0,"allocs_per_op":0}]}`))
+	f.Add([]byte(`{"schema":"nox-bench/1","benchmarks":[]}`))
+	f.Add([]byte(`{"schema":"nox-bench/1","benchmarks":[{"name":"B","ns_per_op":-1,"bytes_per_op":-1,"allocs_per_op":-1,"metrics":{"cycles/sec":1e9}}]}`))
+	f.Add([]byte(`{"schema":"wrong/1"}`))
+	f.Add([]byte(`{"schema":123}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if !strings.HasPrefix(s.Schema, "nox-bench/") {
+			t.Fatalf("accepted snapshot with schema %q", s.Schema)
+		}
+		res := compareSnapshots(s, s, 0.10, 100)
+		if len(res.Regressions) != 0 {
+			t.Fatalf("self-comparison reported regressions: %v", res.Regressions)
+		}
+	})
+}

@@ -1,0 +1,333 @@
+// Command noxfault runs deterministic fault-injection campaigns against the
+// simulator's runtime invariant layer: each campaign drives random traffic
+// through a mesh while injecting channel-level faults (bit-flips, drops,
+// stalls, credit loss/duplication) from a seeded, replayable spec, then
+// classifies the outcome — did the delivery oracle, protocol assertions, or
+// deadlock watchdog detect the faults, were they masked, or (the regression
+// signal) did traffic go missing with no violation recorded?
+//
+// Campaigns are pure functions of their seed: the report is byte-identical
+// across runs, across -parallel settings, and across -shards settings.
+//
+// Usage:
+//
+//	noxfault -campaigns 8 -bitflip 0.001 -drop 0.0005
+//	noxfault -arch nox -campaigns 4 -spec campaign.json -out report.txt
+//	noxfault -width 4 -height 4 -stall 0.002 -creditloss 0.001 -shards 4
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// outcome classifies one campaign.
+type outcome int
+
+const (
+	// outClean: no fault fired inside the campaign window.
+	outClean outcome = iota
+	// outMasked: faults fired but every packet was delivered bit-exactly
+	// and no invariant tripped — the network absorbed them.
+	outMasked
+	// outDetected: the invariant layer caught the faults (violations, a
+	// watchdog trip, or a recovered panic).
+	outDetected
+	// outUndetected: traffic went missing with no violation recorded — a
+	// checker regression. A healthy build reports zero of these.
+	outUndetected
+)
+
+func (o outcome) String() string {
+	switch o {
+	case outClean:
+		return "clean"
+	case outMasked:
+		return "masked"
+	case outDetected:
+		return "detected"
+	default:
+		return "UNDETECTED"
+	}
+}
+
+// cell is one (architecture, campaign) result.
+type cell struct {
+	arch      router.Arch
+	idx       int
+	spec      fault.Spec
+	out       outcome
+	why       string // detection channel or wedge headline
+	faults    [fault.NumKinds]int64
+	impacted  int
+	injected  int64
+	delivered int64
+	counts    [check.NumKinds]int64
+	total     int64
+}
+
+type params struct {
+	topo        noc.Topology
+	bufferDepth int
+	shards      int
+	cycles      int64
+	load        float64
+	multi       float64
+	drain       int64
+	watchdog    int64
+	template    fault.Spec
+}
+
+// campaignSeed derives campaign i's fault seed from the base with a
+// golden-ratio stride, so campaigns are decorrelated but replayable from
+// (base, i) alone.
+func campaignSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*0x9E3779B97F4A7C15
+}
+
+// run executes one campaign cell. Fault-reachable panics are converted to a
+// detected outcome by the recover — with the checker armed none should
+// remain, so a recovered panic is itself worth surfacing in the report.
+func run(arch router.Arch, idx int, p params) (c cell) {
+	c.arch, c.idx = arch, idx
+	c.spec = p.template
+	c.spec.Seed = campaignSeed(p.template.Seed, idx)
+
+	ck := check.New(check.All())
+	inj := fault.NewInjector(c.spec)
+	defer func() {
+		c.injected, c.delivered = ck.Injected(), ck.Delivered()
+		c.counts, c.total = ck.Counts(), ck.Total()
+		c.faults, c.impacted = inj.Totals(), inj.ImpactedCount()
+		if r := recover(); r != nil {
+			c.out = outDetected
+			c.why = "panic: " + firstLine(fmt.Sprint(r))
+		}
+	}()
+
+	net, err := network.Build(network.Config{
+		Topo: p.topo, Arch: arch, BufferDepth: p.bufferDepth,
+		Shards: p.shards, Check: ck, Fault: inj,
+	})
+	if err != nil {
+		panic(err.Error())
+	}
+	defer net.Close()
+
+	// Uniform-random traffic from the campaign's own stream; injection runs
+	// on the stepping goroutine, so the packet sequence is shard-invariant.
+	rng := sim.NewRNG(c.spec.Seed ^ 0x54524146) // "TRAF"
+	cores := net.Cores()
+	for cyc := int64(0); cyc < p.cycles; cyc++ {
+		for id := 0; id < cores; id++ {
+			if rng.Float64() >= p.load {
+				continue
+			}
+			dst := rng.Intn(cores - 1)
+			if dst >= id {
+				dst++
+			}
+			length := 1
+			if p.multi > 0 && rng.Float64() < p.multi {
+				length = 4
+			}
+			net.Inject(noc.NodeID(id), noc.NodeID(dst), length, 0)
+		}
+		net.Step()
+	}
+	drainErr := net.DrainChecked(p.drain, p.watchdog)
+	net.CheckInvariants()
+
+	switch {
+	case drainErr != nil:
+		c.out = outDetected
+		c.why = "watchdog: " + firstLine(drainErr.Error())
+	case ck.Total() > 0:
+		c.out = outDetected
+		c.why = "violations"
+	case inj.Total() == 0:
+		c.out = outClean
+	case ck.Delivered() == ck.Injected():
+		c.out = outMasked
+	default:
+		c.out = outUndetected
+		c.why = fmt.Sprintf("%d packets missing, zero violations", ck.Injected()-ck.Delivered())
+	}
+	return c
+}
+
+// firstLine trims a multi-line message (watchdog errors embed the full
+// diagnostic dump) to its headline.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// kindList renders nonzero per-kind counts as a compact bracket list.
+func kindList[T fmt.Stringer](counts []int64, kind func(int) T) string {
+	var parts []string
+	for i, n := range counts {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", kind(i), n))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}
+
+func main() {
+	var (
+		archName  = flag.String("arch", "all", "router architecture: all|nonspec|specfast|specaccurate|nox")
+		width     = flag.Int("width", 4, "mesh width")
+		height    = flag.Int("height", 4, "mesh height")
+		buffers   = flag.Int("buffers", 4, "input buffer depth (flits)")
+		campaigns = flag.Int("campaigns", 8, "seeded campaigns per architecture")
+		seed      = flag.Uint64("seed", 0xF001, "base campaign seed (campaign i uses a derived seed)")
+		cycles    = flag.Int64("cycles", 2000, "traffic-injection cycles per campaign")
+		load      = flag.Float64("load", 0.02, "per-node per-cycle injection probability")
+		multi     = flag.Float64("multi", 0.25, "probability an injected packet is 4 flits")
+		drain     = flag.Int64("drain", 20000, "drain cycle budget after injection stops")
+		watchdog  = flag.Int64("watchdog", 4000, "livelock watchdog window (cycles without a delivery)")
+		shards    = flag.Int("shards", 1, "intra-simulation worker shards (report is bit-identical at any setting)")
+		parallel  = flag.Int("parallel", 0, "campaign-level worker pool size (0 = all CPUs; report is order-independent)")
+		out       = flag.String("out", "", "write the report to this file instead of stdout")
+		specPath  = flag.String("spec", "", "JSON fault-spec file (flag rates ignored when set; its seed, if nonzero, overrides -seed)")
+
+		bitflip    = flag.Float64("bitflip", 0.001, "per-flit-traversal bit-flip probability")
+		dropRate   = flag.Float64("drop", 0, "per-flit-traversal drop probability")
+		stall      = flag.Float64("stall", 0, "per-(site,cycle) stall-window start probability")
+		stallCycle = flag.Int64("stallcycles", 8, "stall window duration in cycles")
+		creditLoss = flag.Float64("creditloss", 0, "per-credit loss probability")
+		creditDup  = flag.Float64("creditdup", 0, "per-credit duplication probability")
+		startCycle = flag.Int64("start", 0, "first active fault cycle")
+		endCycle   = flag.Int64("end", 0, "end of the active fault window (0 = unbounded)")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "noxfault:", err)
+		os.Exit(1)
+	}
+
+	archs := router.Archs
+	if *archName != "all" {
+		a, err := router.ArchByName(*archName)
+		if err != nil {
+			fail(err)
+		}
+		archs = []router.Arch{a}
+	}
+
+	template := fault.Spec{
+		Seed: *seed, Start: *startCycle, End: *endCycle,
+		BitFlip: *bitflip, Drop: *dropRate,
+		Stall: *stall, StallCycles: *stallCycle,
+		CreditLoss: *creditLoss, CreditDup: *creditDup,
+	}
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		template, err = fault.ParseSpec(data)
+		if err != nil {
+			fail(err)
+		}
+		if template.Seed == 0 {
+			template.Seed = *seed
+		}
+	}
+	if err := template.Validate(); err != nil {
+		fail(err)
+	}
+	if *campaigns <= 0 {
+		fail(errors.New("-campaigns must be positive"))
+	}
+
+	p := params{
+		topo:        noc.Topology{Width: *width, Height: *height},
+		bufferDepth: *buffers,
+		shards:      *shards,
+		cycles:      *cycles,
+		load:        *load,
+		multi:       *multi,
+		drain:       *drain,
+		watchdog:    *watchdog,
+		template:    template,
+	}
+
+	// Fan the (arch, campaign) grid across the pool; cells are independent
+	// and individually seeded, so results are position-stable.
+	pool := exp.NewPool(*parallel)
+	cells, err := exp.Map(context.Background(), pool, len(archs)**campaigns,
+		func(_ context.Context, i int) (cell, error) {
+			return run(archs[i / *campaigns], i%*campaigns, p), nil
+		})
+	if err != nil {
+		fail(err)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "noxfault campaign report\n")
+	fmt.Fprintf(&sb, "topo=%dx%d buffers=%d campaigns=%d cycles=%d load=%.4f multi=%.2f drain=%d watchdog=%d\n",
+		*width, *height, *buffers, *campaigns, *cycles, *load, *multi, *drain, *watchdog)
+	fmt.Fprintf(&sb, "spec template: %s\n", template)
+
+	var overall [4]int
+	for ai, arch := range archs {
+		fmt.Fprintf(&sb, "arch %s:\n", arch)
+		var tally [4]int
+		var faults int64
+		for ci := 0; ci < *campaigns; ci++ {
+			c := cells[ai**campaigns+ci]
+			tally[c.out]++
+			overall[c.out]++
+			var fsum int64
+			for _, n := range c.faults {
+				fsum += n
+			}
+			faults += fsum
+			fmt.Fprintf(&sb, "  campaign %d: seed=0x%X faults=%d%s outcome=%s injected=%d delivered=%d violations=%d%s",
+				ci, c.spec.Seed, fsum,
+				kindList(c.faults[:], func(i int) fault.Kind { return fault.Kind(i) }),
+				c.out, c.injected, c.delivered, c.total,
+				kindList(c.counts[:], func(i int) check.Kind { return check.Kind(i) }))
+			if c.why != "" && c.why != "violations" {
+				fmt.Fprintf(&sb, " (%s)", c.why)
+			}
+			fmt.Fprintln(&sb)
+		}
+		fmt.Fprintf(&sb, "  summary: clean=%d masked=%d detected=%d undetected=%d faults=%d\n",
+			tally[outClean], tally[outMasked], tally[outDetected], tally[outUndetected], faults)
+	}
+	fmt.Fprintf(&sb, "overall: campaigns=%d clean=%d masked=%d detected=%d undetected=%d\n",
+		len(archs)**campaigns, overall[outClean], overall[outMasked], overall[outDetected], overall[outUndetected])
+	if overall[outUndetected] > 0 {
+		fmt.Fprintf(&sb, "WARNING: undetected loss — the invariant layer missed faults it should catch\n")
+	}
+
+	report := sb.String()
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("noxfault: report written to %s (%d campaigns)\n", *out, len(archs)**campaigns)
+	} else {
+		fmt.Print(report)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzValidateTrace drives the -validate path's parser on arbitrary bytes:
+// it must never panic, and whenever it accepts a document the event count
+// is positive and the input really was valid JSON.
+func FuzzValidateTrace(f *testing.F) {
+	f.Add([]byte(`{"traceEvents":[{"ph":"X","name":"traverse","pid":0,"tid":1,"ts":10,"dur":1}]}`))
+	f.Add([]byte(`{"traceEvents":[],"displayTimeUnit":"ns"}`))
+	f.Add([]byte(`{"traceEvents":[null]}`))
+	f.Add([]byte(`{"traceEvents":"not an array"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"other":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := parseTraceEvents(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 {
+			t.Fatalf("accepted trace with %d events", n)
+		}
+		if !json.Valid(data) {
+			t.Fatalf("accepted input that is not valid JSON: %q", data)
+		}
+	})
+}

@@ -58,6 +58,22 @@ func withOut(path string, write func(w io.Writer) error) {
 	}
 }
 
+// parseTraceEvents parses Chrome trace-event JSON and returns the event
+// count, rejecting documents with no events. Factored from validateTrace so
+// the fuzz target can drive it on raw bytes.
+func parseTraceEvents(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("invalid trace JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace JSON has no events")
+	}
+	return len(doc.TraceEvents), nil
+}
+
 // validateTrace parses a previously emitted Chrome trace file and checks it
 // holds a non-empty event array — the make trace-smoke gate.
 func validateTrace(path string) error {
@@ -65,16 +81,11 @@ func validateTrace(path string) error {
 	if err != nil {
 		return err
 	}
-	var doc struct {
-		TraceEvents []json.RawMessage `json:"traceEvents"`
+	n, err := parseTraceEvents(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("%s: invalid trace JSON: %w", path, err)
-	}
-	if len(doc.TraceEvents) == 0 {
-		return fmt.Errorf("%s: trace JSON has no events", path)
-	}
-	fmt.Printf("%s: valid Chrome trace, %d events\n", path, len(doc.TraceEvents))
+	fmt.Printf("%s: valid Chrome trace, %d events\n", path, n)
 	return nil
 }
 

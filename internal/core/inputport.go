@@ -59,6 +59,13 @@ type InputPort struct {
 	// lastSuccessor is retireRegister scratch for the single-element
 	// successor set of a chain's final raw member.
 	lastSuccessor [1]*noc.Flit
+
+	// lenient converts decode protocol violations from panics into staged
+	// poison consumed at the next commit (see Offer/Commit). Armed by
+	// fault-injection runs, where a corrupted chain is an expected outcome
+	// and a panic on a sharded worker goroutine would kill the process.
+	lenient bool
+	poison  error
 }
 
 // Events reports what an InputPort did at a clock edge, for energy and
@@ -73,6 +80,9 @@ type Events struct {
 	// Decoded reports that a decoded (register XOR head) presentation was
 	// consumed by the switch.
 	Decoded bool
+	// DecodeErr is non-nil when a lenient port discarded a corrupt decode
+	// register this edge; the router reports it to the armed checker.
+	DecodeErr error
 }
 
 // NewInputPort returns an input port with the given FIFO depth. route maps
@@ -100,6 +110,11 @@ func (p *InputPort) route(dst noc.NodeID) noc.Port {
 	return p.routeFn(dst)
 }
 
+// SetLenient selects how the port reacts to a violated decode protocol
+// (corrupt XOR chain): lenient ports discard the broken register and report
+// the error through Events.DecodeErr instead of panicking.
+func (p *InputPort) SetLenient(on bool) { p.lenient = on }
+
 // Free returns the number of free FIFO slots (initial link credits).
 func (p *InputPort) Free() int { return p.fifo.Free() }
 
@@ -125,6 +140,11 @@ func (p *InputPort) Receive(f *noc.Flit) {
 func (p *InputPort) Offer() (f *noc.Flit, decoded bool, ok bool) {
 	head := p.fifo.Head()
 	if p.reg != nil {
+		if p.poison != nil {
+			// Condemned register: no presentation until the commit discards
+			// it and reports the decode violation.
+			return nil, false, false
+		}
 		if head == nil {
 			// Mid-chain bubble: the next chain flit has not arrived yet.
 			return nil, false, false
@@ -132,6 +152,10 @@ func (p *InputPort) Offer() (f *noc.Flit, decoded bool, ok bool) {
 		if !p.offerCacheValid {
 			orig, err := noc.Decode(p.reg, head)
 			if err != nil {
+				if p.lenient {
+					p.poison = err
+					return nil, false, false
+				}
 				panic(fmt.Sprintf("core: decode protocol violated: %v", err))
 			}
 			// Present a pooled copy: the original object may still be live
@@ -226,6 +250,20 @@ func (p *InputPort) Commit() Events {
 		ev.FreedSlots++
 
 	default:
+		if p.poison != nil {
+			// Discard the condemned register. Only the register object
+			// itself returns to the arena: its constituents may still be
+			// live upstream (collision losers), so they are left to leak —
+			// the caller's checker marks the run leaky. The head that
+			// failed to decode stays buffered and, if encoded, is latched
+			// below, resuming the chain one member later.
+			ev.DecodeErr = p.poison
+			p.poison = nil
+			if p.arena != nil {
+				p.arena.Release(p.reg)
+			}
+			p.reg = nil
+		}
 		// No service this cycle: latch an encoded head into the free register.
 		if p.reg == nil {
 			if h := p.fifo.Head(); h != nil && h.Encoded {

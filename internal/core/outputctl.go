@@ -87,6 +87,11 @@ type OutputControl struct {
 	// is the reusable gather scratch for their constituent sets.
 	arena     *noc.Arena
 	colliders []*noc.Flit
+
+	// lenient tolerates an orphan multi-flit body (its earlier flits were
+	// lost to an injected fault) by traversing it and engaging the lock
+	// instead of panicking; armed by fault-injection runs.
+	lenient bool
 }
 
 // NewOutputControl returns control logic for one output fed by n inputs,
@@ -134,6 +139,17 @@ func (o *OutputControl) Masks() (switchMask, arbMask uint32) {
 // Locked returns the input transmitting a multi-flit packet through this
 // output, or -1.
 func (o *OutputControl) Locked() int { return o.lockOwner }
+
+// StagedMode returns the mode staged by this cycle's Decide (applied at the
+// coming Commit). The router's protocol checker uses it to assert that a
+// multi-flit abort forces Scheduled mode (§2.7).
+func (o *OutputControl) StagedMode() Mode { return o.nextMode }
+
+// SetLenient selects how the control logic reacts to an orphan multi-flit
+// body flit (its head was lost upstream to an injected fault): lenient
+// outputs forward it under the wormhole lock as if the lock were already
+// held, non-lenient ones panic.
+func (o *OutputControl) SetLenient(on bool) { o.lenient = on }
 
 // Idle reports the control logic is in its rest state: Recovery mode with
 // every input enabled and no wormhole lock. An output whose inputs have all
@@ -269,12 +285,18 @@ func (o *OutputControl) Decide(offers []*noc.Flit, creditOK bool) Decision {
 		d.Serviced = i
 		if f.MultiFlit() {
 			// A multi-flit head traverses uncontested; engage the lock and
-			// suppress grants until the tail passes.
-			if !f.Head() {
+			// suppress grants until the tail passes. A body here is an
+			// orphan — its head was lost upstream — which only an injected
+			// fault can produce: lenient outputs forward it under the lock
+			// (an orphan tail passes without engaging it) so the rest of
+			// the packet drains instead of wedging.
+			if !f.Head() && !o.lenient {
 				panic("core: multi-flit body traversal without lock")
 			}
-			o.stage(o.mode, o.switchMask, o.arbMask, i)
-			return d
+			if !f.Tail() {
+				o.stage(o.mode, o.switchMask, o.arbMask, i)
+				return d
+			}
 		}
 		if o.mode == Scheduled {
 			o.grantAndScheduleNext(a, &d)

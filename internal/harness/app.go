@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/noc"
@@ -37,6 +38,11 @@ type AppConfig struct {
 	// network.Config): 0 = auto, 1 = serial, N >= 2 = sharded. Results are
 	// bit-identical at every setting.
 	Shards int
+	// Check, when set, arms the runtime invariant layer on both physical
+	// networks (they share the checker; packet IDs are globally unique
+	// across classes). The post-drain sweep runs before the result is
+	// returned. Nil costs nothing.
+	Check *check.Checker
 }
 
 // AppResult captures one (architecture, workload) outcome for Figures 10
@@ -81,7 +87,7 @@ func RunApp(cfg AppConfig) AppResult {
 	periodPs := physical.ClockPeriodPs(cfg.Arch)
 	topo := cfg.Trace.Topo
 
-	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards})
+	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards, Check: cfg.Check})
 	defer multi.Close()
 	// Every trace packet is measured: the collector's window spans the run,
 	// giving the same latency record a serial tally would produce plus the
@@ -133,6 +139,12 @@ func RunApp(cfg AppConfig) AppResult {
 		multi.Step()
 		cycle++
 		cfg.Progress.Tick(cycle)
+	}
+
+	// With a checker armed and everything delivered, run the post-drain
+	// invariant sweep across both physical networks.
+	if multi.Outstanding() == 0 {
+		multi.CheckInvariants()
 	}
 
 	window := multi.Counters()

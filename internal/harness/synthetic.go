@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/noc"
@@ -50,6 +51,10 @@ type SyntheticConfig struct {
 	// 0 = automatic crossover, 1 = serial, N >= 2 = sharded worker pool.
 	// Results are bit-identical at every setting.
 	Shards int
+	// Check, when set, arms the runtime invariant layer on the run's network
+	// (see internal/check); the post-drain conservation sweep and delivery
+	// oracle run before the result is returned. Nil costs nothing.
+	Check *check.Checker
 }
 
 func (c *SyntheticConfig) fill() {
@@ -107,7 +112,10 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 		}
 	}
 
-	net := network.New(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards})
+	net, err := network.Build(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards, Check: cfg.Check})
+	if err != nil {
+		return RunResult{}, err
+	}
 	defer net.Close()
 	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
 	col.Reserve(int(pktRate*float64(cfg.Topo.Nodes())*float64(cfg.MeasureCycles)) + 64)
@@ -168,6 +176,15 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 		}
 		net.Step()
 		cfg.Progress.Tick(net.Cycle())
+	}
+
+	// With a checker armed and the network fully drained, sweep the
+	// post-drain invariants so a caller inspecting cfg.Check sees the
+	// conservation results and the delivery oracle. A saturated point that
+	// hit the drain deadline still has packets legitimately in flight — the
+	// oracle would miscount them as lost, so the sweep is skipped.
+	if net.Outstanding() == 0 {
+		net.CheckInvariants()
 	}
 
 	accepted := col.AcceptedFlitsPerNodeCycle(nodes)

@@ -1,0 +1,237 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/noc"
+	"repro/internal/router"
+)
+
+// ErrBadConfig is wrapped by every Config validation failure; user-facing
+// tools test for it with errors.Is.
+var ErrBadConfig = errors.New("network: invalid configuration")
+
+// ErrBadPacket is wrapped by InjectChecked's rejection of malformed packets.
+var ErrBadPacket = errors.New("network: invalid packet")
+
+// ErrNoProgress is wrapped by DrainChecked when the network wedges —
+// deadlock, livelock, or drain-limit exhaustion. The error message carries
+// the watchdog's full diagnostic dump.
+var ErrNoProgress = errors.New("network: no forward progress")
+
+// Validate checks a configuration without building it. Zero values are fine
+// (fill applies the defaults); only actively inconsistent settings fail.
+func (c Config) Validate() error {
+	if c.Topo.Width < 0 || c.Topo.Height < 0 ||
+		(c.Topo.Width > 0) != (c.Topo.Height > 0) {
+		return fmt.Errorf("%w: topology %dx%d", ErrBadConfig, c.Topo.Width, c.Topo.Height)
+	}
+	if c.Concentration < 0 {
+		return fmt.Errorf("%w: concentration %d negative", ErrBadConfig, c.Concentration)
+	}
+	if c.Topo.Width > 0 {
+		sys := noc.System{Grid: c.Topo, Concentration: max(c.Concentration, 1)}
+		if err := sys.Check(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		if ports := sys.Ports(); ports > 32 {
+			return fmt.Errorf("%w: concentration %d needs radix %d (max 32)", ErrBadConfig, c.Concentration, ports)
+		}
+	}
+	switch c.Arch {
+	case router.NonSpec, router.SpecFast, router.SpecAccurate, router.NoX:
+	default:
+		return fmt.Errorf("%w: unknown architecture %d", ErrBadConfig, int(c.Arch))
+	}
+	if c.BufferDepth < 0 {
+		return fmt.Errorf("%w: buffer depth %d negative", ErrBadConfig, c.BufferDepth)
+	}
+	if c.SinkDepth < 0 {
+		return fmt.Errorf("%w: sink depth %d negative", ErrBadConfig, c.SinkDepth)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("%w: shards %d negative", ErrBadConfig, c.Shards)
+	}
+	if c.Fault != nil && c.Check == nil {
+		// Fault consequences (corrupt decodes, overruns, orphan bodies) are
+		// panics unless the checker's lenient paths are armed — and a panic
+		// on a sharded worker goroutine is unrecoverable.
+		return fmt.Errorf("%w: Fault requires Check (fault consequences must be recorded, not panic)", ErrBadConfig)
+	}
+	return nil
+}
+
+// Build is the error-returning form of New for configurations assembled
+// from user input (CLI flags, spec files): it validates first and returns
+// ErrBadConfig-wrapped errors instead of panicking.
+func Build(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return New(cfg), nil
+}
+
+// InjectChecked is the error-returning form of Inject for endpoints from
+// user input: it rejects malformed packets with ErrBadPacket instead of
+// panicking.
+func (n *Network) InjectChecked(src, dst noc.NodeID, length int, class int) (*noc.Packet, error) {
+	cores := noc.NodeID(len(n.nis))
+	if src < 0 || src >= cores || dst < 0 || dst >= cores {
+		return nil, fmt.Errorf("%w: endpoints %d->%d outside %d-core system", ErrBadPacket, src, dst, cores)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("%w: self-addressed packet at node %d", ErrBadPacket, src)
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("%w: length %d", ErrBadPacket, length)
+	}
+	n.nextPacketID++
+	p := noc.NewPacket(n.nextPacketID, src, dst, length, class, n.Cycle())
+	n.InjectPacket(p)
+	return p, nil
+}
+
+// DrainChecked runs the network without new traffic until every outstanding
+// packet is delivered, the cycle budget runs out, or the watchdog trips. On
+// a wedge it records a watchdog violation on the armed checker (if any) and
+// returns an ErrNoProgress-wrapped error whose message embeds the full
+// diagnostic dump. limit <= 0 defaults to 30000 cycles; window <= 0
+// defaults to min(limit, 4096) cycles without a delivery.
+func (n *Network) DrainChecked(limit, window int64) error {
+	if limit <= 0 {
+		limit = 30000
+	}
+	if window <= 0 {
+		window = limit
+		if window > 4096 {
+			window = 4096
+		}
+	}
+	deadline := n.Cycle() + limit
+	wd := check.Watchdog{Window: window}
+	wd.Reset(n.Cycle(), n.Delivered())
+	for n.Outstanding() > 0 {
+		if n.FullyIdle() {
+			// Quiescent with packets outstanding: no evaluation can ever
+			// deliver them — a true deadlock, reportable immediately.
+			return n.wedged(fmt.Sprintf("deadlock: fully quiescent with %d packets outstanding", n.Outstanding()))
+		}
+		if n.Cycle() >= deadline {
+			return n.wedged(fmt.Sprintf("drain limit: %d packets outstanding after %d cycles", n.Outstanding(), limit))
+		}
+		n.Step()
+		if stalled, tripped := wd.Observe(n.Cycle(), n.Delivered()); tripped {
+			return n.wedged(fmt.Sprintf("livelock: no packet delivered for %d cycles, %d outstanding", stalled, n.Outstanding()))
+		}
+	}
+	return nil
+}
+
+// wedged records the watchdog trip and packages the diagnostic dump into
+// the returned error.
+func (n *Network) wedged(msg string) error {
+	n.check.Watchdog(n.Cycle(), msg)
+	var sb strings.Builder
+	n.WriteDiagnostic(&sb)
+	return fmt.Errorf("%s: %w\n%s", msg, ErrNoProgress, sb.String())
+}
+
+// WriteDiagnostic dumps the network's live state — per-router port states,
+// interface queues and reassembly progress, arena occupancy — the forensic
+// snapshot attached to every watchdog trip. Routers and interfaces with
+// nothing in flight are skipped so the dump stays focused on the wedge.
+func (n *Network) WriteDiagnostic(w io.Writer) {
+	fmt.Fprintf(w, "network diagnostic: arch=%s topo=%dx%d cycle=%d injected=%d delivered=%d outstanding=%d arena=%d\n",
+		n.cfg.Arch, n.cfg.Topo.Width, n.cfg.Topo.Height,
+		n.Cycle(), n.Injected(), n.Delivered(), n.Outstanding(), n.ArenaOutstanding())
+	var buf []router.PortState
+	for id, r := range n.routers {
+		buf = r.PortStates(buf[:0])
+		busy := false
+		for _, ps := range buf {
+			if ps.Buffered > 0 || ps.Register || ps.OutLock >= 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			continue
+		}
+		coord := n.cfg.Topo.Coord(noc.NodeID(id))
+		fmt.Fprintf(w, "  router %d (%d,%d):", id, coord.X, coord.Y)
+		for p, ps := range buf {
+			if ps.Buffered == 0 && !ps.Register && ps.OutLock < 0 {
+				continue
+			}
+			fmt.Fprintf(w, " p%d{%s}", p, ps)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, ni := range n.nis {
+		q := ni.QueueLen()
+		asm := ni.assembling != nil
+		sink := ni.sink.Buffered()
+		if q == 0 && !asm && sink == 0 && !ni.sink.RegisterBusy() {
+			continue
+		}
+		fmt.Fprintf(w, "  ni %d: queue=%d sink=%d", ni.node, q, sink)
+		if ni.sink.RegisterBusy() {
+			fmt.Fprint(w, " reg")
+		}
+		if ni.cur != nil {
+			fmt.Fprintf(w, " injecting=pkt%d.%d", ni.cur.ID, ni.curSeq)
+		}
+		if asm {
+			fmt.Fprintf(w, " assembling=pkt%d want-seq=%d", ni.assembling.ID, ni.expectSeq)
+		}
+		fmt.Fprintln(w)
+	}
+	if n.probe != nil {
+		fmt.Fprintf(w, "  probe: %d events captured\n", n.probe.EventCount())
+	}
+}
+
+// CheckInvariants runs the post-drain invariant sweep on the armed checker:
+// credit and arena conservation on every channel, then the delivery
+// oracle's lost-packet scan (Checker.Finalize). A no-op when no checker is
+// armed. Call after draining, between steps.
+func (n *Network) CheckInvariants() {
+	if n.check == nil {
+		return
+	}
+	n.checkConservation()
+	var impacted func(uint64) bool
+	if n.fault != nil {
+		impacted = n.fault.Impacted
+	}
+	n.check.Finalize(n.Cycle(), impacted)
+}
+
+// checkConservation verifies, once the network is empty, that every
+// channel's credits balance (offset by any injected credit faults) and that
+// the flit arenas drained exactly (unless a fault class that leaks pooled
+// objects fired). Only meaningful at Outstanding == 0 — mid-flight credits
+// are legitimately spread across links and buffers.
+func (n *Network) checkConservation() {
+	if n.Outstanding() != 0 {
+		return
+	}
+	cycle := n.Cycle()
+	for site, l := range n.links {
+		want := l.Capacity()
+		if n.fault != nil {
+			want += n.fault.CreditDelta(site)
+		}
+		if got := l.Credits() + l.PendingReturns(); got != want {
+			n.check.Credit(cycle, site, got, want)
+		}
+	}
+	leaky := n.check.Leaky() || (n.fault != nil && n.fault.Leaky())
+	if out := n.ArenaOutstanding(); out != 0 && !leaky {
+		n.check.Arena(cycle, out)
+	}
+}

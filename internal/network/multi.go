@@ -1,6 +1,10 @@
 package network
 
 import (
+	"fmt"
+	"strings"
+
+	"repro/internal/check"
 	"repro/internal/noc"
 	"repro/internal/power"
 )
@@ -25,6 +29,23 @@ func NewMulti(classes int, cfg Config) *Multi {
 		m.nets[i] = New(cfg)
 	}
 	return m
+}
+
+// BuildMulti is the error-returning form of NewMulti for configurations
+// from user input. Fault injection is rejected here: an Injector binds to
+// exactly one network's channel sites, and a Multi builds the configuration
+// once per class.
+func BuildMulti(classes int, cfg Config) (*Multi, error) {
+	if classes <= 0 {
+		return nil, fmt.Errorf("%w: Multi needs at least one class, got %d", ErrBadConfig, classes)
+	}
+	if cfg.Fault != nil {
+		return nil, fmt.Errorf("%w: fault injection is per-network (the injector binds to one network's channel sites); inject on a single-class network", ErrBadConfig)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return NewMulti(classes, cfg), nil
 }
 
 // Classes returns the number of physical networks.
@@ -116,4 +137,66 @@ func (m *Multi) Drain(limit int64) bool {
 		m.Step()
 	}
 	return m.Outstanding() == 0
+}
+
+// DrainChecked is the watchdog-supervised drain across every class, with
+// the same semantics and defaults as Network.DrainChecked. The diagnostic
+// dump on a wedge covers every class network.
+func (m *Multi) DrainChecked(limit, window int64) error {
+	if limit <= 0 {
+		limit = 30000
+	}
+	if window <= 0 {
+		window = limit
+		if window > 4096 {
+			window = 4096
+		}
+	}
+	deadline := m.Cycle() + limit
+	wd := check.Watchdog{Window: window}
+	wd.Reset(m.Cycle(), m.delivered())
+	for m.Outstanding() > 0 {
+		if m.FullyIdle() {
+			return m.wedged(fmt.Sprintf("deadlock: fully quiescent with %d packets outstanding", m.Outstanding()))
+		}
+		if m.Cycle() >= deadline {
+			return m.wedged(fmt.Sprintf("drain limit: %d packets outstanding after %d cycles", m.Outstanding(), limit))
+		}
+		m.Step()
+		if stalled, tripped := wd.Observe(m.Cycle(), m.delivered()); tripped {
+			return m.wedged(fmt.Sprintf("livelock: no packet delivered for %d cycles, %d outstanding", stalled, m.Outstanding()))
+		}
+	}
+	return nil
+}
+
+func (m *Multi) delivered() int64 {
+	var n int64
+	for _, nw := range m.nets {
+		n += nw.Delivered()
+	}
+	return n
+}
+
+// wedged records the trip on every class's checker (they typically share
+// one) and packages the per-class diagnostics into the returned error.
+func (m *Multi) wedged(msg string) error {
+	var sb strings.Builder
+	for class, nw := range m.nets {
+		if nw.Outstanding() > 0 {
+			nw.check.Watchdog(nw.Cycle(), fmt.Sprintf("class %d: %s", class, msg))
+		}
+		fmt.Fprintf(&sb, "class %d ", class)
+		nw.WriteDiagnostic(&sb)
+	}
+	return fmt.Errorf("%s: %w\n%s", msg, ErrNoProgress, sb.String())
+}
+
+// CheckInvariants runs the post-drain sweep on every class network. The
+// classes usually share one Checker — its Finalize is idempotent, so the
+// lost-packet scan runs exactly once over the shared oracle.
+func (m *Multi) CheckInvariants() {
+	for _, nw := range m.nets {
+		nw.CheckInvariants()
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arbiter"
 	"repro/internal/buffer"
+	"repro/internal/check"
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/probe"
@@ -51,6 +52,38 @@ type Config struct {
 	// identical either way; only dispatch mechanics differ. No effect when
 	// sharded (lanes are serial-only).
 	DisableLanes bool
+	// Check, when non-nil, arms the runtime invariant layer on this network:
+	// the delivery oracle validates every packet at its interface, protocol
+	// violations (which injected faults make legitimately reachable) are
+	// recorded instead of panicking, and CheckInvariants runs the post-drain
+	// conservation checks. Nil costs nothing on the hot path.
+	Check *check.Checker
+	// Fault, when non-nil, injects channel-level faults
+	// (internal/fault.Injector); it is bound to this network's link sites at
+	// construction. Requires Check — running faults without the lenient
+	// checker paths would panic sharded worker goroutines.
+	Fault FaultInjector
+}
+
+// FaultInjector is the contract between a network and a fault-injection
+// backend. internal/fault.Injector implements it; the indirection keeps the
+// dependency arrow pointing from fault to network's peers rather than into
+// this package's construction path.
+type FaultInjector interface {
+	noc.Tamperer
+	// BindSites is called once at construction with the network's channel
+	// count; site indices passed to the Tamperer methods are [0, n).
+	BindSites(n int)
+	// CreditDelta returns the net credit change faults applied at a site,
+	// offsetting the post-drain credit conservation check.
+	CreditDelta(site int) int
+	// Impacted reports whether a fault fired that may corrupt or prevent
+	// delivery of the packet; the delivery oracle treats missing impacted
+	// packets as accounted-for rather than lost.
+	Impacted(id uint64) bool
+	// Leaky reports whether a fired fault may have leaked pooled flit
+	// objects, disabling the arena-exactness check.
+	Leaky() bool
 }
 
 func (c *Config) fill() {
@@ -130,6 +163,12 @@ type Network struct {
 	arenas []noc.Arena
 
 	ejectLinks []*noc.Link
+	// links is every channel in site order (the fault-injection site
+	// numbering and the credit conservation walk).
+	links []*noc.Link
+
+	check *check.Checker
+	fault FaultInjector
 
 	nextPacketID uint64
 	injected     int64
@@ -142,8 +181,12 @@ type Network struct {
 	OnDeliver func(p *noc.Packet, cycle int64)
 }
 
-// New builds and wires a network.
+// New builds and wires a network, panicking on an invalid configuration.
+// Build is the error-returning form for configurations from user input.
 func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	cfg.fill()
 	sys := noc.System{Grid: cfg.Topo, Concentration: cfg.Concentration}
 	sys.Validate()
@@ -151,9 +194,6 @@ func New(cfg Config) *Network {
 	cores := sys.Cores()
 
 	shards := cfg.Shards
-	if shards < 0 {
-		panic(fmt.Sprintf("network: negative shard count %d", shards))
-	}
 	if shards == 0 {
 		shards = AutoShards(routers)
 	}
@@ -231,6 +271,7 @@ func New(cfg Config) *Network {
 			Probe:       probeFor(id),
 			Arena:       arenaFor(id),
 			Slabs:       slabs,
+			Check:       cfg.Check,
 		})
 	}
 	// Network interfaces come from one slab, their sink rings from another,
@@ -249,6 +290,11 @@ func New(cfg Config) *Network {
 		ni.init(noc.NodeID(c), n, cfg.SinkDepth, sinkSlots[c*sinkSl:(c+1)*sinkSl:(c+1)*sinkSl], localRow, arenaFor(home))
 		ni.counters = countersFor(home)
 		ni.probe = probeFor(home)
+		if cfg.Check != nil {
+			// Armed: ejection-side decode corruption becomes a reported
+			// violation instead of a panic.
+			ni.sink.SetLenient(true)
+		}
 		if sharded {
 			ni.shard = n.shardOfNode[home]
 		}
@@ -299,6 +345,9 @@ func New(cfg Config) *Network {
 	// also inherits that owner's shard (receiver-side assignment).
 	links := make([]*noc.Link, 0, linkCount)
 	sinkOwner := make([]sim.Handle, 0, linkCount)
+	// linkArena tracks each channel's sink-side arena (needed by fault
+	// injection: a flit dropped at commit is released on the sink's shard).
+	linkArena := make([]*noc.Arena, 0, linkCount)
 	for id := 0; id < routers; id++ {
 		r := n.routers[id]
 		// Inter-router channels.
@@ -316,6 +365,7 @@ func New(cfg Config) *Network {
 			}
 			links = append(links, l)
 			sinkOwner = append(sinkOwner, routerHandle[nb])
+			linkArena = append(linkArena, arenaFor(int(nb)))
 		}
 		// Local ports: one injection and one ejection link per core.
 		for k := 0; k < sys.Concentration; k++ {
@@ -329,6 +379,7 @@ func New(cfg Config) *Network {
 			}
 			links = append(links, inj)
 			sinkOwner = append(sinkOwner, routerHandle[id])
+			linkArena = append(linkArena, arenaFor(id))
 			ej := newLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
 			r.SetOutputLink(port, ej)
 			if n.probe != nil {
@@ -337,6 +388,16 @@ func New(cfg Config) *Network {
 			n.ejectLinks[coreID] = ej
 			links = append(links, ej)
 			sinkOwner = append(sinkOwner, n.niHandle[coreID])
+			linkArena = append(linkArena, arenaFor(id))
+		}
+	}
+	n.links = links
+	n.check = cfg.Check
+	n.fault = cfg.Fault
+	if n.fault != nil {
+		n.fault.BindSites(len(links))
+		for i, l := range links {
+			l.SetTamper(n.fault, i, linkArena[i])
 		}
 	}
 	if linksUsed != linkCount {
@@ -473,17 +534,13 @@ func (n *Network) Step() { n.kernel.Step() }
 
 // Inject creates a packet from src to dst with the given flit count and
 // queues it at src's interface in the current cycle. It returns the packet
-// for the caller's bookkeeping.
+// for the caller's bookkeeping. Invalid packets panic; InjectChecked is the
+// error-returning form for endpoints from user input.
 func (n *Network) Inject(src, dst noc.NodeID, length int, class int) *noc.Packet {
-	if src == dst {
-		panic("network: self-addressed packet")
+	p, err := n.InjectChecked(src, dst, length, class)
+	if err != nil {
+		panic(err.Error())
 	}
-	if length <= 0 {
-		panic("network: packet needs at least one flit")
-	}
-	n.nextPacketID++
-	p := noc.NewPacket(n.nextPacketID, src, dst, length, class, n.Cycle())
-	n.InjectPacket(p)
 	return p
 }
 
@@ -494,6 +551,7 @@ func (n *Network) InjectPacket(p *noc.Packet) {
 		panic(fmt.Sprintf("network: packet endpoints %d->%d outside topology", p.Src, p.Dst))
 	}
 	n.injected++
+	n.check.OnInject(n.Cycle(), p.ID)
 	n.nis[p.Src].enqueue(p)
 	// The interface may have gone quiescent; new work re-activates it.
 	n.kernel.Wake(n.niHandle[p.Src])
@@ -501,6 +559,7 @@ func (n *Network) InjectPacket(p *noc.Packet) {
 
 func (n *Network) deliver(p *noc.Packet, cycle int64) {
 	n.delivered++
+	n.check.OnDeliver(cycle, p.ID)
 	if n.OnDeliver != nil {
 		n.OnDeliver(p, cycle)
 	}

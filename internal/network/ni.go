@@ -93,6 +93,18 @@ type niReceiver struct{ ni *NI }
 
 // Receive buffers a flit arriving from the router's local output port.
 func (r niReceiver) Receive(f *noc.Flit, cycle int64) {
+	ni := r.ni
+	if ni.sink.Free() == 0 && ni.net.check != nil {
+		// Only an injected credit-duplication fault can overrun the sink
+		// (the credit protocol otherwise forbids it): report and swallow.
+		var pkt uint64
+		if !f.Encoded && f.Packet != nil {
+			pkt = f.Packet.ID
+		}
+		ni.net.check.Overflow(cycle, int(ni.node), -1, pkt)
+		ni.arena.Release(f)
+		return
+	}
 	r.ni.sink.Receive(f)
 	r.ni.counters.BufWrite++
 	if pr := r.ni.probe; pr != nil {
@@ -114,7 +126,7 @@ func (ni *NI) Compute(cycle int64) {
 		ni.queueHead++
 		ni.curSeq = 0
 	}
-	if ni.cur != nil && ni.injectLink.Credits() > 0 {
+	if ni.cur != nil && ni.injectLink.Ready(cycle) {
 		if ni.curSeq == 0 {
 			ni.cur.InjectCycle = cycle
 			if pr := ni.probe; pr != nil {
@@ -155,6 +167,13 @@ func (ni *NI) Quiet() bool {
 func (ni *NI) Commit(cycle int64) {
 	ev := ni.sink.Commit()
 	c := ni.counters
+	if ev.DecodeErr != nil {
+		// The lenient sink port discarded a corrupt decode register
+		// (ejection-side XOR chain broken by an injected fault).
+		ck := ni.net.check
+		ck.Decode(cycle, int(ni.node), -1, ev.DecodeErr)
+		ck.MarkLeaky()
+	}
 	c.BufRead += int64(ev.Reads)
 	if ev.Latched {
 		c.RegWrite++
@@ -181,23 +200,64 @@ func (ni *NI) Commit(cycle int64) {
 
 // deliver consumes one decoded flit, verifies it bit-exactly, reassembles
 // wormhole packets, and completes packet delivery at the tail.
+//
+// With a checker armed, the delivery-oracle assertions record violations
+// instead of panicking (injected faults make every one reachable): a
+// corrupt payload is still delivered (the corruption is the finding, the
+// packet is not lost), while misrouted, orphan, gapped, or interleaved
+// flits are swallowed and recycled — their packets surface through the
+// lost-packet scan in Checker.Finalize.
 func (ni *NI) deliver(f *noc.Flit, cycle int64) {
+	ck := ni.net.check
 	p := f.Packet
 	if p.Dst != ni.node {
-		panic(fmt.Sprintf("network: flit %v misrouted to node %d", f, ni.node))
+		if ck == nil {
+			panic(fmt.Sprintf("network: flit %v misrouted to node %d", f, ni.node))
+		}
+		ck.Misroute(cycle, int(ni.node), p.ID, int(p.Dst))
+		ni.released = f
+		return
 	}
 	if want := noc.PayloadWord(p.ID, p.Src, p.Dst, f.Seq); f.Raw != want {
-		panic(fmt.Sprintf("network: payload corruption on %v: got %#x want %#x", f, f.Raw, want))
+		if ck == nil {
+			panic(fmt.Sprintf("network: payload corruption on %v: got %#x want %#x", f, f.Raw, want))
+		}
+		ck.Payload(cycle, int(ni.node), p.ID, f.Seq, f.Raw, want)
 	}
 	if ni.assembling == nil {
 		if f.Seq != 0 {
-			panic(fmt.Sprintf("network: body flit %v without head", f))
+			if ck == nil {
+				panic(fmt.Sprintf("network: body flit %v without head", f))
+			}
+			ck.Sequence(cycle, int(ni.node), p.ID, fmt.Sprintf("body flit seq=%d with no head in reassembly", f.Seq))
+			ni.released = f
+			return
 		}
+		ni.assembling = p
+		ni.expectSeq = 0
+	} else if ck != nil && p != ni.assembling && f.Seq == 0 {
+		// A fresh head while another packet is mid-reassembly: the previous
+		// packet's tail was lost. Abandon it (it can never complete) so one
+		// fault does not poison every later delivery at this interface.
+		ck.Sequence(cycle, int(ni.node), ni.assembling.ID,
+			fmt.Sprintf("reassembly abandoned at seq %d, preempted by pkt %d", ni.expectSeq, p.ID))
 		ni.assembling = p
 		ni.expectSeq = 0
 	}
 	if p != ni.assembling || f.Seq != ni.expectSeq {
-		panic(fmt.Sprintf("network: interleaved wormhole delivery: got %v want pkt%d.%d", f, ni.assembling.ID, ni.expectSeq))
+		if ck == nil {
+			panic(fmt.Sprintf("network: interleaved wormhole delivery: got %v want pkt%d.%d", f, ni.assembling.ID, ni.expectSeq))
+		}
+		if p == ni.assembling {
+			ck.Sequence(cycle, int(ni.node), p.ID, fmt.Sprintf("sequence gap: got seq %d want %d", f.Seq, ni.expectSeq))
+			// A gapped packet can never complete; stop expecting it.
+			ni.assembling = nil
+		} else {
+			ck.Sequence(cycle, int(ni.node), p.ID,
+				fmt.Sprintf("body flit seq=%d interleaved into reassembly of pkt %d", f.Seq, ni.assembling.ID))
+		}
+		ni.released = f
+		return
 	}
 	ni.expectSeq++
 	ni.released = f

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/router"
@@ -18,6 +19,14 @@ import (
 // exercised on every burst boundary.
 func driveBursty(t *testing.T, cfg Config, seed uint64) (string, power.Counters) {
 	t.Helper()
+	// Every burst run doubles as an invariant audit: a fresh fully-armed
+	// checker rides along (unless the caller supplied one) and the run must
+	// finish with zero violations — the delivery oracle, protocol
+	// assertions, and conservation sweep all stay silent on a fault-free
+	// network at every arch, shard count, and dispatch mode.
+	if cfg.Check == nil {
+		cfg.Check = check.New(check.All())
+	}
 	net := New(cfg)
 	defer net.Close()
 	var log []string
@@ -49,6 +58,13 @@ func driveBursty(t *testing.T, cfg Config, seed uint64) (string, power.Counters)
 	}
 	if !net.Drain(2000) {
 		t.Fatalf("network did not drain (outstanding %d)", net.Outstanding())
+	}
+	net.CheckInvariants()
+	if total := cfg.Check.Total(); total != 0 {
+		for _, v := range cfg.Check.Violations() {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("checker recorded %d violations on a fault-free run", total)
 	}
 	fp := fmt.Sprintf("cycle=%d delivered=%d log=%v", net.Cycle(), net.Delivered(), log)
 	return fp, *net.Counters()

@@ -17,6 +17,28 @@ type Receiver interface {
 	Receive(f *Flit, cycle int64)
 }
 
+// Tamperer injects channel-level faults. Every link in a network may carry
+// one, identified by a small dense site index assigned at construction.
+// Decisions must be pure functions of (site, cycle) plus the tamperer's own
+// seed — never of call order — so that fault firings are bit-identical
+// across shard counts (the sharded kernel evaluates links on different
+// goroutines but at identical cycles). internal/fault implements it.
+type Tamperer interface {
+	// TamperFlit is consulted at commit for every flit crossing the site.
+	// It may corrupt f.Raw in place (bit-flip) and returns true to drop the
+	// flit entirely: the sink never sees it and the sender's credit is
+	// permanently lost at this site.
+	TamperFlit(site int32, cycle int64, f *Flit) (drop bool)
+	// TamperCredits is consulted at commit with the n staged credit returns
+	// and returns how many the sender actually receives (loss and
+	// duplication faults).
+	TamperCredits(site int32, cycle int64, n int) int
+	// LinkStalled reports whether the channel refuses new traffic this
+	// cycle. Senders observe it through Ready; an in-flight flit still
+	// lands (the fault models a busy/backpressured channel, not loss).
+	LinkStalled(site int32, cycle int64) bool
+}
+
 // Link is a unidirectional 64-bit channel with credit-based flow control.
 // One simulated cycle covers switch traversal plus the 2 mm channel (§6.1
 // folds the 98 ps link delay into every router's clock period), so a flit
@@ -50,6 +72,16 @@ type Link struct {
 	probe     *probe.Probe
 	probeNode int32
 	probePort int32
+
+	// tamper, when non-nil, is the fault injector for this channel; site is
+	// the network-assigned channel index and tamperArena the sink-side arena
+	// that dropped flits are released to (the link commits on the sink's
+	// shard, so the release stays intra-shard). capacity remembers the
+	// initial credit count for post-drain conservation checks.
+	tamper      Tamperer
+	tamperArena *Arena
+	site        int32
+	capacity    int32
 }
 
 // NewLink returns a link feeding sink whose receiver advertises credits
@@ -69,7 +101,7 @@ func (l *Link) Init(sink Receiver, credits int) {
 	if credits <= 0 {
 		panic("noc: link requires positive credits")
 	}
-	*l = Link{sink: sink, credits: credits}
+	*l = Link{sink: sink, credits: credits, capacity: int32(credits)}
 }
 
 // SetWake installs the quiescence wake hooks: self is this link's kernel
@@ -85,8 +117,35 @@ func (l *Link) SetProbe(p *probe.Probe, node, port int) {
 	l.probe, l.probeNode, l.probePort = p, int32(node), int32(port)
 }
 
+// SetTamper installs a fault injector on this channel. arena is the
+// sink-side flit arena dropped flits are released to; it may be nil, in
+// which case dropped flit objects leak (the injector accounts for them).
+func (l *Link) SetTamper(t Tamperer, site int, arena *Arena) {
+	l.tamper, l.site, l.tamperArena = t, int32(site), arena
+}
+
 // Credits returns the sender's current credit count.
 func (l *Link) Credits() int { return l.credits }
+
+// Capacity returns the credit count the link was initialized with — the
+// downstream buffer depth. After a full drain of a fault-free network,
+// Credits()+PendingReturns() must equal Capacity().
+func (l *Link) Capacity() int { return int(l.capacity) }
+
+// PendingReturns returns the credit returns staged by the receiver but not
+// yet committed back to the sender.
+func (l *Link) PendingReturns() int { return l.returns }
+
+// Ready reports whether the sender may drive the link this cycle: it holds
+// a credit and no stall fault is active on the channel. Senders must gate
+// on Ready rather than Credits() > 0 so that injected stalls behave exactly
+// like real backpressure.
+func (l *Link) Ready(cycle int64) bool {
+	if l.credits == 0 {
+		return false
+	}
+	return l.tamper == nil || !l.tamper.LinkStalled(l.site, cycle)
+}
 
 // Send stages a flit for delivery at this cycle's commit, consuming one
 // credit. Called by the sender during its compute phase; sending without a
@@ -124,6 +183,19 @@ func (l *Link) Compute(cycle int64) {}
 // Commit delivers the staged flit and applies staged credit returns. Links
 // must be committed after the routers of the same cycle.
 func (l *Link) Commit(cycle int64) {
+	if l.staged != nil && l.tamper != nil {
+		if l.tamper.TamperFlit(l.site, cycle, l.staged) {
+			// Dropped on the wire: the sink never learns about the flit, so
+			// the sender's consumed credit is never returned. Only the flit
+			// object itself is recycled — constituents of an encoded flit
+			// may still be referenced upstream and are left to leak
+			// (accounted for by the injector's Leaky flag).
+			if l.tamperArena != nil {
+				l.tamperArena.Release(l.staged)
+			}
+			l.staged = nil
+		}
+	}
 	if l.staged != nil {
 		if l.probe != nil {
 			f := l.staged
@@ -138,6 +210,11 @@ func (l *Link) Commit(cycle int64) {
 		if l.waker != nil {
 			l.waker.WakeInt(int(l.sinkH))
 		}
+	}
+	if l.returns > 0 && l.tamper != nil {
+		l.credits += l.tamper.TamperCredits(l.site, cycle, l.returns)
+		l.returns = 0
+		return
 	}
 	l.credits += l.returns
 	l.returns = 0

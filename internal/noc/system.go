@@ -22,10 +22,18 @@ type System struct {
 // MeshSystem returns the paper's baseline system: one core per router.
 func MeshSystem(grid Topology) System { return System{Grid: grid, Concentration: 1} }
 
-// Validate panics on a malformed system.
-func (s System) Validate() {
+// Check returns an error describing a malformed system, nil when valid.
+func (s System) Check() error {
 	if s.Grid.Width <= 0 || s.Grid.Height <= 0 || s.Concentration <= 0 {
-		panic(fmt.Sprintf("noc: invalid system %+v", s))
+		return fmt.Errorf("noc: invalid system %+v", s)
+	}
+	return nil
+}
+
+// Validate panics on a malformed system; Check is the error-returning form.
+func (s System) Validate() {
+	if err := s.Check(); err != nil {
+		panic(err.Error())
 	}
 }
 

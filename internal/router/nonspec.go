@@ -56,6 +56,9 @@ func (r *nonspecRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
 	if f.Encoded {
 		panic("router: non-speculative router received an encoded flit")
 	}
+	if r.overflow(p, f, cycle, r.in[p].Free()) {
+		return
+	}
 	f.OutPort = r.route(f.Packet.Dst)
 	r.in[p].Push(f)
 	r.counters().BufWrite++
@@ -71,6 +74,20 @@ func (r *nonspecRouter) BufferedFlits() int {
 		n += q.Len()
 	}
 	return n
+}
+
+// PortStates implements Router: input FIFO occupancy plus the matching
+// output's wormhole lock and link credits.
+func (r *nonspecRouter) PortStates(buf []PortState) []PortState {
+	for p := 0; p < r.ports; p++ {
+		ps := PortState{Buffered: r.in[p].Len(), OutMode: -1, OutLock: -1, OutCredits: -1}
+		if r.outLink[p] != nil {
+			ps.OutLock = r.lock[p]
+			ps.OutCredits = r.outLink[p].Credits()
+		}
+		buf = append(buf, ps)
+	}
+	return buf
 }
 
 // Quiet implements sim.Quiescable: with every input FIFO empty the router
@@ -116,11 +133,11 @@ func (r *nonspecRouter) Compute(cycle int64) {
 		if link == nil || req[o] == 0 {
 			continue
 		}
-		if link.Credits() == 0 {
+		if !link.Ready(cycle) {
 			if pr != nil {
 				pr.CreditStall(cycle, r.node(), int(o))
 			}
-			continue // backpressure: output stalls, lock holds
+			continue // backpressure (or injected stall): output stalls, lock holds
 		}
 
 		var winner int

@@ -46,12 +46,22 @@ func newNoX(cfg Config) *noxRouter {
 	for p := 0; p < n; p++ {
 		r.in[p].Init(cfg.BufferDepth, slots[p*sl:(p+1)*sl:(p+1)*sl], r.row, cfg.Arena)
 		r.ctl[p].Init(n, arb(p), cfg.Arena, colliders[p*n:p*n:(p+1)*n])
+		if cfg.Check != nil {
+			// Armed: decode corruption and orphan bodies become reported
+			// violations instead of panics (injected faults make both
+			// legitimately reachable).
+			r.in[p].SetLenient(true)
+			r.ctl[p].SetLenient(true)
+		}
 	}
 	r.initReceivers(r)
 	return r
 }
 
 func (r *noxRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
+	if r.overflow(p, f, cycle, r.in[p].Free()) {
+		return
+	}
 	r.in[p].Receive(f)
 	r.counters().BufWrite++
 	if pr := r.probe(); pr != nil {
@@ -70,6 +80,25 @@ func (r *noxRouter) BufferedFlits() int {
 		}
 	}
 	return n
+}
+
+// PortStates implements Router: input FIFO/register occupancy plus the
+// matching output's mode, wormhole lock, and link credits.
+func (r *noxRouter) PortStates(buf []PortState) []PortState {
+	for p := 0; p < r.ports; p++ {
+		ps := PortState{
+			Buffered: r.in[p].Buffered(),
+			Register: r.in[p].RegisterBusy(),
+			OutMode:  -1, OutLock: -1, OutCredits: -1,
+		}
+		if r.outLink[p] != nil {
+			ps.OutMode = int(r.ctl[p].Mode())
+			ps.OutLock = r.ctl[p].Locked()
+			ps.OutCredits = r.outLink[p].Credits()
+		}
+		buf = append(buf, ps)
+	}
+	return buf
 }
 
 // Quiet implements sim.Quiescable: every input port fully drained (FIFO and
@@ -125,7 +154,7 @@ func (r *noxRouter) Compute(cycle int64) {
 			continue
 		}
 		row := offers[int(o)*n : int(o)*n+n]
-		d := r.ctl[o].Decide(row, link.Credits() > 0)
+		d := r.ctl[o].Decide(row, link.Ready(cycle))
 		if d.Out != nil {
 			link.Send(d.Out)
 			c.Xbar++
@@ -147,6 +176,11 @@ func (r *noxRouter) Compute(cycle int64) {
 			c.Aborts++
 			if pr != nil {
 				pr.Abort(cycle, r.node(), int(o), d.Granted)
+			}
+			if ck := r.cfg.Check; ck != nil && r.ctl[o].StagedMode() != core.Scheduled {
+				// §2.7: an abort must force Scheduled mode until the
+				// aborted packet's tail passes.
+				ck.Mode(cycle, r.node(), int(o), "multi-flit abort did not stage Scheduled mode")
 			}
 		}
 		if d.Collided && !d.Invalid {
@@ -194,6 +228,14 @@ func (r *noxRouter) Commit(cycle int64) {
 		}
 		if pr != nil && ev.Reads > 0 {
 			pr.BufRead(cycle, r.node(), i, ev.Reads)
+		}
+		if ev.DecodeErr != nil {
+			// A lenient input port discarded a corrupt decode register; its
+			// constituents may have leaked (they can still be live
+			// upstream), so arena exactness no longer holds.
+			ck := r.cfg.Check
+			ck.Decode(cycle, r.node(), i, ev.DecodeErr)
+			ck.MarkLeaky()
 		}
 		r.returnCredits(noc.Port(i), ev.FreedSlots)
 	}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/arbiter"
+	"repro/internal/check"
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/probe"
@@ -102,6 +103,12 @@ type Config struct {
 	// shared chunks (one allocation per element type per ~kilobyte of
 	// routers) — the network construction path. Nil allocates per router.
 	Slabs *Slabs
+	// Check, when non-nil, arms the runtime invariant layer: protocol
+	// violations that an injected fault can legitimately produce (corrupt
+	// XOR decodes, orphan multi-flit bodies, buffer overruns) are reported
+	// to it instead of panicking, so fault campaigns on the sharded kernel
+	// never kill a worker goroutine.
+	Check *check.Checker
 }
 
 func (c *Config) fill() {
@@ -140,6 +147,44 @@ func arbMaker(cfg *Config, n int) func(o int) arbiter.Arbiter {
 	}
 }
 
+// PortState is one port's live diagnostic state, snapshot by the deadlock
+// watchdog's dump: input-side occupancy and the state of the same-numbered
+// output. Fields that do not apply to an architecture (or an unwired port)
+// are -1.
+type PortState struct {
+	// Buffered is the input FIFO occupancy in flits.
+	Buffered int
+	// Register reports an occupied NoX decode register (always false on
+	// the baseline architectures).
+	Register bool
+	// OutMode is the NoX output mode (0 Recovery, 1 Scheduled), -1 on the
+	// baselines.
+	OutMode int
+	// OutLock is the input holding the output through a multi-flit packet
+	// (wormhole lock or speculative packet reservation), -1 if none.
+	OutLock int
+	// OutCredits is the credit count of the output link, -1 if unwired.
+	OutCredits int
+}
+
+// String renders the port state as a compact diagnostic token.
+func (s PortState) String() string {
+	out := fmt.Sprintf("buf=%d", s.Buffered)
+	if s.Register {
+		out += " reg"
+	}
+	if s.OutMode == 1 {
+		out += " sched"
+	}
+	if s.OutLock >= 0 {
+		out += fmt.Sprintf(" lock=%d", s.OutLock)
+	}
+	if s.OutCredits >= 0 {
+		out += fmt.Sprintf(" cr=%d", s.OutCredits)
+	}
+	return out
+}
+
 // Router is one mesh router participating in the two-phase simulation.
 // Every architecture implements sim.Quiescable so drained routers drop out
 // of the kernel's active set.
@@ -157,6 +202,9 @@ type Router interface {
 	// BufferedFlits returns the number of flits currently buffered, used
 	// by drain checks.
 	BufferedFlits() int
+	// PortStates appends one PortState per port to buf and returns it —
+	// the deadlock watchdog's diagnostic snapshot.
+	PortStates(buf []PortState) []PortState
 }
 
 // New builds a router of the configured architecture.
@@ -253,6 +301,26 @@ func (b *base) returnCredits(p noc.Port, n int) {
 // route computes the lookahead output port at this router for dst.
 func (b *base) route(dst noc.NodeID) noc.Port {
 	return b.row[dst]
+}
+
+// overflow guards a receive against a full input buffer, which only an
+// injected credit-duplication fault can produce (the credit protocol
+// otherwise forbids it). With a checker armed the flit is reported and
+// swallowed (returns true); unarmed, the FIFO's own push panic fires, as a
+// full buffer then really is a simulator bug.
+func (b *base) overflow(p noc.Port, f *noc.Flit, cycle int64, free int) bool {
+	if free > 0 || b.cfg.Check == nil {
+		return false
+	}
+	var pkt uint64
+	if !f.Encoded && f.Packet != nil {
+		pkt = f.Packet.ID
+	}
+	b.cfg.Check.Overflow(cycle, b.node(), int(p), pkt)
+	if b.cfg.Arena != nil {
+		b.cfg.Arena.Release(f)
+	}
+	return true
 }
 
 // flitSink is the ingress side every architecture implements: deliver a flit

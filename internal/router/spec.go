@@ -107,6 +107,9 @@ func (r *specRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
 	if f.Encoded {
 		panic("router: speculative router received an encoded flit")
 	}
+	if r.overflow(p, f, cycle, r.in[p].Free()) {
+		return
+	}
 	f.OutPort = r.route(f.Packet.Dst)
 	r.in[p].Push(f)
 	r.counters().BufWrite++
@@ -122,6 +125,24 @@ func (r *specRouter) BufferedFlits() int {
 		n += q.Len()
 	}
 	return n
+}
+
+// PortStates implements Router: input FIFO occupancy plus the matching
+// output's lock/reservation and link credits. A live reservation shows as
+// the lock owner (both wedge the output on one input).
+func (r *specRouter) PortStates(buf []PortState) []PortState {
+	for p := 0; p < r.ports; p++ {
+		ps := PortState{Buffered: r.in[p].Len(), OutMode: -1, OutLock: -1, OutCredits: -1}
+		if r.outLink[p] != nil {
+			ps.OutLock = r.lock[p]
+			if ps.OutLock < 0 {
+				ps.OutLock = r.res[p]
+			}
+			ps.OutCredits = r.outLink[p].Credits()
+		}
+		buf = append(buf, ps)
+	}
+	return buf
 }
 
 // Quiet implements sim.Quiescable. Empty input FIFOs are not sufficient
@@ -188,8 +209,8 @@ func (r *specRouter) Compute(cycle int64) {
 			// existed, which they do not).
 			continue
 		}
-		if link.Credits() == 0 {
-			// Backpressure: everything holds.
+		if !link.Ready(cycle) {
+			// Backpressure (or injected stall): everything holds.
 			r.resNext[o] = r.res[o]
 			r.resPktNext[o] = r.resPkt[o]
 			if pr := r.probe(); pr != nil {

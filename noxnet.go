@@ -28,7 +28,9 @@
 package noxnet
 
 import (
+	"repro/internal/check"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/network"
 	"repro/internal/noc"
@@ -74,7 +76,55 @@ type (
 )
 
 // NewNetwork builds a wired mesh network (defaults: 8x8, 4-flit buffers).
+// It panics on an invalid configuration; BuildNetwork is the
+// error-returning form for configurations assembled from user input.
 func NewNetwork(cfg NetworkConfig) *Network { return network.New(cfg) }
+
+// BuildNetwork validates and builds a network, returning ErrBadConfig-
+// wrapped errors instead of panicking.
+func BuildNetwork(cfg NetworkConfig) (*Network, error) { return network.Build(cfg) }
+
+// ErrBadConfig is wrapped by every network configuration rejection.
+var ErrBadConfig = network.ErrBadConfig
+
+// ErrBadPacket is wrapped by Network.InjectChecked's rejections.
+var ErrBadPacket = network.ErrBadPacket
+
+// ErrNoProgress is wrapped by Network.DrainChecked when the watchdog
+// declares the network wedged (deadlock, livelock, or drain-limit); the
+// error message embeds a full diagnostic dump of the stuck state.
+var ErrNoProgress = network.ErrNoProgress
+
+// Robustness layer: runtime invariant checking and deterministic fault
+// injection. Arm a network by setting NetworkConfig.Check (and optionally
+// NetworkConfig.Fault); see cmd/noxfault for campaign automation.
+type (
+	// Checker is the runtime invariant layer: the end-to-end delivery
+	// oracle, NoX protocol assertions, and post-drain conservation checks.
+	Checker = check.Checker
+	// CheckConfig selects which invariant families a Checker arms.
+	CheckConfig = check.Config
+	// Violation is one recorded invariant failure.
+	Violation = check.Violation
+	// FaultSpec is a replayable fault-campaign description (rates, window,
+	// seed); campaigns are deterministic and shard-invariant.
+	FaultSpec = fault.Spec
+	// FaultInjector drives channel-level faults on one network.
+	FaultInjector = fault.Injector
+)
+
+// NewChecker builds a runtime invariant checker to pass in
+// NetworkConfig.Check.
+func NewChecker(cfg CheckConfig) *Checker { return check.New(cfg) }
+
+// AllChecks returns a CheckConfig with every invariant family armed.
+func AllChecks() CheckConfig { return check.All() }
+
+// NewFaultInjector builds an injector for the spec to pass in
+// NetworkConfig.Fault (which also requires NetworkConfig.Check). It panics
+// on an invalid spec; validate with FaultSpec.Validate first when the spec
+// comes from user input.
+func NewFaultInjector(spec FaultSpec) *FaultInjector { return fault.NewInjector(spec) }
 
 // Observability types: flit-level tracing and per-router metrics. Set
 // NetworkConfig.Probe to instrument a network; a nil probe disables all
