@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke fuzz-smoke
+.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke batch-smoke fuzz-smoke
 
 ## check: the CI gate — build, vet, static analysis, the full test suite
 ## under the race detector (the parallel experiment engine makes this
-## mandatory), the tracing and fault-injection smoke tests, a short fuzz
-## pass over the user-facing decoders, and a soft benchmark-regression
-## check against the newest committed snapshot.
-check: build vet lint race trace-smoke fault-smoke fuzz-smoke bench-compare
+## mandatory), the tracing, fault-injection, and batched-execution smoke
+## tests, a short fuzz pass over the user-facing decoders, and a soft
+## benchmark-regression check against the newest committed snapshot.
+check: build vet lint race trace-smoke fault-smoke batch-smoke fuzz-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -97,6 +97,20 @@ fault-smoke:
 	cmp "$$tmp/serial.txt" "$$tmp/sharded.txt" && \
 	{ ! grep -q UNDETECTED "$$tmp/serial.txt" || { echo "fault-smoke: campaign left faults undetected" >&2; cat "$$tmp/serial.txt" >&2; exit 1; }; } && \
 	echo "fault-smoke: OK"
+
+## batch-smoke: run a small sweep under the race detector, once serial and
+## once through the batched lockstep kernel, and require the two CSVs to be
+## byte-identical — the standing proof that cohort execution (shared route
+## tables, slabs, flit pools, the bit-sliced/dense lockstep walks) changes
+## wall-clock time only, never results.
+batch-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run -race ./cmd/noxsweep -fast -pattern uniform -csv -parallel 1 \
+		> "$$tmp/serial.csv" && \
+	$(GO) run -race ./cmd/noxsweep -fast -pattern uniform -csv -parallel 1 -batch -1 \
+		> "$$tmp/batched.csv" && \
+	cmp "$$tmp/serial.csv" "$$tmp/batched.csv" && \
+	echo "batch-smoke: OK"
 
 ## fuzz-smoke: a short native-fuzz pass over the user-facing decoders
 ## (noxtrace -validate, noxbench snapshot JSON). The committed seed corpora

@@ -1,0 +1,193 @@
+// Package batch implements batched many-seed lockstep execution: stepping N
+// structurally identical networks — sweeps, ablations, and fault campaigns
+// run hundreds of simulations that differ only in seed, injection rate, or
+// fault spec over the same topology — through the same cycles together,
+// sharing one memoized route table, one slab-built structural skeleton, and
+// one flit-block pool, with the per-component activity state transposed into
+// the structure-of-arrays bit words of sim.LockstepGroup so one pass over a
+// router column touches all N members' state sequentially and an
+// all-members-idle column is skipped with a single machine-word load.
+//
+// Batching changes wall-clock time only. Every member evolves exactly as it
+// would alone: batched results are byte-identical to N independent serial
+// runs (CSV, probe exports, fault reports), which the equivalence suites
+// here and in internal/harness pin. It composes with the other two
+// parallelism axes: shard within a simulation (members with Shards > 1 fall
+// back to per-member stepping inside the cohort), batch across simulations,
+// and fan cohorts across the internal/exp worker pool.
+package batch
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// WordWidth is the number of member simulations one activity word covers:
+// the bit-sliced fast path evaluates the skip mask for up to 64 members per
+// machine-word operation, so cohorts up to this width pay one word per
+// component column.
+const WordWidth = 64
+
+// DefaultWidth is the cohort width drivers use when the caller does not pick
+// one. Wider cohorts amortize construction over more members but cycle
+// through a larger working set every simulated cycle — past the last-level
+// cache, every member's hot state is evicted between its own visits.
+// Width 8 measured fastest end-to-end on the 8x8 sweep benchmark; the
+// bit-sliced drain-tail skip works at any width.
+const DefaultWidth = 8
+
+// cohortSlabChunk returns the shared construction allocator's refill chunk
+// for an n-member cohort. Cohorts build many networks from one allocator,
+// so a larger chunk than the per-network 16 KiB default keeps a wide
+// cohort's router state in a handful of contiguous slabs — but the chunk
+// scales with width so narrow cohorts don't strand most of each slab.
+func cohortSlabChunk(n int) int {
+	chunk := n * (16 << 10)
+	if max := 256 << 10; chunk > max {
+		chunk = max
+	}
+	return chunk
+}
+
+// Cohort is a set of structurally identical networks advanced in lockstep.
+// Members are built by New from per-member configurations that must agree
+// on everything structural (shape, architecture may differ per member —
+// only component counts and execution mode must match); per-member
+// instrumentation (Probe, Check, Fault) is fully supported, each member
+// keeping its own.
+type Cohort struct {
+	nets []*network.Network
+	// group drives serial members column-major with bit-sliced skip words;
+	// nil when members are sharded (intra-simulation worker pools), where
+	// the cohort falls back to stepping members round-robin per cycle —
+	// still lockstep, still sharing construction, without the SoA walk.
+	group  *sim.LockstepGroup
+	parked []bool
+	live   int
+}
+
+// New builds an n-member cohort. mk returns member i's network
+// configuration; New overlays the shared construction state (slab
+// allocator, flit-block pool) before building. Configurations must resolve
+// to the same execution mode (all serial or all equally sharded) and the
+// same component count; mismatches return an error.
+func New(n int, mk func(i int) network.Config) (*Cohort, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("batch: cohort size must be positive (got %d)", n)
+	}
+	slabs := router.NewSlabsSized(cohortSlabChunk(n))
+	blocks := &noc.BlockPool{}
+	c := &Cohort{nets: make([]*network.Network, n), parked: make([]bool, n), live: n}
+	for i := 0; i < n; i++ {
+		cfg := mk(i)
+		cfg.Slabs = slabs
+		cfg.FlitBlocks = blocks
+		net, err := network.Build(cfg)
+		if err != nil {
+			c.closeBuilt(i)
+			return nil, err
+		}
+		c.nets[i] = net
+		if net.Shards() != c.nets[0].Shards() {
+			c.closeBuilt(i + 1)
+			return nil, fmt.Errorf("batch: member %d resolves to %d shards, member 0 to %d (cohort members must share an execution mode)",
+				i, net.Shards(), c.nets[0].Shards())
+		}
+	}
+	if c.nets[0].Shards() == 1 {
+		kernels := make([]*sim.Kernel, n)
+		for i, net := range c.nets {
+			kernels[i] = net.Kernel()
+		}
+		c.group = sim.NewLockstepGroup(kernels)
+	}
+	return c, nil
+}
+
+func (c *Cohort) closeBuilt(n int) {
+	for i := 0; i < n; i++ {
+		if c.nets[i] != nil {
+			c.nets[i].Close()
+		}
+	}
+}
+
+// Size returns the member count.
+func (c *Cohort) Size() int { return len(c.nets) }
+
+// Net returns member i's network. Injection, counters, and result readout
+// go through it exactly as in a standalone run.
+func (c *Cohort) Net(i int) *network.Network { return c.nets[i] }
+
+// Live returns the number of members still stepping (not parked).
+func (c *Cohort) Live() int { return c.live }
+
+// Parked reports whether member i has been parked.
+func (c *Cohort) Parked(i int) bool { return c.parked[i] }
+
+// Park drops member i out of lockstep once its run is finished: the batched
+// equivalent of a serial run that stopped stepping. Its clock freezes (or
+// stays wherever a final FastForwardIdle left it) and its hooks stop
+// firing, so probe output is identical to the standalone run's.
+func (c *Cohort) Park(i int) {
+	if c.parked[i] {
+		return
+	}
+	c.parked[i] = true
+	c.live--
+	if c.group != nil {
+		c.group.Park(i)
+	}
+}
+
+// Step advances every live member one cycle in lockstep.
+func (c *Cohort) Step() {
+	if c.group != nil {
+		c.group.Step()
+		return
+	}
+	for i, net := range c.nets {
+		if !c.parked[i] {
+			net.Step()
+		}
+	}
+}
+
+// AllIdle reports that every live member is fully quiescent, so a Step
+// would be pure clock advance across the whole cohort.
+func (c *Cohort) AllIdle() bool {
+	if c.group != nil {
+		return c.group.AllIdle()
+	}
+	for i, net := range c.nets {
+		if !c.parked[i] && !net.FullyIdle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Release dissolves the lockstep group so members can be stepped
+// individually again (network.Step, Drain, DrainChecked). The cohort keeps
+// tracking membership for Close; Step after Release falls back to the
+// per-member loop.
+func (c *Cohort) Release() {
+	if c.group != nil {
+		c.group.Release()
+		c.group = nil
+	}
+}
+
+// Close releases every member's resources (worker pools when sharded).
+func (c *Cohort) Close() {
+	c.Release()
+	for _, net := range c.nets {
+		if net != nil {
+			net.Close()
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package batch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// runSerialRef drives one standalone network with the given seed for cycles
+// cycles of uniform Bernoulli traffic plus a bounded drain, and returns
+// (injected, delivered, final cycle) — the reference trajectory a cohort
+// member must reproduce exactly.
+func runSerialRef(t *testing.T, arch router.Arch, seed uint64, cycles int64) (int64, int64, int64) {
+	t.Helper()
+	net, err := network.Build(network.Config{Topo: noc.Topology{Width: 4, Height: 4}, Arch: arch, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	driveBernoulli(net, seed, cycles)
+	if !net.Drain(4000) {
+		t.Fatalf("serial reference did not drain (arch %v seed %#x)", arch, seed)
+	}
+	return net.Injected(), net.Delivered(), net.Cycle()
+}
+
+func driveBernoulli(net *network.Network, seed uint64, cycles int64) {
+	topo := net.Topology()
+	pat := traffic.Uniform{Topo: topo}
+	base := sim.NewRNG(seed)
+	nodes := topo.Nodes()
+	procs := make([]*traffic.Bernoulli, nodes)
+	dests := make([]*sim.RNG, nodes)
+	for i := range procs {
+		procs[i] = &traffic.Bernoulli{P: 0.1, RNG: base.Fork(uint64(i))}
+		dests[i] = base.Fork(uint64(1000 + i))
+	}
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		for id := 0; id < nodes; id++ {
+			if !procs[id].Tick() {
+				continue
+			}
+			src := noc.NodeID(id)
+			dst := pat.Dest(src, dests[id])
+			if dst == src {
+				continue
+			}
+			net.Inject(src, dst, 1, 0)
+		}
+		net.Step()
+	}
+}
+
+// TestCohortMatchesSerial pins the core batching contract at the network
+// level: a cohort of members differing only in seed, stepped in lockstep
+// with per-member injection, reaches exactly the serial trajectory.
+func TestCohortMatchesSerial(t *testing.T) {
+	const cycles = 400
+	for _, arch := range router.Archs {
+		for _, width := range []int{1, 2, 7} {
+			t.Run(fmt.Sprintf("%v/w%d", arch, width), func(t *testing.T) {
+				seeds := make([]uint64, width)
+				for i := range seeds {
+					seeds[i] = 0xC0FFEE + uint64(i)*977
+				}
+
+				c, err := New(width, func(i int) network.Config {
+					return network.Config{Topo: noc.Topology{Width: 4, Height: 4}, Arch: arch, Shards: 1}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+
+				// Per-member traffic state, lockstep stepping.
+				type gen struct {
+					procs []*traffic.Bernoulli
+					dests []*sim.RNG
+					pat   traffic.Uniform
+				}
+				gens := make([]gen, width)
+				for m := 0; m < width; m++ {
+					topo := c.Net(m).Topology()
+					base := sim.NewRNG(seeds[m])
+					g := gen{pat: traffic.Uniform{Topo: topo}}
+					for i := 0; i < topo.Nodes(); i++ {
+						g.procs = append(g.procs, &traffic.Bernoulli{P: 0.1, RNG: base.Fork(uint64(i))})
+						g.dests = append(g.dests, base.Fork(uint64(1000 + i)))
+					}
+					gens[m] = g
+				}
+				for cyc := int64(0); cyc < cycles; cyc++ {
+					for m := 0; m < width; m++ {
+						net := c.Net(m)
+						for id := range gens[m].procs {
+							if !gens[m].procs[id].Tick() {
+								continue
+							}
+							src := noc.NodeID(id)
+							dst := gens[m].pat.Dest(src, gens[m].dests[id])
+							if dst == src {
+								continue
+							}
+							net.Inject(src, dst, 1, 0)
+						}
+					}
+					c.Step()
+				}
+				// Drain members in lockstep until each is done, parking as
+				// they finish — the batched analogue of per-member Drain.
+				deadline := int64(cycles + 4000)
+				for c.Live() > 0 {
+					progressed := false
+					for m := 0; m < width; m++ {
+						if c.Parked(m) {
+							continue
+						}
+						net := c.Net(m)
+						if net.Outstanding() == 0 || net.Cycle() >= deadline {
+							c.Park(m)
+							progressed = true
+						}
+					}
+					if c.Live() == 0 {
+						break
+					}
+					c.Step()
+					_ = progressed
+				}
+
+				for m := 0; m < width; m++ {
+					refInj, refDel, _ := runSerialRef(t, arch, seeds[m], cycles)
+					net := c.Net(m)
+					if net.Injected() != refInj || net.Delivered() != refDel {
+						t.Errorf("member %d: batched inj/del %d/%d, serial %d/%d",
+							m, net.Injected(), net.Delivered(), refInj, refDel)
+					}
+					if net.Outstanding() != 0 {
+						t.Errorf("member %d: %d packets still outstanding after drain", m, net.Outstanding())
+					}
+					net.CheckInvariants()
+				}
+			})
+		}
+	}
+}
+
+// TestCohortAdoptionGuards pins the kernel-level safety rails: stepping an
+// adopted kernel directly panics, and Release restores standalone stepping.
+func TestCohortAdoptionGuards(t *testing.T) {
+	c, err := New(2, func(i int) network.Config {
+		return network.Config{Topo: noc.Topology{Width: 2, Height: 2}, Arch: router.NoX, Shards: 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Step on an adopted kernel did not panic")
+			}
+		}()
+		c.Net(0).Step()
+	}()
+
+	c.Release()
+	c.Net(0).Step() // must not panic after Release
+	if got := c.Net(0).Cycle(); got != 1 {
+		t.Errorf("cycle after Release+Step = %d, want 1", got)
+	}
+}
+
+// TestDedupe pins canonical-index selection and skip counting.
+func TestDedupe(t *testing.T) {
+	type key struct {
+		arch router.Arch
+		rate float64
+		seed uint64
+	}
+	keys := []key{
+		{router.NoX, 100, 1},
+		{router.SpecFast, 100, 1},
+		{router.NoX, 100, 1}, // dup of 0
+		{router.NoX, 200, 1},
+		{router.SpecFast, 100, 1}, // dup of 1
+	}
+	canon, skipped := Dedupe(keys)
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	want := []int{0, 1, 3}
+	if len(canon) != len(want) {
+		t.Fatalf("canon = %v, want %v", canon, want)
+	}
+	for i := range want {
+		if canon[i] != want[i] {
+			t.Fatalf("canon = %v, want %v", canon, want)
+		}
+	}
+	idx := CanonicalIndex(keys)
+	wantIdx := []int{0, 1, 0, 3, 1}
+	for i := range wantIdx {
+		if idx[i] != wantIdx[i] {
+			t.Fatalf("CanonicalIndex = %v, want %v", idx, wantIdx)
+		}
+	}
+}
+
+// TestChunks pins cohort span carving.
+func TestChunks(t *testing.T) {
+	if got := Chunks(0, 8); got != nil {
+		t.Errorf("Chunks(0) = %v, want nil", got)
+	}
+	got := Chunks(10, 4)
+	want := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("Chunks(10,4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Chunks(10,4) = %v, want %v", got, want)
+		}
+	}
+	got = Chunks(20, 0)
+	want = [][2]int{{0, DefaultWidth}, {DefaultWidth, 2 * DefaultWidth}, {2 * DefaultWidth, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("Chunks(20,0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Chunks(20,0) = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package batch
+
+// The scheduler side of batching: experiment drivers hold a flat list of
+// jobs (one per sweep point, ablation cell, or fault campaign) and need to
+// (a) drop exact duplicates — sweeps over figure grids routinely repeat an
+// (arch, rate, seed) point across series — and (b) carve the survivors into
+// lockstep cohorts of bounded width. Both are pure index manipulation so
+// drivers keep their own job types; the helpers are generic over a
+// comparable key.
+
+// Dedupe returns the indices of the first occurrence of each distinct key,
+// in input order, plus how many duplicates were dropped. Drivers run the
+// canonical jobs and fan the shared result back out to every index holding
+// the same key.
+func Dedupe[K comparable](keys []K) (canon []int, skipped int) {
+	seen := make(map[K]struct{}, len(keys))
+	canon = make([]int, 0, len(keys))
+	for i, k := range keys {
+		if _, dup := seen[k]; dup {
+			skipped++
+			continue
+		}
+		seen[k] = struct{}{}
+		canon = append(canon, i)
+	}
+	return canon, skipped
+}
+
+// CanonicalIndex maps every key to the index of its first occurrence:
+// result[i] == i for canonical jobs, and the canonical job's index for
+// duplicates. Drivers use it to copy a canonical result into every
+// duplicate slot.
+func CanonicalIndex[K comparable](keys []K) []int {
+	first := make(map[K]int, len(keys))
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		if j, ok := first[k]; ok {
+			out[i] = j
+			continue
+		}
+		first[k] = i
+		out[i] = i
+	}
+	return out
+}
+
+// Chunks splits the index range [0, n) into consecutive spans of at most
+// width elements — the cohort boundaries for a flat job list. width <= 0
+// defaults to DefaultWidth.
+func Chunks(n, width int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if width <= 0 {
+		width = DefaultWidth
+	}
+	spans := make([][2]int, 0, (n+width-1)/width)
+	for lo := 0; lo < n; lo += width {
+		hi := lo + width
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	return spans
+}

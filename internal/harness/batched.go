@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/exp"
+	"repro/internal/network"
+	"repro/internal/router"
+)
+
+// This file is the batched execution layer: the same synthetic runs as
+// RunSynthetic/SweepSynthetic, but grouped into lockstep cohorts
+// (internal/batch) that share construction state and step together through
+// sim.LockstepGroup's bit-sliced activity words. Every member executes the
+// identical synthMember hook sequence the serial driver uses, so batched
+// results are byte-identical to serial ones by construction; the
+// equivalence tests pin it.
+
+// RunSyntheticCohort executes the given points as one lockstep cohort and
+// returns per-member results and errors (parallel slices; exactly one of
+// results[i]/errs[i] is meaningful). Infeasible or misconfigured members
+// (ErrRateInfeasible, unknown pattern) are excluded from the cohort and
+// report their error while the rest run.
+func RunSyntheticCohort(cfgs []SyntheticConfig) ([]RunResult, []error) {
+	n := len(cfgs)
+	results := make([]RunResult, n)
+	errs := make([]error, n)
+	members := make([]*synthMember, n)
+	runIdx := make([]int, 0, n) // cohort slot -> cfgs index
+	for i, cfg := range cfgs {
+		m, err := prepareSynthetic(cfg)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		members[i] = m
+		runIdx = append(runIdx, i)
+	}
+	if len(runIdx) == 0 {
+		return results, errs
+	}
+
+	c, err := batch.New(len(runIdx), func(s int) network.Config {
+		return members[runIdx[s]].netConfig()
+	})
+	if err != nil {
+		for _, i := range runIdx {
+			errs[i] = fmt.Errorf("harness: batched cohort: %w", err)
+		}
+		return results, errs
+	}
+	defer c.Close()
+	for s, i := range runIdx {
+		members[i].attach(c.Net(s))
+	}
+
+	// Lockstep loop: each round gives every live member its pre-step work
+	// (injection while its clock is inside warmup+measure, then the drain
+	// checks), parks members as they finish, and advances the survivors one
+	// cycle together. Members may have different warmup/measure/drain
+	// windows; each follows its own schedule against its own clock.
+	draining := make([]bool, len(runIdx))
+	for c.Live() > 0 {
+		for s, i := range runIdx {
+			if c.Parked(s) {
+				continue
+			}
+			m := members[i]
+			if !draining[s] {
+				if cyc := m.net.Cycle(); cyc < m.total {
+					m.injectCycle(cyc)
+					continue
+				}
+				m.enterDrain()
+				draining[s] = true
+			}
+			if !m.needsDrainStep() {
+				results[i] = m.finalize()
+				c.Park(s)
+			}
+		}
+		if c.Live() == 0 {
+			break
+		}
+		c.Step()
+		for s, i := range runIdx {
+			if c.Parked(s) {
+				continue
+			}
+			m := members[i]
+			if draining[s] {
+				m.cfg.Progress.Tick(m.net.Cycle())
+			} else {
+				m.cfg.Progress.Tick(m.net.Cycle() - 1)
+			}
+		}
+	}
+	return results, errs
+}
+
+// SweepSyntheticBatched is SweepSynthetic on lockstep cohorts: every
+// (rate, architecture) point of the grid runs speculatively, width points
+// per cohort, cohorts fanned across the pool; the serial
+// stop-at-saturation truncation is then reconstructed exactly as the
+// parallel path does. Duplicate (architecture, rate) jobs — rate ladders
+// can repeat a rung after rounding — are simulated once and fanned back
+// out; the second return value counts the skipped duplicates.
+//
+// width <= 0 uses batch.DefaultWidth. A nil pool runs
+// cohorts one after another on the calling goroutine.
+func SweepSyntheticBatched(base SyntheticConfig, rates []float64, width int, pool *exp.Pool) ([]SweepPoint, int, error) {
+	if len(rates) == 0 {
+		points, err := sweepSerial(base, rates)
+		return points, 0, err
+	}
+	archs := router.Archs
+	type jobKey struct {
+		arch router.Arch
+		rate float64
+	}
+	n := len(rates) * len(archs)
+	keys := make([]jobKey, n)
+	cfgs := make([]SyntheticConfig, n)
+	for i := range keys {
+		cfg := base
+		cfg.RateMBps = rates[i/len(archs)]
+		cfg.Arch = archs[i%len(archs)]
+		cfgs[i] = cfg
+		keys[i] = jobKey{cfg.Arch, cfg.RateMBps}
+	}
+	canon := batch.CanonicalIndex(keys)
+	jobs := make([]int, 0, n)
+	for i, ci := range canon {
+		if ci == i {
+			jobs = append(jobs, i)
+		}
+	}
+	skipped := n - len(jobs)
+
+	spans := batch.Chunks(len(jobs), width)
+	type cohortOut struct {
+		res  []RunResult
+		errs []error
+	}
+	couts, err := exp.Map(context.Background(), pool, len(spans),
+		func(_ context.Context, si int) (cohortOut, error) {
+			lo, hi := spans[si][0], spans[si][1]
+			sub := make([]SyntheticConfig, hi-lo)
+			for j := range sub {
+				sub[j] = cfgs[jobs[lo+j]]
+			}
+			res, errs := RunSyntheticCohort(sub)
+			return cohortOut{res, errs}, nil
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	outs := make([]pointOutcome, n)
+	for si, span := range spans {
+		for j := 0; j < span[1]-span[0]; j++ {
+			i := jobs[span[0]+j]
+			outs[i] = pointOutcome{couts[si].res[j], couts[si].errs[j]}
+		}
+	}
+	for i, ci := range canon {
+		if ci != i {
+			outs[i] = outs[ci]
+		}
+	}
+	points, err := assembleSweep(rates, archs, outs)
+	return points, skipped, err
+}
+
+// ablationCell maps a batched synthetic result back onto the serial
+// ablation engine's output shape. The batched ablations run through
+// synthMember, whose per-cycle behavior at uniform load is identical to
+// runConfigured's (same rate conversion, same RNG forks, same injection
+// and drain loops), so the shared fields agree exactly.
+func ablationCell(label string, res RunResult) AblationPoint {
+	return AblationPoint{
+		Label:         label,
+		Arch:          res.Arch,
+		MeanLatencyNs: res.MeanLatencyNs,
+		AcceptedMBps:  res.AcceptedMBps,
+		Saturated:     res.Saturated,
+	}
+}
+
+// ablationBase is the SyntheticConfig equivalent of runConfigured's fixed
+// parameters (uniform traffic, seed 0xAB1A7E, 1500/4000/15000 cycles).
+func ablationBase(arch router.Arch, rateMBps float64, shards int) SyntheticConfig {
+	return SyntheticConfig{Arch: arch, Pattern: "uniform", RateMBps: rateMBps,
+		WarmupCycles: 1500, MeasureCycles: 4000, DrainCycles: 15000,
+		Seed: 0xAB1A7E, Shards: shards}
+}
+
+// AblateBufferDepthBatched is AblateBufferDepth on lockstep cohorts: all
+// (depth, architecture) cells form one job list, batched width cells per
+// cohort. Cell order matches the serial engine's.
+func AblateBufferDepthBatched(depths []int, rateMBps float64, archs []router.Arch, width int, pool *exp.Pool, shards int) ([]AblationPoint, error) {
+	cfgs := make([]SyntheticConfig, len(depths)*len(archs))
+	labels := make([]string, len(cfgs))
+	for i := range cfgs {
+		d := depths[i/len(archs)]
+		cfg := ablationBase(archs[i%len(archs)], rateMBps, shards)
+		cfg.BufferDepth = d
+		cfgs[i] = cfg
+		labels[i] = fmt.Sprintf("depth=%d", d)
+	}
+	return runAblationCohorts(cfgs, labels, width, pool)
+}
+
+// AblateArbiterBatched is AblateArbiter on lockstep cohorts.
+func AblateArbiterBatched(rateMBps float64, archs []router.Arch, width int, pool *exp.Pool, shards int) ([]AblationPoint, error) {
+	kinds := arbiterKinds()
+	cfgs := make([]SyntheticConfig, len(kinds)*len(archs))
+	labels := make([]string, len(cfgs))
+	for i := range cfgs {
+		k := kinds[i/len(archs)]
+		cfg := ablationBase(archs[i%len(archs)], rateMBps, shards)
+		cfg.BufferDepth = 4
+		cfg.NewArbiter = k.mk
+		cfgs[i] = cfg
+		labels[i] = k.name
+	}
+	return runAblationCohorts(cfgs, labels, width, pool)
+}
+
+// AblateXORCostBatched is AblateXORCost with its two underlying synthetic
+// runs executed as one lockstep cohort.
+func AblateXORCostBatched(factors []float64, rateMBps float64, shards int) (map[float64]float64, error) {
+	base := SyntheticConfig{Pattern: "uniform", RateMBps: rateMBps,
+		WarmupCycles: 1500, MeasureCycles: 4000, Shards: shards}
+	archs := []router.Arch{router.SpecAccurate, router.NoX}
+	cfgs := make([]SyntheticConfig, len(archs))
+	for i, a := range archs {
+		cfg := base
+		cfg.Arch = a
+		cfgs[i] = cfg
+	}
+	runs, errs := RunSyntheticCohort(cfgs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return xorCostTable(factors, runs[0], runs[1]), nil
+}
+
+// runAblationCohorts chunks the cells into cohorts, fans them across the
+// pool, and maps results back into labeled ablation points.
+func runAblationCohorts(cfgs []SyntheticConfig, labels []string, width int, pool *exp.Pool) ([]AblationPoint, error) {
+	spans := batch.Chunks(len(cfgs), width)
+	type cohortOut struct {
+		res  []RunResult
+		errs []error
+	}
+	couts, err := exp.Map(context.Background(), pool, len(spans),
+		func(_ context.Context, si int) (cohortOut, error) {
+			lo, hi := spans[si][0], spans[si][1]
+			res, errs := RunSyntheticCohort(cfgs[lo:hi])
+			return cohortOut{res, errs}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]AblationPoint, len(cfgs))
+	for si, span := range spans {
+		for j := 0; j < span[1]-span[0]; j++ {
+			i := span[0] + j
+			if e := couts[si].errs[j]; e != nil {
+				return nil, e
+			}
+			points[i] = ablationCell(labels[i], couts[si].res[j])
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/exp"
+	"repro/internal/noc"
+	"repro/internal/probe"
+	"repro/internal/router"
+)
+
+// batchCfg is the shrunken configuration the batched equivalence suites
+// run on: 4x4 system, short windows, enough traffic to exercise every
+// phase (warmup boundary, measurement, drain, fast-forward tail).
+func batchCfg(pattern string, rate float64, shards int) SyntheticConfig {
+	cfg := fastCfg(pattern, rate)
+	cfg.Topo = noc.Topology{Width: 4, Height: 4}
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 400, 1200, 8000
+	cfg.Shards = shards
+	return cfg
+}
+
+// TestBatchedPointMatchesSerial is the per-point equivalence gate across
+// the full matrix the issue pins: all four architectures, batch widths
+// {1, 2, 7, 64}, and both execution modes (serial members on the
+// bit-sliced lockstep path, sharded members on the cohort fallback path).
+// Every member's RunResult must equal its standalone RunSynthetic twin
+// exactly (compared as formatted dumps, since NaN defeats ==).
+func TestBatchedPointMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batched equivalence matrix is slow")
+	}
+	for _, shards := range []int{1, 4} {
+		for _, width := range []int{1, 2, 7, 64} {
+			t.Run(fmt.Sprintf("shards%d/w%d", shards, width), func(t *testing.T) {
+				// Vary arch, rate, and seed across members so lockstep
+				// control flow genuinely diverges: different saturation,
+				// different drain lengths, different RNG streams.
+				cfgs := make([]SyntheticConfig, width)
+				for i := range cfgs {
+					cfg := batchCfg("uniform", 400+float64(i%5)*500, shards)
+					cfg.Arch = router.Archs[i%len(router.Archs)]
+					cfg.Seed = 0xBEEF + uint64(i)*131
+					cfgs[i] = cfg
+				}
+				batched, errs := RunSyntheticCohort(cfgs)
+				for i, err := range errs {
+					if err != nil {
+						t.Fatalf("member %d: %v", i, err)
+					}
+					serial, err := RunSynthetic(cfgs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, want := fmt.Sprintf("%+v", batched[i]), fmt.Sprintf("%+v", serial)
+					if got != want {
+						t.Errorf("member %d (%s @ %.0f MB/s) diverged\nbatched: %s\nserial:  %s",
+							i, cfgs[i].Arch, cfgs[i].RateMBps, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedSweepMatchesSerial pins the end-to-end sweep contract: the
+// batched speculative sweep must reproduce the serial stop-at-saturation
+// output exactly, including the rendered CSV byte for byte, at several
+// cohort widths and with cohorts fanned across a pool.
+func TestBatchedSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batched sweep equivalence is slow")
+	}
+	base := batchCfg("uniform", 0, 1)
+	rates := []float64{600, 1400, 2200, 3000, 3800}
+
+	serial, err := SweepSynthetic(base, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDump := fmt.Sprintf("%+v", serial)
+	wantCSV := SweepCSV("uniform", serial)
+
+	for _, width := range []int{1, 3, 64} {
+		for _, pool := range []*exp.Pool{nil, exp.NewPool(4)} {
+			points, skipped, err := SweepSyntheticBatched(base, rates, width, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skipped != 0 {
+				t.Errorf("w%d: %d duplicates skipped in a duplicate-free sweep", width, skipped)
+			}
+			if got := fmt.Sprintf("%+v", points); got != wantDump {
+				t.Errorf("w%d: batched sweep diverged from serial\nbatched: %.400s\nserial:  %.400s", width, got, wantDump)
+			}
+			if got := SweepCSV("uniform", points); got != wantCSV {
+				t.Errorf("w%d: batched sweep CSV diverged from serial\nbatched:\n%s\nserial:\n%s", width, got, wantCSV)
+			}
+		}
+	}
+}
+
+// TestBatchedSweepDedupe checks that a rate ladder with repeated rungs is
+// simulated once per distinct (arch, rate) job, reports the skip count,
+// and still renders the full (duplicated) point list identically to the
+// serial walk over the same ladder.
+func TestBatchedSweepDedupe(t *testing.T) {
+	base := batchCfg("uniform", 0, 1)
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 200, 600, 4000
+	rates := []float64{500, 500, 1500}
+
+	serial, err := SweepSynthetic(base, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, skipped, err := SweepSyntheticBatched(base, rates, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(router.Archs); skipped != want {
+		t.Errorf("skipped = %d, want %d (one duplicated rung x all archs)", skipped, want)
+	}
+	if got, want := fmt.Sprintf("%+v", points), fmt.Sprintf("%+v", serial); got != want {
+		t.Errorf("deduped sweep diverged from serial\nbatched: %.400s\nserial:  %.400s", got, want)
+	}
+}
+
+// TestBatchedBurstyChecked arms the runtime invariant oracle on every
+// member of a bursty (self-similar) cohort: the oracle inspects flit-level
+// conservation and delivery, so any lockstep-introduced reordering or
+// cross-member leakage fails loudly, not just statistically.
+func TestBatchedBurstyChecked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bursty checked cohort is slow")
+	}
+	const width = 6
+	cfgs := make([]SyntheticConfig, width)
+	checkers := make([]*check.Checker, width)
+	for i := range cfgs {
+		cfg := batchCfg("selfsimilar", 900, 1)
+		cfg.Arch = router.Archs[i%len(router.Archs)]
+		cfg.Seed = 0x5EED + uint64(i)*7919
+		checkers[i] = check.New(check.Config{})
+		cfg.Check = checkers[i]
+		cfgs[i] = cfg
+	}
+	results, errs := RunSyntheticCohort(cfgs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if v := checkers[i].Violations(); len(v) != 0 {
+			t.Errorf("member %d (%s): %d invariant violations, first: %v",
+				i, cfgs[i].Arch, len(v), v[0])
+		}
+		if results[i].DeliveredPackets == 0 && !results[i].Saturated {
+			t.Errorf("member %d: no packets delivered in an unsaturated bursty run", i)
+		}
+	}
+}
+
+// TestBatchedProbeDeterminism pins observability byte-identity: a probed
+// member inside a cohort must serialize exactly the event stream, metrics,
+// and samples its standalone twin does — including when members finish at
+// different cycles and the probed member is parked mid-cohort.
+func TestBatchedProbeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probed cohort determinism is slow")
+	}
+	probedTrace := func(run func(cfg SyntheticConfig) error) string {
+		pr := probe.New(probe.Config{RingEvents: 1 << 16, SampleEvery: 50})
+		cfg := batchCfg("uniform", 2200, 1)
+		cfg.Arch = router.NoX
+		cfg.Probe = pr
+		if err := run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := pr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	serial := probedTrace(func(cfg SyntheticConfig) error {
+		_, err := RunSynthetic(cfg)
+		return err
+	})
+	batched := probedTrace(func(cfg SyntheticConfig) error {
+		// The probed member rides in slot 1 of a mixed cohort whose other
+		// members run different archs/rates and finish at other cycles.
+		cfgs := []SyntheticConfig{batchCfg("uniform", 600, 1), cfg, batchCfg("uniform", 3400, 1)}
+		cfgs[0].Arch = router.NonSpec
+		cfgs[2].Arch = router.SpecFast
+		_, errs := RunSyntheticCohort(cfgs)
+		return errs[1]
+	})
+	if serial != batched {
+		t.Errorf("probed event stream diverged under batching (%d vs %d bytes)", len(batched), len(serial))
+	}
+}
+
+// TestBatchedAblationsMatchSerial pins the batched ablation engines to the
+// serial runConfigured outputs, cell for cell.
+func TestBatchedAblationsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batched ablation equivalence is slow")
+	}
+	archs := []router.Arch{router.SpecAccurate, router.NoX}
+
+	serialDepth := AblateBufferDepth([]int{2, 4}, 900, archs, nil, 1)
+	batchDepth, err := AblateBufferDepthBatched([]int{2, 4}, 900, archs, 64, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%+v", batchDepth), fmt.Sprintf("%+v", serialDepth); got != want {
+		t.Errorf("buffer-depth ablation diverged\nbatched: %s\nserial:  %s", got, want)
+	}
+
+	serialArb := AblateArbiter(900, archs, nil, 1)
+	batchArb, err := AblateArbiterBatched(900, archs, 64, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%+v", batchArb), fmt.Sprintf("%+v", serialArb); got != want {
+		t.Errorf("arbiter ablation diverged\nbatched: %s\nserial:  %s", got, want)
+	}
+
+	serialXOR, err := AblateXORCost([]float64{1.0, 1.06, 1.3}, 900, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchXOR, err := AblateXORCostBatched([]float64{1.0, 1.06, 1.3}, 900, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, want := range serialXOR {
+		if got := batchXOR[f]; got != want {
+			t.Errorf("XOR-cost ablation diverged at factor %.2f: batched %v, serial %v", f, got, want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// synthMember is the per-run state of one synthetic-traffic simulation,
+// factored out of RunSynthetic so the serial path and the batched lockstep
+// path (RunSyntheticCohort) execute the same per-cycle code. Byte-identical
+// batched output is a structural property here, not a re-implementation
+// kept in sync by tests alone: both paths call the same prepare / attach /
+// injectCycle / enterDrain / needsDrainStep / finalize sequence, and differ
+// only in who advances the network clock between calls.
+type synthMember struct {
+	cfg         SyntheticConfig // filled
+	periodNs    float64
+	pktRate     float64
+	selfSimilar bool
+	pattern     traffic.Pattern
+
+	net   *network.Network
+	col   *stats.Collector
+	procs []traffic.Process
+	dests []*sim.RNG
+
+	startCounters power.Counters
+	window        power.Counters
+	total         int64 // warmup + measure cycles
+	deadline      int64 // drain deadline, valid after enterDrain
+}
+
+// prepareSynthetic validates and fills cfg and resolves its traffic
+// pattern. The network is built separately (standalone via network.Build,
+// or by a batch cohort overlaying shared construction state) and handed to
+// attach.
+func prepareSynthetic(cfg SyntheticConfig) (*synthMember, error) {
+	cfg.fill()
+	m := &synthMember{cfg: cfg}
+	m.periodNs = physical.ClockPeriodNs(cfg.Arch)
+	flitRate := FlitsPerNodeCycle(cfg.RateMBps, m.periodNs)
+	m.pktRate = flitRate / float64(cfg.PacketFlits)
+	if m.pktRate >= 1 {
+		return nil, fmt.Errorf("harness: offered rate %.0f MB/s/node exceeds one packet per cycle at %v: %w", cfg.RateMBps, cfg.Arch, ErrRateInfeasible)
+	}
+
+	var err error
+	m.selfSimilar = cfg.Pattern == "selfsimilar"
+	if m.selfSimilar {
+		m.pattern = traffic.Uniform{Topo: cfg.Topo}
+	} else {
+		m.pattern, err = traffic.ByName(cfg.Pattern, cfg.Topo)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.total = cfg.WarmupCycles + cfg.MeasureCycles
+	return m, nil
+}
+
+// netConfig returns the network configuration this member runs on.
+func (m *synthMember) netConfig() network.Config {
+	return network.Config{Topo: m.cfg.Topo, Arch: m.cfg.Arch, BufferDepth: m.cfg.BufferDepth,
+		NewArbiter: m.cfg.NewArbiter, Probe: m.cfg.Probe, Shards: m.cfg.Shards, Check: m.cfg.Check}
+}
+
+// attach binds the member to its freshly built network: delivery collector,
+// observation hook, and per-node traffic processes.
+func (m *synthMember) attach(net *network.Network) {
+	m.net = net
+	cfg := &m.cfg
+	m.col = stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	m.col.Reserve(int(m.pktRate*float64(cfg.Topo.Nodes())*float64(cfg.MeasureCycles)) + 64)
+	net.OnDeliver = m.col.OnDeliver
+	if cfg.Observe != nil {
+		col, obs := m.col, cfg.Observe
+		net.OnDeliver = func(p *noc.Packet, cycle int64) {
+			col.OnDeliver(p, cycle)
+			obs(p, cycle)
+		}
+	}
+
+	base := sim.NewRNG(cfg.Seed)
+	nodes := cfg.Topo.Nodes()
+	m.procs = make([]traffic.Process, nodes)
+	m.dests = make([]*sim.RNG, nodes)
+	for i := range m.procs {
+		r := base.Fork(uint64(i))
+		if m.selfSimilar {
+			m.procs[i] = traffic.NewSelfSimilar(m.pktRate, r)
+		} else {
+			m.procs[i] = &traffic.Bernoulli{P: m.pktRate, RNG: r}
+		}
+		m.dests[i] = base.Fork(uint64(1000 + i))
+	}
+}
+
+// injectCycle performs the pre-step work of main-loop cycle cyc: the
+// measurement-window counter snapshot at the warmup boundary, then one
+// injection opportunity per node. The caller steps the network afterwards.
+func (m *synthMember) injectCycle(cyc int64) {
+	if cyc == m.cfg.WarmupCycles {
+		m.startCounters = *m.net.Counters()
+	}
+	for id := 0; id < len(m.procs); id++ {
+		if !m.procs[id].Tick() {
+			continue
+		}
+		src := noc.NodeID(id)
+		dst := m.pattern.Dest(src, m.dests[id])
+		if dst == src {
+			continue // permutation fixed point: node does not inject
+		}
+		p := m.net.Inject(src, dst, m.cfg.PacketFlits, 0)
+		m.col.OnCreate(p, cyc)
+	}
+}
+
+// enterDrain closes the measurement window (energy counters) and arms the
+// drain deadline. Call once, after main-loop cycle total-1 has stepped.
+func (m *synthMember) enterDrain() {
+	m.window = m.net.Counters().Sub(m.startCounters)
+	m.deadline = m.net.Cycle() + m.cfg.DrainCycles
+}
+
+// needsDrainStep reports whether the drain loop should step the network
+// again. A fully quiescent network with the collector still incomplete is
+// wedged — no evaluation can deliver anything further — so it jumps to the
+// deadline instead of stepping dead cycles and reports done.
+func (m *synthMember) needsDrainStep() bool {
+	if m.col.Complete() || m.net.Cycle() >= m.deadline {
+		return false
+	}
+	if m.net.FullyIdle() {
+		m.net.FastForwardIdle(m.deadline - m.net.Cycle())
+		return false
+	}
+	return true
+}
+
+// finalize runs the post-drain invariant sweep and assembles the result.
+func (m *synthMember) finalize() RunResult {
+	cfg := &m.cfg
+	net, col := m.net, m.col
+
+	// With a checker armed and the network fully drained, sweep the
+	// post-drain invariants so a caller inspecting cfg.Check sees the
+	// conservation results and the delivery oracle. A saturated point that
+	// hit the drain deadline still has packets legitimately in flight — the
+	// oracle would miscount them as lost, so the sweep is skipped.
+	if net.Outstanding() == 0 {
+		net.CheckInvariants()
+	}
+
+	nodes := cfg.Topo.Nodes()
+	accepted := col.AcceptedFlitsPerNodeCycle(nodes)
+	res := RunResult{
+		Arch:              cfg.Arch,
+		Label:             cfg.Pattern,
+		Nodes:             nodes,
+		PeriodNs:          m.periodNs,
+		OfferedMBps:       cfg.RateMBps,
+		AcceptedMBps:      MBpsPerNode(accepted, m.periodNs),
+		MeanLatencyCycles: col.MeanLatencyCycles(),
+		DeliveredPackets:  col.WindowPackets(),
+		Window:            m.window,
+	}
+	res.MeanLatencyNs = res.MeanLatencyCycles * m.periodNs
+	res.P50LatencyNs = col.PercentileLatencyCycles(0.50) * m.periodNs
+	res.P95LatencyNs = col.PercentileLatencyCycles(0.95) * m.periodNs
+	res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * m.periodNs
+	res.MaxLatencyNs = float64(col.MaxLatencyCycles()) * m.periodNs
+	// Saturation: measured packets never drained, or deliveries inside the
+	// window fell visibly short of what the sources created (compared
+	// against actual creations, not the nominal rate, since permutation
+	// patterns have non-injecting fixed points).
+	res.Saturated = !col.Complete() ||
+		float64(col.WindowFlits()) < 0.92*float64(col.CreatedFlits())
+
+	res.Energy = cfg.Model.Energy(m.window, cfg.Arch == router.NoX)
+	if col.WindowPackets() > 0 {
+		res.PacketEnergyPJ = res.Energy.TotalPJ() / float64(col.WindowPackets())
+	}
+	res.PowerMW = res.Energy.TotalPJ() / (float64(cfg.MeasureCycles) * m.periodNs)
+	if !math.IsNaN(res.MeanLatencyNs) {
+		res.EnergyDelay2 = edp2(res.PacketEnergyPJ, res.MeanLatencyNs)
+	}
+	return res
+}

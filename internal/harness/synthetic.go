@@ -3,20 +3,16 @@ package harness
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math"
 
+	"repro/internal/arbiter"
 	"repro/internal/check"
 	"repro/internal/exp"
 	"repro/internal/network"
 	"repro/internal/noc"
-	"repro/internal/physical"
 	"repro/internal/power"
 	"repro/internal/probe"
 	"repro/internal/router"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/traffic"
 )
 
 // SyntheticConfig parameterizes one synthetic-traffic run (§5.1).
@@ -55,6 +51,10 @@ type SyntheticConfig struct {
 	// (see internal/check); the post-drain conservation sweep and delivery
 	// oracle run before the result is returned. Nil costs nothing.
 	Check *check.Checker
+	// NewArbiter overrides the output-arbiter constructor (see
+	// network.Config.NewArbiter); nil keeps the default round-robin. Used by
+	// the arbiter ablation.
+	NewArbiter func(int) arbiter.Arbiter
 }
 
 func (c *SyntheticConfig) fill() {
@@ -91,135 +91,37 @@ var ErrRateInfeasible = errors.New("offered rate exceeds injection capacity")
 
 // RunSynthetic executes one (architecture, pattern, rate) point and
 // returns its latency, throughput, and energy results.
+//
+// The run itself lives in synthMember (member.go): RunSynthetic is the
+// standalone driver — build one network, step it between the member's
+// per-cycle hooks — and RunSyntheticCohort (batched.go) is the lockstep
+// driver over the same hooks.
 func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
-	cfg.fill()
-	periodNs := physical.ClockPeriodNs(cfg.Arch)
-	flitRate := FlitsPerNodeCycle(cfg.RateMBps, periodNs)
-	pktRate := flitRate / float64(cfg.PacketFlits)
-	if pktRate >= 1 {
-		return RunResult{}, fmt.Errorf("harness: offered rate %.0f MB/s/node exceeds one packet per cycle at %v: %w", cfg.RateMBps, cfg.Arch, ErrRateInfeasible)
+	m, err := prepareSynthetic(cfg)
+	if err != nil {
+		return RunResult{}, err
 	}
-
-	var pattern traffic.Pattern
-	var err error
-	selfSimilar := cfg.Pattern == "selfsimilar"
-	if selfSimilar {
-		pattern = traffic.Uniform{Topo: cfg.Topo}
-	} else {
-		pattern, err = traffic.ByName(cfg.Pattern, cfg.Topo)
-		if err != nil {
-			return RunResult{}, err
-		}
-	}
-
-	net, err := network.Build(network.Config{Topo: cfg.Topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards, Check: cfg.Check})
+	net, err := network.Build(m.netConfig())
 	if err != nil {
 		return RunResult{}, err
 	}
 	defer net.Close()
-	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
-	col.Reserve(int(pktRate*float64(cfg.Topo.Nodes())*float64(cfg.MeasureCycles)) + 64)
-	net.OnDeliver = col.OnDeliver
-	if cfg.Observe != nil {
-		net.OnDeliver = func(p *noc.Packet, cycle int64) {
-			col.OnDeliver(p, cycle)
-			cfg.Observe(p, cycle)
-		}
-	}
+	m.attach(net)
 
-	base := sim.NewRNG(cfg.Seed)
-	nodes := cfg.Topo.Nodes()
-	procs := make([]traffic.Process, nodes)
-	dests := make([]*sim.RNG, nodes)
-	for i := range procs {
-		r := base.Fork(uint64(i))
-		if selfSimilar {
-			procs[i] = traffic.NewSelfSimilar(pktRate, r)
-		} else {
-			procs[i] = &traffic.Bernoulli{P: pktRate, RNG: r}
-		}
-		dests[i] = base.Fork(uint64(1000 + i))
-	}
-
-	var startCounters power.Counters
-	totalCycles := cfg.WarmupCycles + cfg.MeasureCycles
-	for cyc := int64(0); cyc < totalCycles; cyc++ {
-		if cyc == cfg.WarmupCycles {
-			startCounters = *net.Counters()
-		}
-		for id := 0; id < nodes; id++ {
-			if !procs[id].Tick() {
-				continue
-			}
-			src := noc.NodeID(id)
-			dst := pattern.Dest(src, dests[id])
-			if dst == src {
-				continue // permutation fixed point: node does not inject
-			}
-			p := net.Inject(src, dst, cfg.PacketFlits, 0)
-			col.OnCreate(p, cyc)
-		}
+	for cyc := int64(0); cyc < m.total; cyc++ {
+		m.injectCycle(cyc)
 		net.Step()
-		cfg.Progress.Tick(cyc)
+		m.cfg.Progress.Tick(cyc)
 	}
-	window := net.Counters().Sub(startCounters)
 
-	// Drain without new traffic so measured packets can complete. A fully
-	// quiescent network with the collector still incomplete is wedged —
-	// no evaluation can deliver anything further — so jump to the deadline
-	// instead of stepping dead cycles.
-	deadline := net.Cycle() + cfg.DrainCycles
-	for !col.Complete() && net.Cycle() < deadline {
-		if net.FullyIdle() {
-			net.FastForwardIdle(deadline - net.Cycle())
-			break
-		}
+	// Drain without new traffic so measured packets can complete (deadline
+	// and wedge handling live in needsDrainStep).
+	m.enterDrain()
+	for m.needsDrainStep() {
 		net.Step()
-		cfg.Progress.Tick(net.Cycle())
+		m.cfg.Progress.Tick(net.Cycle())
 	}
-
-	// With a checker armed and the network fully drained, sweep the
-	// post-drain invariants so a caller inspecting cfg.Check sees the
-	// conservation results and the delivery oracle. A saturated point that
-	// hit the drain deadline still has packets legitimately in flight — the
-	// oracle would miscount them as lost, so the sweep is skipped.
-	if net.Outstanding() == 0 {
-		net.CheckInvariants()
-	}
-
-	accepted := col.AcceptedFlitsPerNodeCycle(nodes)
-	res := RunResult{
-		Arch:              cfg.Arch,
-		Label:             cfg.Pattern,
-		Nodes:             nodes,
-		PeriodNs:          periodNs,
-		OfferedMBps:       cfg.RateMBps,
-		AcceptedMBps:      MBpsPerNode(accepted, periodNs),
-		MeanLatencyCycles: col.MeanLatencyCycles(),
-		DeliveredPackets:  col.WindowPackets(),
-		Window:            window,
-	}
-	res.MeanLatencyNs = res.MeanLatencyCycles * periodNs
-	res.P50LatencyNs = col.PercentileLatencyCycles(0.50) * periodNs
-	res.P95LatencyNs = col.PercentileLatencyCycles(0.95) * periodNs
-	res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * periodNs
-	res.MaxLatencyNs = float64(col.MaxLatencyCycles()) * periodNs
-	// Saturation: measured packets never drained, or deliveries inside the
-	// window fell visibly short of what the sources created (compared
-	// against actual creations, not the nominal rate, since permutation
-	// patterns have non-injecting fixed points).
-	res.Saturated = !col.Complete() ||
-		float64(col.WindowFlits()) < 0.92*float64(col.CreatedFlits())
-
-	res.Energy = cfg.Model.Energy(window, cfg.Arch == router.NoX)
-	if col.WindowPackets() > 0 {
-		res.PacketEnergyPJ = res.Energy.TotalPJ() / float64(col.WindowPackets())
-	}
-	res.PowerMW = res.Energy.TotalPJ() / (float64(cfg.MeasureCycles) * periodNs)
-	if !math.IsNaN(res.MeanLatencyNs) {
-		res.EnergyDelay2 = edp2(res.PacketEnergyPJ, res.MeanLatencyNs)
-	}
-	return res, nil
+	return m.finalize(), nil
 }
 
 // SweepPoint is one x-axis point of Figures 8/9.
@@ -247,27 +149,35 @@ func SweepSynthetic(base SyntheticConfig, rates []float64, pool *exp.Pool) ([]Sw
 
 	// Speculative fan-out: all points, rate-major so index order equals the
 	// serial visit order.
-	type outcome struct {
-		res RunResult
-		err error
-	}
 	archs := router.Archs
 	outs, err := exp.Map(context.Background(), pool, len(rates)*len(archs),
-		func(_ context.Context, i int) (outcome, error) {
+		func(_ context.Context, i int) (pointOutcome, error) {
 			cfg := base
 			cfg.RateMBps = rates[i/len(archs)]
 			cfg.Arch = archs[i%len(archs)]
 			res, err := cfg.runPoint()
-			return outcome{res, err}, nil
+			return pointOutcome{res, err}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	return assembleSweep(rates, archs, outs)
+}
 
-	// Reconstruct the serial walk per architecture: include results up to
-	// and including the first saturated point; an infeasible point ends the
-	// series; a real error is remembered at the point the serial loop would
-	// have hit it.
+// pointOutcome is one speculative sweep point's result, indexed rate-major
+// (index = rateIdx*len(archs) + archIdx) in the grids assembleSweep takes.
+type pointOutcome struct {
+	res RunResult
+	err error
+}
+
+// assembleSweep reconstructs the serial stop-at-saturation walk from a
+// rate-major grid of speculative outcomes: include results up to and
+// including the first saturated point; an infeasible point ends the
+// series; a real error is remembered at the point the serial loop would
+// have hit it. Shared by the parallel and batched sweep paths so both
+// reproduce sweepSerial's output bit for bit.
+func assembleSweep(rates []float64, archs []router.Arch, outs []pointOutcome) ([]SweepPoint, error) {
 	lastRate := 0 // index of the last SweepPoint the serial loop would append
 	includeEnd := make([]int, len(archs))
 	var firstErr error

@@ -63,6 +63,17 @@ type Config struct {
 	// construction. Requires Check — running faults without the lenient
 	// checker paths would panic sharded worker goroutines.
 	Fault FaultInjector
+	// Slabs, when non-nil, is a shared construction allocator: a batched
+	// cohort threads one through every member so N same-shape networks carve
+	// their router state from common chunks (see internal/batch). Nil builds
+	// a private allocator — identical layout, one skeleton per network.
+	// Construction-time, single-goroutine use only.
+	Slabs *router.Slabs
+	// FlitBlocks, when non-nil, is a shared backing store for the network's
+	// flit arenas, so a cohort's members draw blocks from common slabs.
+	// Serial execution only: sharded networks grow their shard arenas on
+	// worker goroutines and ignore this field.
+	FlitBlocks *noc.BlockPool
 }
 
 // FaultInjector is the contract between a network and a fault-injection
@@ -257,8 +268,15 @@ func New(cfg Config) *Network {
 	n.ejectLinks = make([]*noc.Link, cores)
 
 	// One batch allocator for every router: their ports, FIFOs, scratch
-	// vectors, and arbiters are carved from shared chunks.
-	slabs := router.NewSlabs()
+	// vectors, and arbiters are carved from shared chunks (one allocator per
+	// network, or one per cohort when the caller shares it via cfg.Slabs).
+	slabs := cfg.Slabs
+	if slabs == nil {
+		slabs = router.NewSlabs()
+	}
+	if cfg.FlitBlocks != nil && !sharded {
+		n.arenas[0].SetBlocks(cfg.FlitBlocks)
+	}
 	for id := 0; id < routers; id++ {
 		n.routers[id] = router.New(router.Config{
 			Arch:        cfg.Arch,
@@ -528,6 +546,12 @@ func (n *Network) Routes() *routing.Table { return n.routes }
 
 // Cycle returns the current cycle number.
 func (n *Network) Cycle() int64 { return n.kernel.Cycle() }
+
+// Kernel exposes the network's simulation kernel for lockstep adoption by
+// internal/batch (sim.NewLockstepGroup takes the member kernels). Treat it
+// as opaque everywhere else: stepping or mutating it directly bypasses the
+// network's own sequencing.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
 
 // Step advances the network one cycle.
 func (n *Network) Step() { n.kernel.Step() }

@@ -94,6 +94,13 @@ type Kernel struct {
 	// sh is the sharded execution state, nil on the serial path.
 	sh *sharding
 
+	// group/slot bind an adopted kernel to its LockstepGroup (see batch.go):
+	// the group owns this kernel's activity flags (transposed into shared
+	// bit words) and its stepping; Wake is redirected, Step panics. Nil when
+	// not adopted — the universal case outside batched execution.
+	group *LockstepGroup
+	slot  int
+
 	// lanes are the typed dense-iteration segments of the serial step,
 	// sorted by start handle (see BindLane). Empty means all-generic walks.
 	lanes []laneSeg
@@ -143,6 +150,9 @@ func (k *Kernel) add(c Clocked) Handle {
 	if k.sh != nil {
 		panic("sim: Add after SetSharding")
 	}
+	if k.group != nil {
+		panic("sim: Add on a kernel adopted by a LockstepGroup")
+	}
 	h := Handle(len(k.components))
 	k.components = append(k.components, c)
 	q, _ := c.(Quiescable)
@@ -180,6 +190,10 @@ func (k *Kernel) SetAlwaysActive(on bool) {
 // races the owner shard's own quiescence bookkeeping for the same
 // component.
 func (k *Kernel) Wake(h Handle) {
+	if g := k.group; g != nil {
+		g.wake(k.slot, h)
+		return
+	}
 	if sh := k.sh; sh != nil {
 		sh.wake(k, h)
 		return
@@ -241,6 +255,9 @@ func (k *Kernel) Cycle() int64 {
 func (k *Kernel) Step() {
 	if k.stepping {
 		panic("sim: Step called reentrantly (observer/epilogue hooks must not step the kernel)")
+	}
+	if k.group != nil {
+		panic("sim: Step on a kernel adopted by a LockstepGroup (step the group, or Release it first)")
 	}
 	k.stepping = true
 	if k.sh != nil {
