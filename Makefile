@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke batch-smoke fuzz-smoke
+.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke batch-smoke telemetry-smoke fuzz-smoke
 
 ## check: the CI gate — build, vet, static analysis, the full test suite
 ## under the race detector (the parallel experiment engine makes this
-## mandatory), the tracing, fault-injection, and batched-execution smoke
-## tests, a short fuzz pass over the user-facing decoders, and a soft
-## benchmark-regression check against the newest committed snapshot.
-check: build vet lint race trace-smoke fault-smoke batch-smoke fuzz-smoke bench-compare
+## mandatory), the tracing, fault-injection, batched-execution, and live
+## telemetry smoke tests, a short fuzz pass over the user-facing decoders,
+## and a soft benchmark-regression check against the newest committed
+## snapshot.
+check: build vet lint race trace-smoke fault-smoke batch-smoke telemetry-smoke fuzz-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -111,6 +112,34 @@ batch-smoke:
 		> "$$tmp/batched.csv" && \
 	cmp "$$tmp/serial.csv" "$$tmp/batched.csv" && \
 	echo "batch-smoke: OK"
+
+## telemetry-smoke: boot noxsim with the live telemetry server on an
+## ephemeral port, curl the endpoint surface (/metrics, /healthz,
+## /debug/vars, /debug/pprof/) while the simulation runs, and validate the
+## saved /metrics scrape parses as Prometheus text exposition via
+## `noxtrace -validate-metrics`. The bound address is scraped from the
+## plain "telemetry: serving on http://ADDR" stderr line.
+telemetry-smoke:
+	@tmp=$$(mktemp -d); pid=""; trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	set -e; \
+	$(GO) build -o "$$tmp/noxsim" ./cmd/noxsim; \
+	$(GO) build -o "$$tmp/noxtrace" ./cmd/noxtrace; \
+	"$$tmp/noxsim" -http 127.0.0.1:0 -measure 1000000 >"$$tmp/stdout.txt" 2>"$$tmp/stderr.txt" & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^telemetry: serving on http://||p' "$$tmp/stderr.txt" 2>/dev/null | head -n 1); \
+		if [ -n "$$addr" ]; then break; fi; \
+		kill -0 $$pid 2>/dev/null || { echo "telemetry-smoke: noxsim exited before serving" >&2; cat "$$tmp/stderr.txt" >&2; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "telemetry-smoke: server never announced its address" >&2; cat "$$tmp/stderr.txt" >&2; exit 1; }; \
+	curl -fsS "http://$$addr/metrics" > "$$tmp/metrics.txt"; \
+	grep -q '^nox_cycles_total' "$$tmp/metrics.txt" || { echo "telemetry-smoke: /metrics missing nox_cycles_total" >&2; cat "$$tmp/metrics.txt" >&2; exit 1; }; \
+	curl -fsS "http://$$addr/healthz" | grep -q '^ok$$'; \
+	curl -fsS "http://$$addr/debug/vars" | grep -q '"memstats"'; \
+	curl -fsS "http://$$addr/debug/pprof/" > /dev/null; \
+	"$$tmp/noxtrace" -validate-metrics "$$tmp/metrics.txt"; \
+	echo "telemetry-smoke: OK"
 
 ## fuzz-smoke: a short native-fuzz pass over the user-facing decoders
 ## (noxtrace -validate, noxbench snapshot JSON). The committed seed corpora

@@ -20,6 +20,7 @@ import (
 	"repro/internal/physical"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -102,7 +103,7 @@ func benchAppResults(b *testing.B, workload string) map[router.Arch]harness.AppR
 		b.Fatal(err)
 	}
 	tr := trace.Generate(w, harness.Table1().Topo, 8000, 7)
-	return harness.RunAppAllArchs(tr, 0, benchPool, 0)
+	return harness.RunAppAllArchs(tr, 0, benchPool, 0, harness.Telemetry{})
 }
 
 // BenchmarkFigure10ApplicationLatency regenerates one workload's Figure 10
@@ -197,11 +198,17 @@ func BenchmarkNetworkCycle(b *testing.B) {
 // ResetTimer, so the timed region is pure datapath — flits recycle through
 // the arenas, FIFOs reuse their rings, and the allocs/op column must read 0.
 // The network is saturated with long wormhole packets so every measured
-// cycle does real switching work.
+// cycle does real switching work. The flight recorder shadows the run the
+// way the cmd tools arm it by default, so the 0 allocs/op gate also proves
+// the recorder's ring is allocation-free in steady state.
 func BenchmarkNetworkCycleSteady(b *testing.B) {
 	for _, arch := range router.Archs {
 		b.Run(arch.String(), func(b *testing.B) {
-			net := network.New(network.Config{Arch: arch})
+			rec := telemetry.NewRecorder(telemetry.RecorderConfig{
+				Dir: b.TempDir(), Label: "bench-" + arch.String(),
+				PeriodNs: physical.ClockPeriodNs(arch),
+			})
+			net := network.New(network.Config{Arch: arch, Probe: rec.Probe()})
 			rng := sim.NewRNG(1)
 			topo := net.Topology()
 			for n := 0; n < topo.Nodes(); n++ {

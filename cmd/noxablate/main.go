@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/probe"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,8 +31,15 @@ func main() {
 		shards   = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; output is identical)")
 		batch    = flag.Int("batch", 0, "lockstep cohort width: step up to this many ablation cells together on shared state (0 = off, -1 = default width; output is identical)")
 	)
+	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := tf.Start("noxablate")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxablate:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxablate:", err)

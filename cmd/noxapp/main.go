@@ -18,6 +18,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/probe"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -31,8 +32,15 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker count for per-architecture replays (0 = all CPUs, 1 = serial; output is identical)")
 		shards    = flag.Int("shards", 0, "intra-simulation worker shards per network (0 = auto, 1 = serial; output is identical)")
 	)
+	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := tf.Start("noxapp")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxapp:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxapp:", err)
@@ -61,7 +69,8 @@ func main() {
 		tr := trace.Generate(w, topo, *cpuCycles, *seed)
 		fmt.Printf("replaying %-8s (%6d packets, offered %6.0f MB/s/node)\n",
 			w.Name, len(tr.Events), tr.MeanInjectionMBps())
-		results = append(results, harness.RunAppAllArchs(tr, 0, pool, *shards))
+		results = append(results, harness.RunAppAllArchs(tr, 0, pool, *shards,
+			harness.Telemetry{Progress: sess.Sampler(), NewRecorder: sess.NewRecorder}))
 	}
 	fmt.Println()
 	if *csv {

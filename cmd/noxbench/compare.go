@@ -151,7 +151,7 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64, floorNs
 		return 2
 	}
 	fmt.Fprintf(w, "noxbench compare: %s (%s) -> %s (%s), threshold %+.0f%% (noise floor %.0f ns)\n",
-		oldPath, oldSnap.GeneratedUTC, newPath, newSnap.GeneratedUTC, threshold*100, floorNs)
+		oldPath, oldSnap.describe(), newPath, newSnap.describe(), threshold*100, floorNs)
 	res := compareSnapshots(oldSnap, newSnap, threshold, floorNs)
 	for _, line := range res.Lines {
 		fmt.Fprintln(w, line)

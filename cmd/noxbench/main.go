@@ -23,11 +23,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -46,7 +48,10 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Snapshot is the emitted document.
+// Snapshot is the emitted document. The git/host fields are best-effort
+// provenance stamped at generation time; they are omitted when unavailable
+// (no git binary, not a repository) and older snapshots without them remain
+// comparable — -compare treats every one as informational.
 type Snapshot struct {
 	Schema       string      `json:"schema"`
 	GeneratedUTC string      `json:"generated_utc"`
@@ -54,7 +59,45 @@ type Snapshot struct {
 	GoOS         string      `json:"goos"`
 	GoArch       string      `json:"goarch"`
 	NumCPU       int         `json:"num_cpu"`
+	GitSHA       string      `json:"git_sha,omitempty"`
+	GitDirty     bool        `json:"git_dirty,omitempty"`
+	Host         string      `json:"host,omitempty"`
 	Benchmarks   []Benchmark `json:"benchmarks"`
+}
+
+// gitProvenance returns the working tree's HEAD commit and dirty state,
+// empty when git or the repository is unavailable.
+func gitProvenance() (sha string, dirty bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	sha = strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+		dirty = len(bytes.TrimSpace(st)) > 0
+	}
+	return sha, dirty
+}
+
+// describe renders a snapshot's provenance for the compare header: its
+// timestamp plus whatever git/host metadata it carries (older snapshots
+// carry none).
+func (s Snapshot) describe() string {
+	parts := []string{s.GeneratedUTC}
+	if s.GitSHA != "" {
+		sha := s.GitSHA
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		if s.GitDirty {
+			sha += "-dirty"
+		}
+		parts = append(parts, sha)
+	}
+	if s.Host != "" {
+		parts = append(parts, s.Host)
+	}
+	return strings.Join(parts, " ")
 }
 
 // parseLine parses one `Benchmark...` result line: name, iteration count,
@@ -158,6 +201,10 @@ func main() {
 		GoArch:       runtime.GOARCH,
 		NumCPU:       runtime.NumCPU(),
 		Benchmarks:   benches,
+	}
+	snap.GitSHA, snap.GitDirty = gitProvenance()
+	if host, err := os.Hostname(); err == nil {
+		snap.Host = host
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,8 +31,10 @@ import (
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/noc"
+	"repro/internal/physical"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // outcome classifies one campaign.
@@ -89,6 +92,23 @@ type params struct {
 	drain       int64
 	watchdog    int64
 	template    fault.Spec
+	// newRecorder builds one flight recorder per campaign cell (nil or a
+	// factory returning nil disarms recording). Labels are deterministic in
+	// (arch, campaign), so the serial, sharded, and batched paths write the
+	// same dump files; the report text is unaffected either way.
+	newRecorder func(label string) *telemetry.Recorder
+}
+
+// cellRecorder arms cell c's flight recorder: probe ring sized for the
+// architecture's clock, checker violations latching the dump trigger.
+func cellRecorder(c *cell, ck *check.Checker, p params) *telemetry.Recorder {
+	if p.newRecorder == nil {
+		return nil
+	}
+	rec := p.newRecorder(fmt.Sprintf("fault-%s-c%d", c.arch, c.idx))
+	rec.SetPeriodNs(physical.ClockPeriodNs(c.arch))
+	rec.BindChecker(ck)
+	return rec
 }
 
 // campaignSeed derives campaign i's fault seed from the base with a
@@ -118,9 +138,10 @@ func run(arch router.Arch, idx int, p params) (c cell) {
 		}
 	}()
 
+	rec := cellRecorder(&c, ck, p)
 	net, err := network.Build(network.Config{
 		Topo: p.topo, Arch: arch, BufferDepth: p.bufferDepth,
-		Shards: p.shards, Check: ck, Fault: inj,
+		Shards: p.shards, Check: ck, Fault: inj, Probe: rec.Probe(),
 	})
 	if err != nil {
 		panic(err.Error())
@@ -148,7 +169,7 @@ func run(arch router.Arch, idx int, p params) (c cell) {
 		}
 		net.Step()
 	}
-	finishCell(&c, net, ck, inj, p)
+	finishCell(&c, net, ck, inj, rec, p)
 	return c
 }
 
@@ -157,7 +178,7 @@ func run(arch router.Arch, idx int, p params) (c cell) {
 // members individually after releasing the lockstep group). The recover
 // mirrors run's: a fault-reachable panic during the drain is a detected
 // outcome attributed to this cell alone.
-func finishCell(c *cell, net *network.Network, ck *check.Checker, inj *fault.Injector, p params) {
+func finishCell(c *cell, net *network.Network, ck *check.Checker, inj *fault.Injector, rec *telemetry.Recorder, p params) {
 	defer func() {
 		c.injected, c.delivered = ck.Injected(), ck.Delivered()
 		c.counts, c.total = ck.Counts(), ck.Total()
@@ -169,6 +190,19 @@ func finishCell(c *cell, net *network.Network, ck *check.Checker, inj *fault.Inj
 	}()
 	drainErr := net.DrainChecked(p.drain, p.watchdog)
 	net.CheckInvariants()
+	if drainErr != nil {
+		rec.Trigger(net.Cycle(), "drain: "+firstLine(drainErr.Error()))
+	}
+	// The dump goes to the flight directory and stderr only — the campaign
+	// report must stay byte-identical with recording on or off.
+	if rec.Triggered() {
+		if _, err := rec.Flush(func(w io.Writer) {
+			net.WriteDiagnostic(w)
+			ck.WriteReport(w)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "noxfault:", err)
+		}
+	}
 
 	switch {
 	case drainErr != nil:
@@ -214,10 +248,14 @@ func runCohortCells(archs []router.Arch, campaigns int, p params, lo, hi int) (c
 			ok = false
 		}
 	}()
+	recs := make([]*telemetry.Recorder, n)
+	for j := range recs {
+		recs[j] = cellRecorder(&cells[j], cks[j], p)
+	}
 	co, err := batch.New(n, func(j int) network.Config {
 		return network.Config{
 			Topo: p.topo, Arch: cells[j].arch, BufferDepth: p.bufferDepth,
-			Shards: p.shards, Check: cks[j], Fault: injs[j],
+			Shards: p.shards, Check: cks[j], Fault: injs[j], Probe: recs[j].Probe(),
 		}
 	})
 	if err != nil {
@@ -256,7 +294,7 @@ func runCohortCells(archs []router.Arch, campaigns int, p params, lo, hi int) (c
 	// the serial epilogue.
 	co.Release()
 	for j := 0; j < n; j++ {
-		finishCell(&cells[j], co.Net(j), cks[j], injs[j], p)
+		finishCell(&cells[j], co.Net(j), cks[j], injs[j], recs[j], p)
 	}
 	return cells, true
 }
@@ -312,11 +350,17 @@ func main() {
 		startCycle = flag.Int64("start", 0, "first active fault cycle")
 		endCycle   = flag.Int64("end", 0, "end of the active fault window (0 = unbounded)")
 	)
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "noxfault:", err)
 		os.Exit(1)
 	}
+	sess, err := tf.Start("noxfault")
+	if err != nil {
+		fail(err)
+	}
+	defer sess.Close()
 
 	archs := router.Archs
 	if *archName != "all" {
@@ -363,6 +407,7 @@ func main() {
 		drain:       *drain,
 		watchdog:    *watchdog,
 		template:    template,
+		newRecorder: sess.NewRecorder,
 	}
 
 	// Fan the (arch, campaign) grid across the pool; cells are independent
@@ -372,7 +417,6 @@ func main() {
 	pool := exp.NewPool(*parallel)
 	total := len(archs) * *campaigns
 	var cells []cell
-	var err error
 	if *batchW != 0 {
 		w := *batchW
 		if w < 0 {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,8 +37,15 @@ func main() {
 		systems  = flag.String("systems", "mesh8x8,cmesh4x4", "comma-separated systems: mesh8x8|cmesh4x4|mesh16x16|mesh32x32")
 		shards   = flag.Int("shards", 0, "intra-simulation worker shards per point (0 = auto: large meshes shard on multicore; output is identical)")
 	)
+	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := tf.Start("noxfuture")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxfuture:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxfuture:", err)
@@ -66,7 +74,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	st, err := harness.RunFutureStudyKinds(kinds, rates, *pattern, *seed, pool, *shards)
+	st, err := harness.RunFutureStudyKinds(kinds, rates, *pattern, *seed, pool, *shards,
+		harness.Telemetry{Progress: sess.Sampler(), NewRecorder: sess.NewRecorder})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxfuture:", err)
 		os.Exit(1)

@@ -13,12 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/harness"
 	"repro/internal/noc"
 	"repro/internal/probe"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,10 +33,16 @@ func main() {
 		shards      = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; results are bit-identical)")
 		printConfig = flag.Bool("print-config", false, "print Table 1 system parameters and exit")
 		tracePkts   = flag.Int("trace", 0, "print the first N delivered packets")
-		progress    = flag.Bool("progress", false, "report simulation throughput (cycles/sec) to stderr")
 	)
+	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := tf.Start("noxsim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxsim:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxsim:", err)
@@ -63,11 +69,8 @@ func main() {
 		MeasureCycles: *measure,
 		Seed:          *seed,
 		Shards:        *shards,
-	}
-	var rep *probe.Progress
-	if *progress {
-		rep = probe.NewProgress(os.Stderr, time.Second)
-		cfg.Progress = rep
+		Progress:      sess.Sampler(),
+		NewRecorder:   sess.NewRecorder,
 	}
 	if *tracePkts > 0 {
 		remaining := *tracePkts
@@ -85,7 +88,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "noxsim:", err)
 		os.Exit(1)
 	}
-	rep.Done(*warmup + *measure)
+	sess.Sampler().Done(*warmup + *measure)
 
 	fmt.Printf("architecture:        %s (clock %.2f ns)\n", res.Arch, res.PeriodNs)
 	fmt.Printf("pattern:             %s, %d-flit packets\n", *pattern, *flits)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/probe"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -31,8 +32,15 @@ func main() {
 		shards   = flag.Int("shards", 0, "intra-simulation worker shards per point (0 = auto, 1 = serial; output is identical)")
 		batch    = flag.Int("batch", 0, "lockstep cohort width: step up to this many sweep points together on shared state (0 = off, -1 = default width; output is identical)")
 	)
+	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := tf.Start("noxsweep")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noxsweep:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxsweep:", err)
@@ -56,7 +64,8 @@ func main() {
 	}
 
 	for _, pat := range patterns {
-		base := harness.SyntheticConfig{Pattern: pat, Seed: *seed, Shards: *shards}
+		base := harness.SyntheticConfig{Pattern: pat, Seed: *seed, Shards: *shards,
+			Progress: sess.Sampler(), NewRecorder: sess.NewRecorder}
 		if *fast {
 			base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 15000
 		}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"repro/internal/harness"
 	"repro/internal/network"
@@ -26,6 +25,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -89,6 +89,25 @@ func validateTrace(path string) error {
 	return nil
 }
 
+// validateMetrics parses a Prometheus text-exposition document (a saved
+// /metrics scrape) and checks it holds at least one sample — the make
+// telemetry-smoke gate.
+func validateMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n, err := telemetry.ParseExposition(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: exposition holds no samples", path)
+	}
+	fmt.Printf("%s: valid Prometheus exposition, %d samples\n", path, n)
+	return nil
+}
+
 func main() {
 	var (
 		archName = flag.String("arch", "nox", "router architecture: nonspec|specfast|specaccurate|nox")
@@ -108,9 +127,10 @@ func main() {
 		routers  = flag.String("routers-csv", "", "per-router metrics CSV output file")
 		heatmap  = flag.String("heatmap-csv", "", "mesh traversal heatmap CSV output file")
 		series   = flag.String("timeseries-csv", "", "periodic time-series CSV output file")
-		progress = flag.Bool("progress", false, "report simulation throughput (cycles/sec) to stderr")
 		validate = flag.String("validate", "", "validate an existing Chrome trace JSON file and exit")
+		valMet   = flag.String("validate-metrics", "", "validate a saved Prometheus /metrics scrape and exit")
 	)
+	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if *validate != "" {
@@ -119,6 +139,17 @@ func main() {
 		}
 		return
 	}
+	if *valMet != "" {
+		if err := validateMetrics(*valMet); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	sess, err := tf.Start("noxtrace")
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
 	stopProf, err := prof.Start()
 	if err != nil {
 		fatal(err)
@@ -148,14 +179,15 @@ func main() {
 		}
 	}
 
-	pr := probe.New(probe.Config{RingEvents: *ring, SampleEvery: *sample, PeriodNs: periodNs})
-	net := network.New(network.Config{Topo: topo, Arch: arch, Probe: pr, Shards: *shards})
-	defer net.Close()
-
-	var rep *probe.Progress
-	if *progress {
-		rep = probe.NewProgress(os.Stderr, time.Second)
+	rep := sess.Sampler()
+	var obs func(cycle int64, active int)
+	if rep != nil {
+		obs = rep.Observe
 	}
+	pr := probe.New(probe.Config{RingEvents: *ring, SampleEvery: *sample, PeriodNs: periodNs})
+	net := network.New(network.Config{Topo: topo, Arch: arch, Probe: pr, Shards: *shards, Observer: obs})
+	defer net.Close()
+	rep.RunStarted()
 
 	base := sim.NewRNG(*seed)
 	nodes := topo.Nodes()

@@ -19,12 +19,28 @@ package batch
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/network"
 	"repro/internal/noc"
 	"repro/internal/router"
 	"repro/internal/sim"
 )
+
+// liveMembers/activeCohorts are process-global occupancy gauges for the
+// telemetry server: members currently live (built and not yet parked) and
+// cohorts currently open. Cohorts may be stepped concurrently from exp.Map
+// workers, hence atomics.
+var (
+	liveMembers   atomic.Int64
+	activeCohorts atomic.Int64
+)
+
+// LiveMembers returns the live (unparked) member count across open cohorts.
+func LiveMembers() int64 { return liveMembers.Load() }
+
+// ActiveCohorts returns the number of cohorts built and not yet closed.
+func ActiveCohorts() int64 { return activeCohorts.Load() }
 
 // WordWidth is the number of member simulations one activity word covers:
 // the bit-sliced fast path evaluates the skip mask for up to 64 members per
@@ -68,6 +84,7 @@ type Cohort struct {
 	group  *sim.LockstepGroup
 	parked []bool
 	live   int
+	closed bool
 }
 
 // New builds an n-member cohort. mk returns member i's network
@@ -105,6 +122,8 @@ func New(n int, mk func(i int) network.Config) (*Cohort, error) {
 		}
 		c.group = sim.NewLockstepGroup(kernels)
 	}
+	activeCohorts.Add(1)
+	liveMembers.Add(int64(n))
 	return c, nil
 }
 
@@ -139,6 +158,7 @@ func (c *Cohort) Park(i int) {
 	}
 	c.parked[i] = true
 	c.live--
+	liveMembers.Add(-1)
 	if c.group != nil {
 		c.group.Park(i)
 	}
@@ -189,5 +209,11 @@ func (c *Cohort) Close() {
 		if net != nil {
 			net.Close()
 		}
+	}
+	if !c.closed {
+		c.closed = true
+		activeCohorts.Add(-1)
+		liveMembers.Add(-int64(c.live))
+		c.live = 0
 	}
 }

@@ -137,6 +137,13 @@ type Checker struct {
 	delivered  int64
 	leaky      bool
 	finalized  bool
+
+	// observer, when set, is called with a copy of every recorded violation,
+	// outside the checker's lock. It runs on whichever goroutine reported the
+	// violation — under sharded stepping that is a worker — so it must be
+	// safe for concurrent use and must not read simulation state. The flight
+	// recorder (internal/telemetry) uses it to latch its dump trigger.
+	observer func(Violation)
 }
 
 // New returns an armed checker.
@@ -151,6 +158,16 @@ func New(cfg Config) *Checker {
 // Armed reports whether the checker is present; nil-safe.
 func (c *Checker) Armed() bool { return c != nil }
 
+// SetObserver installs (or, with nil, removes) the violation observer; see
+// the field contract. Install before arming the simulation — installation
+// is not synchronized with concurrent record calls.
+func (c *Checker) SetObserver(fn func(Violation)) {
+	if c == nil {
+		return
+	}
+	c.observer = fn
+}
+
 func (c *Checker) record(v Violation) {
 	c.mu.Lock()
 	c.counts[v.Kind]++
@@ -159,7 +176,11 @@ func (c *Checker) record(v Violation) {
 	} else {
 		c.truncated++
 	}
+	obs := c.observer
 	c.mu.Unlock()
+	if obs != nil {
+		obs(v)
+	}
 }
 
 // OnInject registers an injected packet with the delivery oracle.

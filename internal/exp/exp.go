@@ -15,7 +15,24 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// busyWorkers counts fn invocations currently executing across every Map in
+// the process — the worker-pool occupancy gauge the telemetry server
+// exposes. Process-global so observability code needs no handle on the
+// pools a tool happens to build.
+var busyWorkers atomic.Int64
+
+// BusyWorkers returns how many Map invocations are executing right now.
+func BusyWorkers() int64 { return busyWorkers.Load() }
+
+// run invokes fn for one index, bracketed by the occupancy gauge.
+func run[T any](ctx context.Context, fn func(ctx context.Context, i int) (T, error), i int) (T, error) {
+	busyWorkers.Add(1)
+	defer busyWorkers.Add(-1)
+	return fn(ctx, i)
+}
 
 // Pool bounds the number of simulation points running concurrently.
 // A nil *Pool is valid and runs everything serially, as does NewPool(1).
@@ -81,7 +98,7 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i)
+			v, err := run(ctx, fn, i)
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +119,7 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				v, err := fn(ctx, i)
+				v, err := run(ctx, fn, i)
 				if err != nil {
 					errs[i] = err
 					cancel()

@@ -2,7 +2,10 @@ package harness
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math"
+	"os"
 
 	"repro/internal/check"
 	"repro/internal/exp"
@@ -13,6 +16,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -32,8 +36,13 @@ type AppConfig struct {
 	// Both physical networks share it (their event streams interleave on
 	// common cycle numbers).
 	Probe *probe.Probe
-	// Progress, when set, receives per-cycle ticks for cycles/sec reporting.
-	Progress *probe.Progress
+	// Progress, when set, receives per-cycle ticks and inject/deliver counts
+	// for live telemetry (cycles/s, /metrics, the SSE stream).
+	Progress *telemetry.Sampler
+	// Recorder, when set, is this run's flight recorder: its probe shadows
+	// both physical networks (unless Probe above claims the slot) and an
+	// undrained run or checker violation triggers a failure-window dump.
+	Recorder *telemetry.Recorder
 	// Shards selects each physical network's execution mode (see
 	// network.Config): 0 = auto, 1 = serial, N >= 2 = sharded. Results are
 	// bit-identical at every setting.
@@ -87,7 +96,32 @@ func RunApp(cfg AppConfig) AppResult {
 	periodPs := physical.ClockPeriodPs(cfg.Arch)
 	topo := cfg.Trace.Topo
 
-	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: cfg.Probe, Shards: cfg.Shards, Check: cfg.Check})
+	// An explicit Probe wins the probe slot; otherwise the flight recorder's
+	// ring shadows the run (both physical networks interleave into it, the
+	// same sharing an explicit probe gets).
+	pr := cfg.Probe
+	if pr == nil && cfg.Recorder != nil {
+		pr = cfg.Recorder.Probe()
+	}
+	cfg.Recorder.SetPeriodNs(periodNs)
+	cfg.Recorder.BindChecker(cfg.Check)
+	// NewMulti installs the same Config on every class network, so a raw
+	// sampler observer would count each cycle once per class. Dedup on the
+	// cycle number: the classes step in lockstep, and observers fire on the
+	// stepping goroutine, so the last-seen cycle needs no lock.
+	var obs func(cycle int64, active int)
+	if cfg.Progress != nil {
+		inner, last := cfg.Progress.Observe, int64(-1)
+		obs = func(cycle int64, active int) {
+			if cycle == last {
+				return
+			}
+			last = cycle
+			inner(cycle, active)
+		}
+	}
+
+	multi := network.NewMulti(trace.NumClasses, network.Config{Topo: topo, Arch: cfg.Arch, BufferDepth: cfg.BufferDepth, Probe: pr, Shards: cfg.Shards, Check: cfg.Check, Observer: obs})
 	defer multi.Close()
 	// Every trace packet is measured: the collector's window spans the run,
 	// giving the same latency record a serial tally would produce plus the
@@ -102,7 +136,9 @@ func RunApp(cfg AppConfig) AppResult {
 		latencySqSum += l * l
 		delivered++
 		col.OnDeliver(p, cycle)
+		cfg.Progress.CountDeliver(1, int64(p.Length))
 	})
+	cfg.Progress.RunStarted()
 
 	events := cfg.Trace.Events
 	idx := 0
@@ -135,6 +171,7 @@ func RunApp(cfg AppConfig) AppResult {
 			p := noc.NewPacket(pktID, e.Src, e.Dst, e.Flits, e.Class, cycle)
 			col.OnCreate(p, cycle)
 			multi.InjectPacket(p)
+			cfg.Progress.CountInject(1, int64(e.Flits))
 		}
 		multi.Step()
 		cycle++
@@ -145,6 +182,8 @@ func RunApp(cfg AppConfig) AppResult {
 	// invariant sweep across both physical networks.
 	if multi.Outstanding() == 0 {
 		multi.CheckInvariants()
+	} else {
+		cfg.Recorder.Trigger(cycle, fmt.Sprintf("undrained: %d packets outstanding after %d drain cycles", multi.Outstanding(), cfg.DrainCycles))
 	}
 
 	window := multi.Counters()
@@ -159,9 +198,7 @@ func RunApp(cfg AppConfig) AppResult {
 	}
 	if delivered > 0 {
 		res.MeanLatencyNs = latencySum / float64(delivered) * periodNs
-		res.P50LatencyNs = col.PercentileLatencyCycles(0.50) * periodNs
-		res.P95LatencyNs = col.PercentileLatencyCycles(0.95) * periodNs
-		res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * periodNs
+		res.P50LatencyNs, res.P95LatencyNs, res.P99LatencyNs = col.LatencyPercentilesNs(periodNs)
 		total := model.Energy(window, cfg.Arch == router.NoX).TotalPJ()
 		res.PacketEnergyPJ = total / float64(delivered)
 		// Average per-packet energy-delay^2: E[E_pkt * T^2] with the mean
@@ -173,6 +210,22 @@ func RunApp(cfg AppConfig) AppResult {
 	} else {
 		res.MeanLatencyNs = math.NaN()
 	}
+
+	// Telemetry epilogue: fold this replay's datapath events into the live
+	// per-arch counters, and dump the failure window if the checker or the
+	// undrained exit tripped the flight recorder.
+	cfg.Progress.RunDone(cfg.Arch.String(), window)
+	if cfg.Recorder.Triggered() {
+		if _, err := cfg.Recorder.Flush(func(w io.Writer) {
+			for class := 0; class < multi.Classes(); class++ {
+				fmt.Fprintf(w, "class %d ", class)
+				multi.Net(class).WriteDiagnostic(w)
+			}
+			cfg.Check.WriteReport(w)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "harness:", err)
+		}
+	}
 	return res
 }
 
@@ -180,11 +233,15 @@ func RunApp(cfg AppConfig) AppResult {
 // are independent (the trace is read-only; each builds its own networks),
 // so a pool with multiple workers runs them concurrently; shards
 // additionally parallelizes within each replay (0 = auto). Results are
-// identical at every setting.
-func RunAppAllArchs(tr *trace.Trace, bufferDepth int, pool *exp.Pool, shards int) map[router.Arch]AppResult {
+// identical at every setting. tel threads the tool's live telemetry into
+// each replay (Telemetry{} disables it).
+func RunAppAllArchs(tr *trace.Trace, bufferDepth int, pool *exp.Pool, shards int, tel Telemetry) map[router.Arch]AppResult {
 	results, _ := exp.Map(context.Background(), pool, len(router.Archs),
 		func(_ context.Context, i int) (AppResult, error) {
-			return RunApp(AppConfig{Arch: router.Archs[i], Trace: tr, BufferDepth: bufferDepth, Shards: shards}), nil
+			arch := router.Archs[i]
+			return RunApp(AppConfig{Arch: arch, Trace: tr, BufferDepth: bufferDepth, Shards: shards,
+				Progress: tel.Progress,
+				Recorder: tel.recorder(fmt.Sprintf("app-%s-%s", tr.Workload.Name, arch))}), nil
 		})
 	out := map[router.Arch]AppResult{}
 	for i, arch := range router.Archs {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/exp"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -135,6 +137,12 @@ type FutureConfig struct {
 	// which keeps the 64-core systems serial and shards the 16x16/32x32
 	// meshes on multicore hosts.
 	Shards int
+	// Progress, when set, receives per-cycle ticks and inject/deliver counts
+	// for live telemetry. Nil costs a nil check per hook.
+	Progress *telemetry.Sampler
+	// Recorder, when set, is this run's flight recorder: its probe shadows
+	// the network and a wedged drain triggers a failure-window dump.
+	Recorder *telemetry.Recorder
 }
 
 func (c *FutureConfig) fill() {
@@ -182,16 +190,31 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 		}
 	}
 
+	cfg.Recorder.SetPeriodNs(periodNs)
+	var obs func(cycle int64, active int)
+	if cfg.Progress != nil {
+		obs = cfg.Progress.Observe
+	}
 	net := network.New(network.Config{
 		Topo:          sys.Grid,
 		Concentration: sys.Concentration,
 		Arch:          cfg.Arch,
 		Shards:        cfg.Shards,
+		Probe:         cfg.Recorder.Probe(),
+		Observer:      obs,
 	})
 	defer net.Close()
 	col := stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
 	col.Reserve(int(pktRate*float64(sys.Cores())*float64(cfg.MeasureCycles)) + 64)
 	net.OnDeliver = col.OnDeliver
+	if cfg.Progress != nil {
+		prog := cfg.Progress
+		net.OnDeliver = func(p *noc.Packet, cycle int64) {
+			col.OnDeliver(p, cycle)
+			prog.CountDeliver(1, int64(p.Length))
+		}
+		prog.RunStarted()
+	}
 
 	cores := sys.Cores()
 	base := sim.NewRNG(cfg.Seed)
@@ -213,6 +236,7 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 		if cyc == cfg.WarmupCycles {
 			start = *net.Counters()
 		}
+		injected := 0
 		for c := 0; c < cores; c++ {
 			if !procs[c].Tick() {
 				continue
@@ -226,18 +250,28 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 			}
 			p := net.Inject(src, dst, 1, 0)
 			col.OnCreate(p, cyc)
+			injected++
+		}
+		if injected > 0 {
+			cfg.Progress.CountInject(int64(injected), int64(injected))
 		}
 		net.Step()
+		cfg.Progress.Tick(cyc)
 	}
 	window := net.Counters().Sub(start)
 
 	deadline := net.Cycle() + cfg.DrainCycles
 	for !col.Complete() && net.Cycle() < deadline {
 		if net.FullyIdle() {
+			if out := net.Outstanding(); out > 0 {
+				cfg.Recorder.Trigger(net.Cycle(),
+					fmt.Sprintf("deadlock: network fully quiescent with %d packets outstanding", out))
+			}
 			net.FastForwardIdle(deadline - net.Cycle())
 			break
 		}
 		net.Step()
+		cfg.Progress.Tick(net.Cycle())
 	}
 
 	accepted := col.AcceptedFlitsPerNodeCycle(cores)
@@ -253,7 +287,7 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 		Window:            window,
 	}
 	res.MeanLatencyNs = res.MeanLatencyCycles * periodNs
-	res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * periodNs
+	res.P50LatencyNs, res.P95LatencyNs, res.P99LatencyNs = col.LatencyPercentilesNs(periodNs)
 	res.Saturated = !col.Complete() ||
 		float64(col.WindowFlits()) < 0.92*float64(col.CreatedFlits())
 	res.Energy = model.Energy(window, cfg.Arch == router.NoX)
@@ -262,6 +296,13 @@ func RunFuture(cfg FutureConfig) (RunResult, error) {
 	}
 	res.PowerMW = res.Energy.TotalPJ() / (float64(cfg.MeasureCycles) * periodNs)
 	res.EnergyDelay2 = edp2(res.PacketEnergyPJ, res.MeanLatencyNs)
+
+	cfg.Progress.RunDone(cfg.Arch.String(), window)
+	if cfg.Recorder.Triggered() {
+		if _, err := cfg.Recorder.Flush(net.WriteDiagnostic); err != nil {
+			fmt.Fprintln(os.Stderr, "harness:", err)
+		}
+	}
 	return res, nil
 }
 
@@ -276,7 +317,7 @@ type FutureStudy struct {
 // RunFutureStudy executes the paper's two-system comparison at the given
 // offered rates. It is RunFutureStudyKinds fixed to the §8 organizations.
 func RunFutureStudy(rates []float64, pattern string, seed uint64, pool *exp.Pool) (*FutureStudy, error) {
-	return RunFutureStudyKinds([]SystemKind{Mesh8x8, CMesh4x4}, rates, pattern, seed, pool, 0)
+	return RunFutureStudyKinds([]SystemKind{Mesh8x8, CMesh4x4}, rates, pattern, seed, pool, 0, Telemetry{})
 }
 
 // RunFutureStudyKinds executes the comparison over an arbitrary system
@@ -285,19 +326,23 @@ func RunFutureStudy(rates []float64, pattern string, seed uint64, pool *exp.Pool
 // simply leave a hole in the table, matching the serial study; any other
 // failure aborts the whole study. Every (system, rate, architecture)
 // point is independent, so a multi-worker pool fans them all out; shards
-// additionally parallelizes within each simulation (0 = auto).
-func RunFutureStudyKinds(kinds []SystemKind, rates []float64, pattern string, seed uint64, pool *exp.Pool, shards int) (*FutureStudy, error) {
+// additionally parallelizes within each simulation (0 = auto). tel threads
+// the tool's live telemetry into each point (Telemetry{} disables it).
+func RunFutureStudyKinds(kinds []SystemKind, rates []float64, pattern string, seed uint64, pool *exp.Pool, shards int, tel Telemetry) (*FutureStudy, error) {
 	type outcome struct {
 		res RunResult
 		err error
 	}
+	slugs := map[SystemKind]string{Mesh8x8: "mesh8x8", CMesh4x4: "cmesh4x4", Mesh16x16: "mesh16x16", Mesh32x32: "mesh32x32"}
 	perKind := len(rates) * len(router.Archs)
 	outs, err := exp.Map(context.Background(), pool, len(kinds)*perKind,
 		func(_ context.Context, i int) (outcome, error) {
 			kind := kinds[i/perKind]
 			rate := rates[i%perKind/len(router.Archs)]
 			arch := router.Archs[i%len(router.Archs)]
-			res, err := RunFuture(FutureConfig{Kind: kind, Arch: arch, RateMBps: rate, Pattern: pattern, Seed: seed, Shards: shards})
+			res, err := RunFuture(FutureConfig{Kind: kind, Arch: arch, RateMBps: rate, Pattern: pattern, Seed: seed, Shards: shards,
+				Progress: tel.Progress,
+				Recorder: tel.recorder(fmt.Sprintf("future-%s-%s-%.0fMBps", slugs[kind], arch, rate))})
 			return outcome{res, err}, nil
 		})
 	if err != nil {

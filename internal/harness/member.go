@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"math"
+	"os"
 
 	"repro/internal/network"
 	"repro/internal/noc"
@@ -64,13 +66,35 @@ func prepareSynthetic(cfg SyntheticConfig) (*synthMember, error) {
 		}
 	}
 	m.total = cfg.WarmupCycles + cfg.MeasureCycles
+
+	// Arm the flight recorder. The factory path builds one per run with a
+	// deterministic label, so sweep workers and cohort members each record
+	// into their own ring and dump to their own files. An explicit full
+	// Probe claims the network's probe slot, so recording is skipped — the
+	// user already has the complete event stream.
+	if m.cfg.Recorder == nil && m.cfg.NewRecorder != nil && m.cfg.Probe == nil {
+		m.cfg.Recorder = m.cfg.NewRecorder(fmt.Sprintf("%s-%s-%.0fMBps", m.cfg.Arch, m.cfg.Pattern, m.cfg.RateMBps))
+	}
+	m.cfg.Recorder.SetPeriodNs(m.periodNs)
+	m.cfg.Recorder.BindChecker(m.cfg.Check)
 	return m, nil
 }
 
-// netConfig returns the network configuration this member runs on.
+// netConfig returns the network configuration this member runs on. An
+// explicit Probe wins the probe slot; otherwise the flight recorder's ring
+// shadows the run.
 func (m *synthMember) netConfig() network.Config {
+	pr := m.cfg.Probe
+	if pr == nil {
+		pr = m.cfg.Recorder.Probe()
+	}
+	var obs func(cycle int64, active int)
+	if m.cfg.Progress != nil {
+		obs = m.cfg.Progress.Observe
+	}
 	return network.Config{Topo: m.cfg.Topo, Arch: m.cfg.Arch, BufferDepth: m.cfg.BufferDepth,
-		NewArbiter: m.cfg.NewArbiter, Probe: m.cfg.Probe, Shards: m.cfg.Shards, Check: m.cfg.Check}
+		NewArbiter: m.cfg.NewArbiter, Probe: pr, Shards: m.cfg.Shards, Check: m.cfg.Check,
+		Observer: obs}
 }
 
 // attach binds the member to its freshly built network: delivery collector,
@@ -87,6 +111,14 @@ func (m *synthMember) attach(net *network.Network) {
 			col.OnDeliver(p, cycle)
 			obs(p, cycle)
 		}
+	}
+	if cfg.Progress != nil {
+		prog, inner := cfg.Progress, net.OnDeliver
+		net.OnDeliver = func(p *noc.Packet, cycle int64) {
+			inner(p, cycle)
+			prog.CountDeliver(1, int64(p.Length))
+		}
+		prog.RunStarted()
 	}
 
 	base := sim.NewRNG(cfg.Seed)
@@ -111,6 +143,7 @@ func (m *synthMember) injectCycle(cyc int64) {
 	if cyc == m.cfg.WarmupCycles {
 		m.startCounters = *m.net.Counters()
 	}
+	injected := 0
 	for id := 0; id < len(m.procs); id++ {
 		if !m.procs[id].Tick() {
 			continue
@@ -122,6 +155,10 @@ func (m *synthMember) injectCycle(cyc int64) {
 		}
 		p := m.net.Inject(src, dst, m.cfg.PacketFlits, 0)
 		m.col.OnCreate(p, cyc)
+		injected++
+	}
+	if injected > 0 {
+		m.cfg.Progress.CountInject(int64(injected), int64(injected*m.cfg.PacketFlits))
 	}
 }
 
@@ -141,6 +178,10 @@ func (m *synthMember) needsDrainStep() bool {
 		return false
 	}
 	if m.net.FullyIdle() {
+		if out := m.net.Outstanding(); out > 0 {
+			m.cfg.Recorder.Trigger(m.net.Cycle(),
+				fmt.Sprintf("deadlock: network fully quiescent with %d packets outstanding", out))
+		}
 		m.net.FastForwardIdle(m.deadline - m.net.Cycle())
 		return false
 	}
@@ -175,9 +216,7 @@ func (m *synthMember) finalize() RunResult {
 		Window:            m.window,
 	}
 	res.MeanLatencyNs = res.MeanLatencyCycles * m.periodNs
-	res.P50LatencyNs = col.PercentileLatencyCycles(0.50) * m.periodNs
-	res.P95LatencyNs = col.PercentileLatencyCycles(0.95) * m.periodNs
-	res.P99LatencyNs = col.PercentileLatencyCycles(0.99) * m.periodNs
+	res.P50LatencyNs, res.P95LatencyNs, res.P99LatencyNs = col.LatencyPercentilesNs(m.periodNs)
 	res.MaxLatencyNs = float64(col.MaxLatencyCycles()) * m.periodNs
 	// Saturation: measured packets never drained, or deliveries inside the
 	// window fell visibly short of what the sources created (compared
@@ -193,6 +232,19 @@ func (m *synthMember) finalize() RunResult {
 	res.PowerMW = res.Energy.TotalPJ() / (float64(cfg.MeasureCycles) * m.periodNs)
 	if !math.IsNaN(res.MeanLatencyNs) {
 		res.EnergyDelay2 = edp2(res.PacketEnergyPJ, res.MeanLatencyNs)
+	}
+
+	// Telemetry epilogue: fold this run's window events into the live
+	// per-arch counters, and dump the failure window if anything (checker
+	// violation, drain deadlock) tripped the flight recorder.
+	cfg.Progress.RunDone(cfg.Arch.String(), m.window)
+	if cfg.Recorder.Triggered() {
+		if _, err := cfg.Recorder.Flush(func(w io.Writer) {
+			net.WriteDiagnostic(w)
+			cfg.Check.WriteReport(w)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "harness:", err)
+		}
 	}
 	return res
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/probe"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 )
 
 // SyntheticConfig parameterizes one synthetic-traffic run (§5.1).
@@ -41,8 +42,20 @@ type SyntheticConfig struct {
 	// Probe, when set, records flit-level events and per-router metrics for
 	// the run (see internal/probe). Nil disables instrumentation.
 	Probe *probe.Probe
-	// Progress, when set, receives per-cycle ticks for cycles/sec reporting.
-	Progress *probe.Progress
+	// Progress, when set, receives per-cycle ticks and inject/deliver counts
+	// for live telemetry (cycles/s, /metrics, the SSE stream). Nil costs a
+	// nil check per hook.
+	Progress *telemetry.Sampler
+	// Recorder, when set, is this run's flight recorder: its probe shadows
+	// the network (unless Probe above claims the slot) and a deadlock in the
+	// drain loop or a checker violation triggers a failure-window dump in
+	// finalize. Usually left nil and supplied per run via NewRecorder.
+	Recorder *telemetry.Recorder
+	// NewRecorder, when set and Recorder/Probe are nil, builds the run's
+	// flight recorder from a deterministic per-run label — the factory the
+	// cmd tools thread through sweeps and cohorts so every member records
+	// into its own ring. A factory returning nil disarms recording.
+	NewRecorder func(label string) *telemetry.Recorder
 	// Shards selects the simulation execution mode (see network.Config):
 	// 0 = automatic crossover, 1 = serial, N >= 2 = sharded worker pool.
 	// Results are bit-identical at every setting.

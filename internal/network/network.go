@@ -74,6 +74,12 @@ type Config struct {
 	// Serial execution only: sharded networks grow their shard arenas on
 	// worker goroutines and ignore this field.
 	FlitBlocks *noc.BlockPool
+	// Observer, when non-nil, is installed as an additional kernel observer
+	// (after the probe's sampler): it fires at the end of every stepped or
+	// fast-forwarded cycle with the active-component count. The telemetry
+	// sampler (internal/telemetry) hangs its live cycles/s and activity
+	// gauges here. Same contract as sim.Kernel.AddObserver.
+	Observer func(cycle int64, active int)
 }
 
 // FaultInjector is the contract between a network and a fault-injection
@@ -448,7 +454,10 @@ func New(cfg Config) *Network {
 		}
 	}
 	if n.probe != nil {
-		n.kernel.SetObserver(n.probe.Tick)
+		n.kernel.AddObserver(n.probe.Tick)
+	}
+	if cfg.Observer != nil {
+		n.kernel.AddObserver(cfg.Observer)
 	}
 	return n
 }

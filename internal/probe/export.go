@@ -56,13 +56,32 @@ type chromeEvent struct {
 // scaled by Config.PeriodNs when set (1 cycle = PeriodNs ns) or 1 cycle =
 // 1 us otherwise, so relative timing is exact either way.
 func (p *Probe) WriteChromeTrace(w io.Writer) error {
+	header := fmt.Sprintf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"periodNs\":%g,\"events\":%d,\"dropped\":%d},\"traceEvents\":[\n",
+		p.cfg.PeriodNs, p.EventCount(), p.Dropped())
+	return p.writeChromeEvents(w, header, p.Events())
+}
+
+// WriteChromeTraceWindow renders only the events with cycle in [start, end]
+// — the flight recorder's failure-window dump. The header carries the
+// window bounds and the in-window event count instead of ring totals, so
+// two probes that observed the same event stream over the window render
+// byte-identical output regardless of their ring sizes or wrap history.
+func (p *Probe) WriteChromeTraceWindow(w io.Writer, start, end int64) error {
+	evs := p.EventsWindow(start, end)
+	header := fmt.Sprintf("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"periodNs\":%g,\"windowStart\":%d,\"windowEnd\":%d,\"events\":%d},\"traceEvents\":[\n",
+		p.cfg.PeriodNs, start, end, len(evs))
+	return p.writeChromeEvents(w, header, evs)
+}
+
+// writeChromeEvents is the shared Chrome-trace body: header, track
+// metadata, then the given events.
+func (p *Probe) writeChromeEvents(w io.Writer, header string, events []Event) error {
 	bw := bufio.NewWriter(w)
 	scale := 1.0
 	if p.cfg.PeriodNs > 0 {
 		scale = p.cfg.PeriodNs * 1e-3 // ns -> us
 	}
-	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"periodNs\":%g,\"events\":%d,\"dropped\":%d},\"traceEvents\":[\n",
-		p.cfg.PeriodNs, p.EventCount(), p.Dropped()); err != nil {
+	if _, err := bw.WriteString(header); err != nil {
 		return err
 	}
 
@@ -103,7 +122,7 @@ func (p *Probe) WriteChromeTrace(w io.Writer) error {
 		}
 	}
 
-	for _, ev := range p.Events() {
+	for _, ev := range events {
 		ce := chromeEvent{
 			Name: ev.Kind.String(),
 			Ts:   float64(ev.Cycle) * scale,

@@ -336,6 +336,26 @@ func (p *Probe) Events() []Event {
 	return out
 }
 
+// EventsWindow returns the retained events with cycle in [start, end], in
+// chronological order (a copy). Events that fell inside the window but were
+// overwritten by ring wraparound are gone; compare len(EventsWindow) against
+// Dropped to detect a window that outlived the ring.
+func (p *Probe) EventsWindow(start, end int64) []Event {
+	all := p.Events()
+	// The ring is chronological, so the window is one contiguous run.
+	lo := 0
+	for lo < len(all) && all[lo].Cycle < start {
+		lo++
+	}
+	hi := lo
+	for hi < len(all) && all[hi].Cycle <= end {
+		hi++
+	}
+	out := make([]Event, hi-lo)
+	copy(out, all[lo:hi])
+	return out
+}
+
 // Routers returns the per-router metrics, indexed by router node ID.
 func (p *Probe) Routers() []RouterMetrics { return p.routers }
 

@@ -3,15 +3,14 @@ package probe
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"time"
 )
 
 // Profiling hooks shared by every cmd tool: -cpuprofile / -memprofile flag
-// registration, and a cycles-per-second progress reporter for long runs.
+// registration. (Progress reporting lives in internal/telemetry, whose
+// sampler replaced the printer that used to live here.)
 
 // ProfileFlags holds the standard profiling flag values.
 type ProfileFlags struct {
@@ -61,51 +60,4 @@ func (pf *ProfileFlags) Start() (stop func(), err error) {
 			}
 		}
 	}, nil
-}
-
-// Progress reports simulation throughput (cycles per second) to a writer.
-// Tick it from the simulation loop; it prints at most once per interval.
-type Progress struct {
-	w         io.Writer
-	every     time.Duration
-	start     time.Time
-	last      time.Time
-	lastCycle int64
-}
-
-// NewProgress returns a reporter printing to w at most every interval.
-// A nil *Progress is valid and does nothing.
-func NewProgress(w io.Writer, every time.Duration) *Progress {
-	if every <= 0 {
-		every = time.Second
-	}
-	now := time.Now()
-	return &Progress{w: w, every: every, start: now, last: now}
-}
-
-// Tick reports progress when the interval has elapsed.
-func (p *Progress) Tick(cycle int64) {
-	if p == nil {
-		return
-	}
-	now := time.Now()
-	if now.Sub(p.last) < p.every {
-		return
-	}
-	rate := float64(cycle-p.lastCycle) / now.Sub(p.last).Seconds()
-	fmt.Fprintf(p.w, "probe: cycle %d (%.2f Mcycles/s)\n", cycle, rate/1e6)
-	p.last, p.lastCycle = now, cycle
-}
-
-// Done prints the whole-run summary: total cycles, wall time, cycles/sec.
-func (p *Progress) Done(cycle int64) {
-	if p == nil {
-		return
-	}
-	el := time.Since(p.start)
-	rate := 0.0
-	if el > 0 {
-		rate = float64(cycle) / el.Seconds()
-	}
-	fmt.Fprintf(p.w, "probe: simulated %d cycles in %v (%.2f Mcycles/s)\n", cycle, el.Round(time.Millisecond), rate/1e6)
 }

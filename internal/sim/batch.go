@@ -304,8 +304,11 @@ func (g *LockstepGroup) Step() {
 		if k.epilogue != nil {
 			k.epilogue(k.cycle)
 		}
-		if k.observer != nil {
-			k.observer(k.cycle, k.ActiveComponents())
+		if len(k.observers) > 0 {
+			active := k.ActiveComponents()
+			for _, o := range k.observers {
+				o(k.cycle, active)
+			}
 		}
 		k.cycle++
 	}

@@ -81,10 +81,10 @@ type Kernel struct {
 	// step — so contract violations fail loudly in every build.
 	stepping bool
 
-	// observer, when set, is called at the end of every Step with the
+	// observers are called in order at the end of every Step with the
 	// completed cycle and the number of components evaluated next step
-	// (observability hook; see internal/probe).
-	observer func(cycle int64, active int)
+	// (observability hooks; see internal/probe and internal/telemetry).
+	observers []func(cycle int64, active int)
 	// epilogue, when set, runs at the end of every Step before the observer,
 	// on the stepping goroutine with all workers quiescent. The sharded
 	// network uses it to drain per-shard mailboxes (deliveries, probe event
@@ -216,12 +216,22 @@ func (k *Kernel) Waker(h Handle) func() {
 func (k *Kernel) WakeInt(h int) { k.Wake(Handle(h)) }
 
 // SetObserver installs a hook called at the end of every Step with the
-// completed cycle number and the active-component count. A nil fn removes
-// the hook. The hook runs on the stepping goroutine with all shard workers
-// quiescent; it must not call Step, Add, or AddLate — the kernel's
-// reentrancy guard panics if it does.
+// completed cycle number and the active-component count, replacing any
+// hooks installed so far. A nil fn removes them all. Hooks run on the
+// stepping goroutine with all shard workers quiescent; they must not call
+// Step, Add, or AddLate — the kernel's reentrancy guard panics if they do.
 func (k *Kernel) SetObserver(fn func(cycle int64, active int)) {
-	k.observer = fn
+	k.observers = k.observers[:0]
+	k.AddObserver(fn)
+}
+
+// AddObserver appends an observer hook, keeping those already installed;
+// hooks fire in installation order. A nil fn is ignored. The same
+// contract as SetObserver applies.
+func (k *Kernel) AddObserver(fn func(cycle int64, active int)) {
+	if fn != nil {
+		k.observers = append(k.observers, fn)
+	}
 }
 
 // SetEpilogue installs a hook that runs at the end of every Step, before
@@ -268,8 +278,11 @@ func (k *Kernel) Step() {
 	if k.epilogue != nil {
 		k.epilogue(k.cycle)
 	}
-	if k.observer != nil {
-		k.observer(k.cycle, k.ActiveComponents())
+	if len(k.observers) > 0 {
+		active := k.ActiveComponents()
+		for _, o := range k.observers {
+			o(k.cycle, active)
+		}
 	}
 	k.cycle++
 	k.stepping = false
@@ -319,7 +332,7 @@ func (k *Kernel) FastForward(n int64) int64 {
 	if n <= 0 || !k.FullyIdle() {
 		return 0
 	}
-	if k.epilogue == nil && k.observer == nil {
+	if k.epilogue == nil && len(k.observers) == 0 {
 		k.cycle += n
 		return n
 	}
@@ -327,8 +340,8 @@ func (k *Kernel) FastForward(n int64) int64 {
 		if k.epilogue != nil {
 			k.epilogue(k.cycle)
 		}
-		if k.observer != nil {
-			k.observer(k.cycle, 0)
+		for _, o := range k.observers {
+			o(k.cycle, 0)
 		}
 		k.cycle++
 	}

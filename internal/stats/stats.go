@@ -127,6 +127,17 @@ func (c *Collector) PercentileLatencyCycles(q float64) float64 {
 	return float64(c.latencies[idx])
 }
 
+// LatencyPercentilesNs returns the P50/P95/P99 measured latencies scaled by
+// the clock period — the tail summary every result emitter (synthetic runs,
+// app replays, future-study points) reports. Centralized here so the NaN
+// guard for empty records lives in exactly one place
+// (PercentileLatencyCycles already yields NaN when nothing completed).
+func (c *Collector) LatencyPercentilesNs(periodNs float64) (p50, p95, p99 float64) {
+	return c.PercentileLatencyCycles(0.50) * periodNs,
+		c.PercentileLatencyCycles(0.95) * periodNs,
+		c.PercentileLatencyCycles(0.99) * periodNs
+}
+
 // AcceptedFlitsPerNodeCycle returns delivered throughput inside the window
 // normalized per node per cycle.
 func (c *Collector) AcceptedFlitsPerNodeCycle(nodes int) float64 {

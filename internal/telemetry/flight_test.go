@@ -1,0 +1,230 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/probe"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// xorTamper is the planted XOR-masking bug from the network fault tests: it
+// flips one bit in every encoded flit on the wire, breaking the NoX decode
+// bit-exactness identity, and refuses to account for the packets it corrupts
+// (leaky), so the delivery oracle must catch it.
+type xorTamper struct{}
+
+func (xorTamper) TamperFlit(site int32, cycle int64, f *noc.Flit) bool {
+	if f.Encoded {
+		f.Raw ^= 1 << 17
+	}
+	return false
+}
+func (xorTamper) TamperCredits(site int32, cycle int64, n int) int { return n }
+func (xorTamper) LinkStalled(site int32, cycle int64) bool         { return false }
+func (xorTamper) BindSites(n int)                                  {}
+func (xorTamper) CreditDelta(site int) int                         { return 0 }
+func (xorTamper) Impacted(id uint64) bool                          { return false }
+func (xorTamper) Leaky() bool                                      { return true }
+
+// runXORScenario replays the checker negative-control workload — hotspot
+// contention on a 4x4 NoX mesh with the XOR bug armed — against the given
+// probe and checker. The simulator is deterministic, so two calls produce
+// identical event streams.
+func runXORScenario(pr *probe.Probe, ck *check.Checker) {
+	topo := noc.Topology{Width: 4, Height: 4}
+	n := network.New(network.Config{Topo: topo, Arch: router.NoX, Check: ck, Fault: xorTamper{}, Probe: pr})
+	defer n.Close()
+	for round := 0; round < 10; round++ {
+		for id := 1; id < topo.Nodes(); id++ {
+			n.Inject(noc.NodeID(id), 0, 1, 0)
+		}
+		n.Step()
+	}
+	_ = n.DrainChecked(5000, 1000)
+	n.CheckInvariants()
+}
+
+// TestFlightRecorderNegativeControl arms the flight recorder on a run with a
+// planted XOR-masking bug and checks the failure-window dump is faithful:
+// the auto-dumped trace must byte-match a full-probe export of the same
+// window from an identical run. If the recorder's bounded ring dropped,
+// reordered, or mis-windowed events, the bytes diverge.
+func TestFlightRecorderNegativeControl(t *testing.T) {
+	dumpsBefore := telemetry.FlightDumps()
+	periodNs := physical.ClockPeriodNs(router.NoX)
+
+	// Run 1: recorder armed via the checker observer, default window/ring.
+	rec := telemetry.NewRecorder(telemetry.RecorderConfig{
+		Dir: t.TempDir(), Label: "negative-control", PeriodNs: periodNs,
+	})
+	ck := check.New(check.All())
+	rec.BindChecker(ck)
+	runXORScenario(rec.Probe(), ck)
+
+	if ck.Counts()[check.KindDecode] == 0 {
+		t.Fatal("scenario did not produce decode violations — negative control is broken")
+	}
+	if !rec.Triggered() {
+		t.Fatal("checker recorded violations but the recorder never triggered")
+	}
+	path, err := rec.Flush(nil)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if path == "" || path != rec.TracePath() {
+		t.Fatalf("Flush path %q, TracePath %q", path, rec.TracePath())
+	}
+	if telemetry.FlightDumps() <= dumpsBefore {
+		t.Error("flight dump counter did not advance")
+	}
+	dumped, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+
+	// Run 2: identical scenario captured by an unbounded full probe; export
+	// exactly the window the recorder dumped.
+	full := probe.New(probe.Config{RingEvents: 1 << 18, PeriodNs: periodNs})
+	runXORScenario(full, check.New(check.All()))
+	start, end := rec.Window()
+	var want bytes.Buffer
+	if err := full.WriteChromeTraceWindow(&want, start, end); err != nil {
+		t.Fatalf("WriteChromeTraceWindow: %v", err)
+	}
+	if !bytes.Equal(dumped, want.Bytes()) {
+		t.Errorf("flight dump diverges from full-probe window [%d,%d]: dump %d bytes, full %d bytes",
+			start, end, len(dumped), want.Len())
+	}
+
+	// The report rides along with the trace.
+	report, err := os.ReadFile(path[:len(path)-len(".trace.json")] + ".report.txt")
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if !bytes.Contains(report, []byte("check violation")) {
+		t.Errorf("report does not name the trigger:\n%s", report)
+	}
+}
+
+// TestFlightRecorderRingWrap drives enough traffic through a deliberately
+// tiny recorder ring to wrap it many times over, then checks the ring
+// discipline: retained events stay chronological, EventsWindow agrees with a
+// manual filter over Events for arbitrary windows, and the post-wrap dump is
+// still a parsable non-empty trace.
+func TestFlightRecorderRingWrap(t *testing.T) {
+	rec := telemetry.NewRecorder(telemetry.RecorderConfig{
+		Dir: t.TempDir(), Label: "ring-wrap", RingEvents: 256, Window: 512,
+	})
+	pr := rec.Probe()
+	net := network.New(network.Config{Topo: noc.Topology{Width: 4, Height: 4}, Arch: router.NoX, Probe: pr})
+	defer net.Close()
+
+	rng := sim.NewRNG(7)
+	nodes := net.Topology().Nodes()
+	for cyc := 0; cyc < 2000; cyc++ {
+		src := noc.NodeID(rng.Intn(nodes))
+		dst := noc.NodeID(rng.Intn(nodes))
+		if src != dst {
+			net.Inject(src, dst, 2, 0)
+		}
+		net.Step()
+	}
+
+	if pr.Dropped() == 0 {
+		t.Fatalf("ring never wrapped: %d events in a 256-slot ring", pr.EventCount())
+	}
+	all := pr.Events()
+	if len(all) != 256 {
+		t.Fatalf("wrapped ring retained %d events, want 256", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Cycle < all[i-1].Cycle {
+			t.Fatalf("retained events out of order at %d: cycle %d after %d", i, all[i].Cycle, all[i-1].Cycle)
+		}
+	}
+
+	lo, hi := all[0].Cycle, all[len(all)-1].Cycle
+	windows := [][2]int64{
+		{lo, hi},                         // everything retained
+		{lo - 100, hi + 100},             // superset
+		{lo + (hi-lo)/4, hi - (hi-lo)/4}, // interior
+		{hi + 1, hi + 50},                // past the end: empty
+		{0, lo - 1},                      // overwritten prefix: empty
+	}
+	for _, w := range windows {
+		got := pr.EventsWindow(w[0], w[1])
+		var want int
+		for _, ev := range all {
+			if ev.Cycle >= w[0] && ev.Cycle <= w[1] {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Errorf("EventsWindow[%d,%d] returned %d events, manual filter %d", w[0], w[1], len(got), want)
+			continue
+		}
+		for i, ev := range got {
+			if ev.Cycle < w[0] || ev.Cycle > w[1] {
+				t.Errorf("EventsWindow[%d,%d] event %d at cycle %d outside window", w[0], w[1], i, ev.Cycle)
+			}
+		}
+	}
+
+	// A dump after heavy wrap still yields a valid, non-empty trace.
+	rec.Trigger(net.Cycle(), "ring-wrap test")
+	path, err := rec.Flush(nil)
+	if err != nil || path == "" {
+		t.Fatalf("Flush after wrap: %q, %v", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("post-wrap dump is not valid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("post-wrap dump holds no events")
+	}
+}
+
+// TestRecorderSteadyStateZeroAllocs proves the armed recorder is free on the
+// hot path: stepping a loaded network with the flight ring attached must not
+// allocate. This is the property that justifies arming it by default.
+func TestRecorderSteadyStateZeroAllocs(t *testing.T) {
+	rec := telemetry.NewRecorder(telemetry.RecorderConfig{
+		Dir: t.TempDir(), Label: "allocs", PeriodNs: physical.ClockPeriodNs(router.NoX),
+	})
+	net := network.New(network.Config{Arch: router.NoX, Probe: rec.Probe()})
+	defer net.Close()
+
+	rng := sim.NewRNG(1)
+	topo := net.Topology()
+	for n := 0; n < topo.Nodes(); n++ {
+		for k := 0; k < 4; k++ {
+			dst := noc.NodeID(rng.Intn(topo.Nodes()))
+			if dst != noc.NodeID(n) {
+				net.Inject(noc.NodeID(n), dst, 64, 0)
+			}
+		}
+	}
+	// Warm the arenas and reach a flowing steady state.
+	for i := 0; i < 200; i++ {
+		net.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() { net.Step() }); avg != 0 {
+		t.Errorf("steady-state Step with armed recorder allocates %.2f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+)
+
+// TestRegistryRoundTrip renders a registry holding every metric shape the
+// package emits and feeds the output back through ParseExposition — the
+// format the telemetry-smoke gate validates against a live server.
+func TestRegistryRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddCounterFunc("nox_test_total", "a counter", func() float64 { return 42 })
+	reg.AddGaugeFunc("nox_test_gauge", "a gauge", func() float64 { return 2.5 })
+	reg.AddRaw(ArchEventWriter(func() map[string]power.Counters {
+		return map[string]power.Counters{
+			"NoX":      {Xbar: 7, Decode: 3},
+			"Non-Spec": {BufWrite: 1},
+		}
+	}))
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE nox_test_total counter",
+		"nox_test_total 42",
+		"# TYPE nox_test_gauge gauge",
+		"nox_test_gauge 2.5",
+		`nox_arch_events_total{arch="NoX",event="xbar"} 7`,
+		`nox_arch_events_total{arch="Non-Spec",event="buf_write"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	samples, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseExposition rejected registry output: %v", err)
+	}
+	// Two scalars plus 13 event kinds for each of the two architectures.
+	if want := 2 + 2*13; samples != want {
+		t.Errorf("ParseExposition counted %d samples, want %d", samples, want)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"no value", "nox_cycles_total\n"},
+		{"bad value", "nox_cycles_total forty\n"},
+		{"bad name", "9leading_digit 1\n"},
+		{"unterminated labels", `nox_x{arch="NoX" 1` + "\n"},
+		{"bad type comment", "# TYPE nox_x flavor\n"},
+		{"bad timestamp", "nox_x 1 soon\n"},
+		{"trailing garbage", "nox_x 1 2 3\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseExposition([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: ParseExposition accepted %q", tc.name, tc.doc)
+		}
+	}
+	// Accepted shapes: free-form comments, blank lines, labels with escaped
+	// quotes, explicit timestamps.
+	ok := "# just a comment\n\nnox_x{l=\"a\\\"b\"} 1 1700000000\nnox_y 2\n"
+	samples, err := ParseExposition([]byte(ok))
+	if err != nil {
+		t.Fatalf("ParseExposition rejected valid doc: %v", err)
+	}
+	if samples != 2 {
+		t.Errorf("counted %d samples, want 2", samples)
+	}
+}
+
+func TestSamplerCounts(t *testing.T) {
+	s := NewSampler(time.Hour) // throttle never fires during the test
+	for i := 0; i < 5; i++ {
+		s.Observe(int64(i), 3)
+	}
+	s.CountInject(4, 8)
+	s.CountDeliver(2, 2)
+	s.RunStarted()
+	s.RunDone("NoX", power.Counters{Xbar: 10})
+	s.RunDone("NoX", power.Counters{Xbar: 5, Decode: 1})
+
+	snap := s.Snapshot()
+	if snap.CyclesTotal != 5 || snap.ActiveComponents != 3 {
+		t.Errorf("cycles=%d active=%d, want 5/3", snap.CyclesTotal, snap.ActiveComponents)
+	}
+	if snap.InjectedPackets != 4 || snap.InjectedFlits != 8 {
+		t.Errorf("injected %d/%d, want 4/8", snap.InjectedPackets, snap.InjectedFlits)
+	}
+	if snap.DeliveredPackets != 2 || snap.DeliveredFlits != 2 {
+		t.Errorf("delivered %d/%d, want 2/2", snap.DeliveredPackets, snap.DeliveredFlits)
+	}
+	if snap.RunsStarted != 1 || snap.RunsDone != 2 {
+		t.Errorf("runs %d/%d, want 1 started 2 done", snap.RunsStarted, snap.RunsDone)
+	}
+	arch := s.archSnapshot()
+	if got := arch["NoX"]; got.Xbar != 15 || got.Decode != 1 {
+		t.Errorf("arch totals did not accumulate: %+v", got)
+	}
+
+	// The sampler's registry output must itself round-trip.
+	reg := NewRegistry()
+	s.Register(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if _, err := ParseExposition(buf.Bytes()); err != nil {
+		t.Fatalf("sampler exposition does not parse: %v", err)
+	}
+}
+
+// TestNilSafety exercises every nil-receiver path the hot loops rely on: a
+// disabled telemetry plane must cost only the nil checks, never panic.
+func TestNilSafety(t *testing.T) {
+	var s *Sampler
+	s.Observe(1, 2)
+	s.CountInject(1, 1)
+	s.CountDeliver(1, 1)
+	s.RunStarted()
+	s.RunDone("NoX", power.Counters{})
+	s.Tick(1)
+	s.Done(1)
+	s.EnableLog(nil)
+	s.SetHub(nil)
+	s.Register(NewRegistry())
+	if snap := s.Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("nil sampler snapshot not zero: %+v", snap)
+	}
+
+	var r *Recorder
+	r.SetPeriodNs(1)
+	r.BindChecker(nil)
+	r.Trigger(1, "x")
+	if r.Triggered() {
+		t.Error("nil recorder reports triggered")
+	}
+	if p := r.Probe(); p != nil {
+		t.Error("nil recorder returned a live probe")
+	}
+	if path, err := r.Flush(nil); path != "" || err != nil {
+		t.Errorf("nil recorder Flush = %q, %v", path, err)
+	}
+
+	var h *Hub
+	h.Publish([]byte("x"))
+	if h.Subscribers() != 0 {
+		t.Error("nil hub has subscribers")
+	}
+
+	var srv *Server
+	if err := srv.Close(); err != nil {
+		t.Errorf("nil server Close: %v", err)
+	}
+}
+
+func TestRecorderTriggerFirstWins(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Dir: t.TempDir(), Window: 100})
+	if r.Triggered() {
+		t.Fatal("fresh recorder already triggered")
+	}
+	r.Trigger(500, "first failure")
+	r.Trigger(900, "second failure")
+	if !r.Triggered() {
+		t.Fatal("recorder not triggered")
+	}
+	start, end := r.Window()
+	if start != 401 || end != 500 {
+		t.Errorf("window [%d,%d], want [401,500] (first trigger wins)", start, end)
+	}
+
+	// Early triggers clamp the window start at cycle 0.
+	r2 := NewRecorder(RecorderConfig{Dir: t.TempDir(), Window: 100})
+	r2.Trigger(10, "early")
+	if start, end := r2.Window(); start != 0 || end != 10 {
+		t.Errorf("window [%d,%d], want [0,10]", start, end)
+	}
+}
+
+func TestRecorderFlushWithoutTrigger(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Dir: t.TempDir()})
+	r.Probe() // armed and attached, but nothing failed
+	path, err := r.Flush(nil)
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if path != "" {
+		t.Errorf("untriggered recorder dumped %q", path)
+	}
+	if r.TracePath() != "" {
+		t.Errorf("untriggered recorder has trace path %q", r.TracePath())
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"app-blackscholes-NoX": "app-blackscholes-NoX",
+		"future mesh/8x8:Spec": "future-mesh-8x8-Spec",
+		"a_b.c-1":              "a_b.c-1",
+	} {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHubPublishSubscribe(t *testing.T) {
+	h := NewHub()
+	h.Publish([]byte("dropped")) // no subscribers: must not block or panic
+	ch := h.subscribe()
+	if h.Subscribers() != 1 {
+		t.Fatalf("Subscribers = %d, want 1", h.Subscribers())
+	}
+	h.Publish([]byte("hello"))
+	select {
+	case got := <-ch:
+		if string(got) != "hello" {
+			t.Errorf("subscriber got %q", got)
+		}
+	default:
+		t.Error("published event not delivered to subscriber")
+	}
+	// A full subscriber buffer drops events instead of blocking the publisher.
+	for i := 0; i < cap(ch)+4; i++ {
+		h.Publish([]byte("burst"))
+	}
+	h.unsubscribe(ch)
+	if h.Subscribers() != 0 {
+		t.Errorf("Subscribers = %d after unsubscribe", h.Subscribers())
+	}
+}
+
+// TestServerEndpoints boots the live telemetry server on an ephemeral port
+// and scrapes every endpoint the Makefile's telemetry-smoke target curls.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddCounterFunc("nox_cycles_total", "cycles", func() float64 { return 123 })
+	srv, err := StartServer("127.0.0.1:0", reg, NewHub())
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics status %d", code)
+	} else {
+		n, err := ParseExposition(body)
+		if err != nil || n == 0 {
+			t.Errorf("/metrics not valid exposition (%d samples): %v\n%s", n, err, body)
+		}
+		if !strings.Contains(string(body), "nox_cycles_total 123") {
+			t.Errorf("/metrics missing registered counter:\n%s", body)
+		}
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(string(body), "memstats") {
+		t.Errorf("/debug/vars = %d (memstats missing)", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(string(body), "/metrics") {
+		t.Errorf("index = %d (endpoint catalogue missing)", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
