@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke batch-smoke telemetry-smoke fuzz-smoke
+.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke batch-smoke telemetry-smoke snapshot-smoke fuzz-smoke
 
 ## check: the CI gate — build, vet, static analysis, the full test suite
 ## under the race detector (the parallel experiment engine makes this
-## mandatory), the tracing, fault-injection, batched-execution, and live
-## telemetry smoke tests, a short fuzz pass over the user-facing decoders,
-## and a soft benchmark-regression check against the newest committed
-## snapshot.
-check: build vet lint race trace-smoke fault-smoke batch-smoke telemetry-smoke fuzz-smoke bench-compare
+## mandatory), the tracing, fault-injection, batched-execution, live
+## telemetry, and checkpoint/restore smoke tests, a short fuzz pass over the
+## user-facing decoders, and a soft benchmark-regression check against the
+## newest committed snapshot.
+check: build vet lint race trace-smoke fault-smoke batch-smoke telemetry-smoke snapshot-smoke fuzz-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -141,10 +141,36 @@ telemetry-smoke:
 	"$$tmp/noxtrace" -validate-metrics "$$tmp/metrics.txt"; \
 	echo "telemetry-smoke: OK"
 
+## snapshot-smoke: checkpoint/restore end to end under the race detector —
+## interrupt a noxsim run via periodic -checkpoint, resume it with -restore,
+## and require the resumed run's report to be byte-identical to the
+## uninterrupted run's. Then do the warm-start equivalent with noxsweep: a
+## -warmstart sweep that persists its warm images must render the same CSV
+## as a second sweep that -restores them from the cache.
+snapshot-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	set -e; \
+	$(GO) run -race ./cmd/noxsim -arch nox -pattern uniform -rate 1400 \
+		-warmup 1000 -measure 3000 > "$$tmp/straight.txt" && \
+	$(GO) run -race ./cmd/noxsim -arch nox -pattern uniform -rate 1400 \
+		-warmup 1000 -measure 3000 -checkpoint "$$tmp/sim.noxckpt" -checkpoint-every 1500 \
+		> /dev/null && \
+	$(GO) run -race ./cmd/noxsim -arch nox -pattern uniform -rate 1400 \
+		-warmup 1000 -measure 3000 -restore "$$tmp/sim.noxckpt" > "$$tmp/resumed.txt" && \
+	cmp "$$tmp/straight.txt" "$$tmp/resumed.txt" && \
+	$(GO) run -race ./cmd/noxsweep -fast -pattern uniform -csv -parallel 1 \
+		-warmstart -checkpoint "$$tmp/warm" > "$$tmp/warmed.csv" && \
+	$(GO) run -race ./cmd/noxsweep -fast -pattern uniform -csv -parallel 1 \
+		-restore "$$tmp/warm" > "$$tmp/cached.csv" && \
+	cmp "$$tmp/warmed.csv" "$$tmp/cached.csv" && \
+	echo "snapshot-smoke: OK"
+
 ## fuzz-smoke: a short native-fuzz pass over the user-facing decoders
-## (noxtrace -validate, noxbench snapshot JSON). The committed seed corpora
-## always run under plain `go test`; this adds a little coverage-guided
-## mutation on top without turning CI into a fuzz farm.
+## (noxtrace -validate, noxbench snapshot JSON, the binary snapshot image
+## decoder). The committed seed corpora always run under plain `go test`;
+## this adds a little coverage-guided mutation on top without turning CI
+## into a fuzz farm.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzValidateTrace$$' -fuzztime 10s ./cmd/noxtrace
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime 10s ./cmd/noxbench
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/snapshot

@@ -103,7 +103,7 @@ func benchAppResults(b *testing.B, workload string) map[router.Arch]harness.AppR
 		b.Fatal(err)
 	}
 	tr := trace.Generate(w, harness.Table1().Topo, 8000, 7)
-	return harness.RunAppAllArchs(tr, 0, benchPool, 0, harness.Telemetry{})
+	return harness.RunAppAllArchs(tr, 0, benchPool, 0, harness.Telemetry{}, harness.AppCheckpoint{})
 }
 
 // BenchmarkFigure10ApplicationLatency regenerates one workload's Figure 10
@@ -355,6 +355,50 @@ func BenchmarkBatchedSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWarmStartSweep measures the checkpoint/fork payoff on a
+// warm-up-dominated sweep, the shape the low rungs of the Figure 8 ladder
+// have: cold re-runs the 3000-cycle warm phase for every (arch, rate)
+// point, warm runs it once per architecture, snapshots the complete
+// simulation state, and forks every rate point from the copy. Both paths
+// render byte-identical CSV (pinned here and in the harness tests), so the
+// cold/warm ns/op ratio is pure wall-clock saved. Serial on purpose — a
+// pool would overlap the redundant warm-ups and hide the work the
+// snapshot path eliminates.
+func BenchmarkWarmStartSweep(b *testing.B) {
+	base := harness.SyntheticConfig{
+		Pattern: "uniform", Seed: 0xA11CE, Shards: 1,
+		WarmupCycles: 3000, MeasureCycles: 600, DrainCycles: 8000,
+		WarmRateMBps: 600,
+	}
+	rates := []float64{400, 600, 800, 1000}
+	warm := base
+	warm.WarmStart = true
+	var coldCSV, warmCSV string
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pts, err := harness.SweepSynthetic(base, rates, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coldCSV = harness.SweepCSV("uniform", pts)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pts, err := harness.SweepSynthetic(warm, rates, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warmCSV = harness.SweepCSV("uniform", pts)
+		}
+	})
+	if coldCSV != "" && warmCSV != "" && coldCSV != warmCSV {
+		b.Fatal("warm-start sweep CSV diverged from the cold sweep")
 	}
 }
 

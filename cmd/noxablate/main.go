@@ -21,6 +21,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/telemetry"
+	"repro/internal/version"
 )
 
 func main() {
@@ -33,7 +34,9 @@ func main() {
 	)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxablate")
 	sess, err := tf.Start("noxablate")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxablate:", err)

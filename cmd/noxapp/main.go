@@ -20,6 +20,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func main() {
@@ -31,10 +32,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1234, "trace generation seed")
 		parallel  = flag.Int("parallel", 0, "worker count for per-architecture replays (0 = all CPUs, 1 = serial; output is identical)")
 		shards    = flag.Int("shards", 0, "intra-simulation worker shards per network (0 = auto, 1 = serial; output is identical)")
+		ckptDir   = flag.String("checkpoint", "", "persist a resumable checkpoint per (workload, architecture) replay into this directory (atomic overwrite)")
+		ckptEvery = flag.Int64("checkpoint-every", 20000, "checkpoint period in network cycles (with -checkpoint)")
+		restore   = flag.String("restore", "", "resume replays from checkpoints in this directory; replays without a checkpoint cold-start")
+		warm      = flag.Bool("warmstart", false, "not applicable to open-loop trace replay (errors with guidance; see -checkpoint/-restore)")
 	)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxapp")
 	sess, err := tf.Start("noxapp")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxapp:", err)
@@ -51,6 +58,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxapp:", err)
 		os.Exit(1)
+	}
+	if *warm {
+		fmt.Fprintln(os.Stderr, "noxapp: -warmstart: application traces replay open-loop with no shared warm-up phase — every event is injected at its trace timestamp. Use -checkpoint/-restore to make replays resumable, or noxsweep -warmstart for synthetic sweeps.")
+		os.Exit(1)
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "noxapp:", err)
+			os.Exit(1)
+		}
 	}
 
 	workloads := trace.Workloads
@@ -70,7 +87,8 @@ func main() {
 		fmt.Printf("replaying %-8s (%6d packets, offered %6.0f MB/s/node)\n",
 			w.Name, len(tr.Events), tr.MeanInjectionMBps())
 		results = append(results, harness.RunAppAllArchs(tr, 0, pool, *shards,
-			harness.Telemetry{Progress: sess.Sampler(), NewRecorder: sess.NewRecorder}))
+			harness.Telemetry{Progress: sess.Sampler(), NewRecorder: sess.NewRecorder},
+			harness.AppCheckpoint{Dir: *ckptDir, Every: *ckptEvery, RestoreDir: *restore}))
 	}
 	fmt.Println()
 	if *csv {

@@ -23,17 +23,17 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/version"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -63,20 +63,6 @@ type Snapshot struct {
 	GitDirty     bool        `json:"git_dirty,omitempty"`
 	Host         string      `json:"host,omitempty"`
 	Benchmarks   []Benchmark `json:"benchmarks"`
-}
-
-// gitProvenance returns the working tree's HEAD commit and dirty state,
-// empty when git or the repository is unavailable.
-func gitProvenance() (sha string, dirty bool) {
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return "", false
-	}
-	sha = strings.TrimSpace(string(out))
-	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
-		dirty = len(bytes.TrimSpace(st)) > 0
-	}
-	return sha, dirty
 }
 
 // describe renders a snapshot's provenance for the compare header: its
@@ -165,7 +151,9 @@ func main() {
 		threshold = flag.Float64("threshold", 0.20, "ns/op regression threshold for -compare (0.20 = 20% slower fails)")
 		floor     = flag.Float64("floor", 50_000, "absolute ns/op noise floor for -compare: slowdowns smaller than this never fail")
 	)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxbench")
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -202,7 +190,7 @@ func main() {
 		NumCPU:       runtime.NumCPU(),
 		Benchmarks:   benches,
 	}
-	snap.GitSHA, snap.GitDirty = gitProvenance()
+	snap.GitSHA, snap.GitDirty = version.Git()
 	if host, err := os.Hostname(); err == nil {
 		snap.Host = host
 	}

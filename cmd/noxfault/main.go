@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/batch"
@@ -34,7 +35,10 @@ import (
 	"repro/internal/physical"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/codec"
 	"repro/internal/telemetry"
+	"repro/internal/version"
 )
 
 // outcome classifies one campaign.
@@ -97,6 +101,66 @@ type params struct {
 	// (arch, campaign), so the serial, sharded, and batched paths write the
 	// same dump files; the report text is unaffected either way.
 	newRecorder func(label string) *telemetry.Recorder
+	// warm holds one shared warm image per architecture (-warmstart): a
+	// fault-free network driven to steady state once, restored into every
+	// campaign so faults hit loaded queues instead of an empty mesh. The
+	// image is computed before the campaigns fan out, so the serial,
+	// parallel, sharded, and batched paths restore identical state and the
+	// report stays byte-identical across them.
+	warm map[router.Arch][]byte
+	// ckptDir, when set (-checkpoint), saves a full network snapshot of
+	// every detected or undetected campaign's final state for post-mortem
+	// inspection (noxfault -restore <file>).
+	ckptDir string
+}
+
+// restoreWarm rewinds a freshly built campaign network to its
+// architecture's shared warm image (a no-op without -warmstart). The warm
+// image was saved checker-armed from an identically shaped network, so the
+// cell's own checker inherits the warm phase's delivery ledger.
+func restoreWarm(net *network.Network, arch router.Arch, p params) {
+	if img := p.warm[arch]; img != nil {
+		if err := snapshot.DecodeInto(img, net); err != nil {
+			panic("warm restore: " + err.Error())
+		}
+	}
+}
+
+// warmFault drives one architecture's fault-free warm phase: uniform
+// traffic at the campaign load for cycles cycles, checker armed, no
+// injector, and returns the network snapshot every campaign of that
+// architecture resumes from. The traffic stream has its own seed, shared by
+// all campaigns of the architecture.
+func warmFault(arch router.Arch, p params, cycles int64, seed uint64) ([]byte, error) {
+	ck := check.New(check.All())
+	net, err := network.Build(network.Config{
+		Topo: p.topo, Arch: arch, BufferDepth: p.bufferDepth,
+		Shards: p.shards, Check: ck,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer net.Close()
+	rng := sim.NewRNG(seed)
+	cores := net.Cores()
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		for id := 0; id < cores; id++ {
+			if rng.Float64() >= p.load {
+				continue
+			}
+			dst := rng.Intn(cores - 1)
+			if dst >= id {
+				dst++
+			}
+			length := 1
+			if p.multi > 0 && rng.Float64() < p.multi {
+				length = 4
+			}
+			net.Inject(noc.NodeID(id), noc.NodeID(dst), length, 0)
+		}
+		net.Step()
+	}
+	return snapshot.Encode(net)
 }
 
 // cellRecorder arms cell c's flight recorder: probe ring sized for the
@@ -147,6 +211,7 @@ func run(arch router.Arch, idx int, p params) (c cell) {
 		panic(err.Error())
 	}
 	defer net.Close()
+	restoreWarm(net, arch, p)
 
 	// Uniform-random traffic from the campaign's own stream; injection runs
 	// on the stepping goroutine, so the packet sequence is shard-invariant.
@@ -219,6 +284,15 @@ func finishCell(c *cell, net *network.Network, ck *check.Checker, inj *fault.Inj
 		c.out = outUndetected
 		c.why = fmt.Sprintf("%d packets missing, zero violations", ck.Injected()-ck.Delivered())
 	}
+	// Crash-state checkpoint (-checkpoint): persist the final network state
+	// of every campaign the fault actually damaged, for post-mortem
+	// inspection with -restore. Side effect only — the report is unaffected.
+	if p.ckptDir != "" && (c.out == outDetected || c.out == outUndetected) {
+		path := filepath.Join(p.ckptDir, fmt.Sprintf("fault-%s-c%d.nox", c.arch, c.idx))
+		if err := snapshot.SaveFile(path, net); err != nil {
+			fmt.Fprintln(os.Stderr, "noxfault: checkpoint:", err)
+		}
+	}
 }
 
 // runCohortCells executes cells [lo, hi) of the flat (arch, campaign) grid
@@ -262,6 +336,9 @@ func runCohortCells(archs []router.Arch, campaigns int, p params, lo, hi int) (c
 		panic(err.Error())
 	}
 	defer co.Close()
+	for j := 0; j < n; j++ {
+		restoreWarm(co.Net(j), cells[j].arch, p)
+	}
 
 	rngs := make([]*sim.RNG, n)
 	for j := range rngs {
@@ -340,6 +417,9 @@ func main() {
 		batchW    = flag.Int("batch", 0, "lockstep cohort width: step up to this many campaigns together on shared state (0 = off, -1 = default width; report is identical)")
 		out       = flag.String("out", "", "write the report to this file instead of stdout")
 		specPath  = flag.String("spec", "", "JSON fault-spec file (flag rates ignored when set; its seed, if nonzero, overrides -seed)")
+		warmN     = flag.Int64("warmstart", 0, "warm each architecture's network fault-free for this many cycles once, then start every campaign from the shared warm state (0 = cold campaigns)")
+		ckptDir   = flag.String("checkpoint", "", "save a full network snapshot of every detected/undetected campaign's final state into this directory (fault-<arch>-c<N>.nox)")
+		restoreIn = flag.String("restore", "", "post-mortem mode: load a campaign snapshot, print its diagnostic dump and invariant report, and exit")
 
 		bitflip    = flag.Float64("bitflip", 0.001, "per-flit-traversal bit-flip probability")
 		dropRate   = flag.Float64("drop", 0, "per-flit-traversal drop probability")
@@ -351,7 +431,9 @@ func main() {
 		endCycle   = flag.Int64("end", 0, "end of the active fault window (0 = unbounded)")
 	)
 	tf := telemetry.AddFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxfault")
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "noxfault:", err)
 		os.Exit(1)
@@ -361,6 +443,47 @@ func main() {
 		fail(err)
 	}
 	defer sess.Close()
+
+	// Post-mortem mode: rebuild the network a -checkpoint snapshot captured
+	// (structural parameters come from the image header) and print what the
+	// fault left behind. The checker-armed state must match the image, so a
+	// snapshot saved without a checker falls back to an unchecked restore.
+	if *restoreIn != "" {
+		data, err := os.ReadFile(*restoreIn)
+		if err != nil {
+			fail(err)
+		}
+		info, err := snapshot.Inspect(data)
+		if err != nil {
+			fail(err)
+		}
+		cfg := info.Config()
+		cfg.Shards = *shards
+		ck := check.New(check.All())
+		cfg.Check = ck
+		net, err := snapshot.Decode(data, cfg)
+		if errors.Is(err, codec.ErrUnsupported) {
+			cfg.Check, ck = nil, nil
+			net, err = snapshot.Decode(data, cfg)
+		}
+		if err != nil {
+			fail(err)
+		}
+		defer net.Close()
+		fmt.Printf("snapshot %s: %s %dx%d buffers=%d cycle=%d\n",
+			*restoreIn, info.Arch, info.Topo.Width, info.Topo.Height, info.BufferDepth, net.Cycle())
+		net.WriteDiagnostic(os.Stdout)
+		net.CheckInvariants()
+		if ck != nil {
+			ck.WriteReport(os.Stdout)
+		}
+		return
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
 
 	archs := router.Archs
 	if *archName != "all" {
@@ -408,6 +531,17 @@ func main() {
 		watchdog:    *watchdog,
 		template:    template,
 		newRecorder: sess.NewRecorder,
+		ckptDir:     *ckptDir,
+	}
+	if *warmN > 0 {
+		p.warm = make(map[router.Arch][]byte, len(archs))
+		for _, a := range archs {
+			img, err := warmFault(a, p, *warmN, template.Seed^0x5741524D) // "WARM"
+			if err != nil {
+				fail(fmt.Errorf("warm-up %s: %w", a, err))
+			}
+			p.warm[a] = img
+		}
 	}
 
 	// Fan the (arch, campaign) grid across the pool; cells are independent
@@ -461,6 +595,9 @@ func main() {
 	fmt.Fprintf(&sb, "noxfault campaign report\n")
 	fmt.Fprintf(&sb, "topo=%dx%d buffers=%d campaigns=%d cycles=%d load=%.4f multi=%.2f drain=%d watchdog=%d\n",
 		*width, *height, *buffers, *campaigns, *cycles, *load, *multi, *drain, *watchdog)
+	if *warmN > 0 {
+		fmt.Fprintf(&sb, "warmstart: %d fault-free cycles shared per architecture\n", *warmN)
+	}
 	fmt.Fprintf(&sb, "spec template: %s\n", template)
 
 	var overall [4]int

@@ -26,6 +26,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/probe"
 	"repro/internal/telemetry"
+	"repro/internal/version"
 )
 
 func main() {
@@ -39,7 +40,9 @@ func main() {
 	)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxfuture")
 	sess, err := tf.Start("noxfuture")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxfuture:", err)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/probe"
+	"repro/internal/version"
 )
 
 func main() {
@@ -24,7 +25,9 @@ func main() {
 		all       = flag.Bool("all", false, "print both Table 2 and Figure 13")
 	)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxphys")
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxphys:", err)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/probe"
 	"repro/internal/router"
+	"repro/internal/version"
 )
 
 func main() {
@@ -30,7 +31,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; output is identical)")
 	)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxpower")
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxpower:", err)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/router"
 	"repro/internal/telemetry"
+	"repro/internal/version"
 )
 
 func main() {
@@ -33,10 +34,15 @@ func main() {
 		shards      = flag.Int("shards", 0, "intra-simulation worker shards (0 = auto, 1 = serial; results are bit-identical)")
 		printConfig = flag.Bool("print-config", false, "print Table 1 system parameters and exit")
 		tracePkts   = flag.Int("trace", 0, "print the first N delivered packets")
+		ckptPath    = flag.String("checkpoint", "", "write a resumable full-state checkpoint to this file every -checkpoint-every cycles (atomic overwrite)")
+		ckptEvery   = flag.Int64("checkpoint-every", 5000, "checkpoint period in main-loop cycles (with -checkpoint)")
+		restore     = flag.String("restore", "", "resume from a checkpoint file written by -checkpoint (run parameters must match the checkpointed run)")
 	)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxsim")
 	sess, err := tf.Start("noxsim")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxsim:", err)
@@ -71,6 +77,10 @@ func main() {
 		Shards:        *shards,
 		Progress:      sess.Sampler(),
 		NewRecorder:   sess.NewRecorder,
+
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		RestorePath:     *restore,
 	}
 	if *tracePkts > 0 {
 		remaining := *tracePkts

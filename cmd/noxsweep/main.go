@@ -19,6 +19,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
+	"repro/internal/version"
 )
 
 func main() {
@@ -31,10 +32,16 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker count for sweep points (0 = all CPUs, 1 = serial; output is identical)")
 		shards   = flag.Int("shards", 0, "intra-simulation worker shards per point (0 = auto, 1 = serial; output is identical)")
 		batch    = flag.Int("batch", 0, "lockstep cohort width: step up to this many sweep points together on shared state (0 = off, -1 = default width; output is identical)")
+		warm     = flag.Bool("warmstart", false, "warm once per architecture at -warmrate and fork every rate point from the copy (CSV is byte-identical to the cold sweep at the same warm rate)")
+		warmRate = flag.Float64("warmrate", 600, "warm-up injection rate in MB/s/node for -warmstart")
+		ckptDir  = flag.String("checkpoint", "", "persist per-architecture warm images into this directory (implies -warmstart)")
+		restore  = flag.String("restore", "", "load cached warm images from this directory instead of re-warming; missing images are computed (implies -warmstart)")
 	)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxsweep")
 	sess, err := tf.Start("noxsweep")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "noxsweep:", err)
@@ -57,6 +64,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "noxsweep: -figure must be 8 or 9")
 		os.Exit(1)
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "noxsweep:", err)
+			os.Exit(1)
+		}
+	}
 
 	patterns := traffic.PatternNames
 	if *pattern != "all" {
@@ -68,6 +81,12 @@ func main() {
 			Progress: sess.Sampler(), NewRecorder: sess.NewRecorder}
 		if *fast {
 			base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 1500, 4000, 15000
+		}
+		if *warm || *ckptDir != "" || *restore != "" {
+			base.WarmStart = true
+			base.WarmRateMBps = *warmRate
+			base.WarmSaveDir = *ckptDir
+			base.WarmLoadDir = *restore
 		}
 		var points []harness.SweepPoint
 		var err error

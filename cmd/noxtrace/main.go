@@ -27,6 +27,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
+	"repro/internal/version"
 )
 
 func fatal(err error) {
@@ -132,7 +133,9 @@ func main() {
 	)
 	tf := telemetry.AddFlags(flag.CommandLine)
 	prof := probe.AddProfileFlags(flag.CommandLine)
+	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
+	version.ExitIf(*ver, "noxtrace")
 	if *validate != "" {
 		if err := validateTrace(*validate); err != nil {
 			fatal(err)

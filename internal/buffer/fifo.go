@@ -81,6 +81,17 @@ func (f *FIFO) Head() *noc.Flit {
 	return f.slots[f.head]
 }
 
+// At returns the i-th buffered flit in queue order (0 = oldest) without
+// removing it. It panics when i is out of range. Snapshotting walks the
+// queue with At and rebuilds it with Push, which re-canonicalizes the ring
+// layout (head returns to 0) so a restored FIFO re-saves byte-identically.
+func (f *FIFO) At(i int) *noc.Flit {
+	if i < 0 || i >= f.count {
+		panic("buffer: At index out of range")
+	}
+	return f.slots[(f.head+i)&f.mask]
+}
+
 // Push appends a flit. It panics on overflow: credit-based flow control must
 // make overflow impossible, so an overflow is always a simulator bug.
 func (f *FIFO) Push(fl *noc.Flit) {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/snapshot/codec"
+)
+
+// This file implements checkpointing for the two §2.4/§2.6 building blocks.
+// Only state that persists between kernel steps is captured: everything the
+// two-phase protocol stages during a cycle (offer caches, staged services,
+// staged masks, poison) is dead by the time a step completes, which is the
+// only point a snapshot is taken.
+
+// SaveState serializes the port's persistent state: the buffered flit queue
+// in order and the decode register.
+func (p *InputPort) SaveState(e *codec.Encoder) {
+	e.Int(p.fifo.Len())
+	for i := 0; i < p.fifo.Len(); i++ {
+		e.Flit(p.fifo.At(i))
+	}
+	e.Flit(p.reg)
+}
+
+// RestoreState loads state saved by SaveState into a freshly constructed
+// (empty) port. The flits arrive already carrying their lookahead output
+// ports, so no re-routing happens here.
+func (p *InputPort) RestoreState(d *codec.Decoder) error {
+	n := d.Len(p.fifo.Cap())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		f := d.Flit()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if f == nil {
+			return fmt.Errorf("%w: nil flit in input-port queue", codec.ErrCorrupt)
+		}
+		p.fifo.Push(f)
+	}
+	p.reg = d.Flit()
+	return d.Err()
+}
+
+// SaveState serializes the output logic's persistent state: the §2.6 FSM
+// (mode, switch and arbitration masks), the wormhole lock, and the arbiter's
+// priority state. A custom arbiter implementation makes the save fail with
+// arbiter.ErrUnsupported.
+func (o *OutputControl) SaveState(e *codec.Encoder) error {
+	e.Int(int(o.mode))
+	e.U64(uint64(o.switchMask))
+	e.U64(uint64(o.arbMask))
+	e.Int(o.lockOwner)
+	st, err := arbiter.State(o.arb)
+	if err != nil {
+		return fmt.Errorf("%w: %v", codec.ErrUnsupported, err)
+	}
+	e.Int(len(st))
+	for _, w := range st {
+		e.U64(w)
+	}
+	return nil
+}
+
+// RestoreState loads state saved by SaveState into a freshly constructed
+// output control of the same width and arbiter type.
+func (o *OutputControl) RestoreState(d *codec.Decoder) error {
+	mode := Mode(d.Int())
+	sw := d.U64()
+	ar := d.U64()
+	lock := d.Int()
+	nw := d.Len(64)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if mode != Recovery && mode != Scheduled {
+		return fmt.Errorf("%w: output mode %d", codec.ErrCorrupt, mode)
+	}
+	if sw&^uint64(o.all) != 0 || ar&^uint64(o.all) != 0 {
+		return fmt.Errorf("%w: output masks %#x/%#x exceed width %d", codec.ErrCorrupt, sw, ar, o.n)
+	}
+	if lock < -1 || lock >= o.n {
+		return fmt.Errorf("%w: lock owner %d of %d inputs", codec.ErrCorrupt, lock, o.n)
+	}
+	words := make([]uint64, nw)
+	for i := range words {
+		words[i] = d.U64()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := arbiter.Restore(o.arb, words); err != nil {
+		return fmt.Errorf("%w: %v", codec.ErrCorrupt, err)
+	}
+	o.mode, o.switchMask, o.arbMask, o.lockOwner = mode, uint32(sw), uint32(ar), lock
+	return nil
+}

@@ -2,10 +2,13 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/check"
 	"repro/internal/exp"
@@ -52,6 +55,15 @@ type AppConfig struct {
 	// across classes). The post-drain sweep runs before the result is
 	// returned. Nil costs nothing.
 	Check *check.Checker
+	// CheckpointPath/CheckpointEvery, when both set, persist a resumable
+	// replay checkpoint (both class networks plus the replay cursor and
+	// statistics) to the path at least every CheckpointEvery cycles,
+	// atomically overwriting the previous one. RestorePath resumes a replay
+	// from such a file; the resumed run's AppResult is identical to the
+	// uninterrupted run's. noxapp's -checkpoint/-restore flags.
+	CheckpointPath  string
+	CheckpointEvery int64
+	RestorePath     string
 }
 
 // AppResult captures one (architecture, workload) outcome for Figures 10
@@ -145,9 +157,37 @@ func RunApp(cfg AppConfig) AppResult {
 	var pktID uint64
 
 	cycle := int64(0)
+	if cfg.RestorePath != "" {
+		cur, err := loadAppCheckpoint(cfg.RestorePath, multi, col, len(events))
+		switch {
+		case err == nil:
+			idx, pktID = cur.idx, cur.pktID
+			latencySum, latencySqSum, delivered = cur.latencySum, cur.latencySqSum, cur.delivered
+			cycle = multi.Cycle()
+		case errors.Is(err, fs.ErrNotExist):
+			// No checkpoint yet for this (workload, architecture): cold start.
+		default:
+			panic(fmt.Sprintf("harness: app restore %s: %v", cfg.RestorePath, err))
+		}
+	}
+	nextCkpt := int64(-1)
+	if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 {
+		nextCkpt = cycle + cfg.CheckpointEvery
+	}
 	lastEventCycle := int64(float64(events[len(events)-1].TimePs)/periodPs) + 1
 	deadline := lastEventCycle + cfg.DrainCycles
 	for cycle < deadline && (idx < len(events) || multi.Outstanding() > 0) {
+		// Persist a resumable checkpoint between steps. The threshold (not a
+		// modulus) tolerates the idle fast-forward jumping whole periods.
+		if nextCkpt >= 0 && cycle >= nextCkpt {
+			cur := appCursor{idx: idx, pktID: pktID, latencySum: latencySum, latencySqSum: latencySqSum, delivered: delivered}
+			if err := saveAppCheckpoint(cfg.CheckpointPath, multi, col, cur); err != nil {
+				fmt.Fprintln(os.Stderr, "harness: app checkpoint:", err)
+				nextCkpt = -1
+			} else {
+				nextCkpt = cycle + cfg.CheckpointEvery
+			}
+		}
 		// Traces have idle gaps between bursts; once every network has fully
 		// quiesced, jump straight to the next event's injection cycle. The
 		// fast-forward replays per-cycle hooks, so probed output is unchanged.
@@ -229,19 +269,46 @@ func RunApp(cfg AppConfig) AppResult {
 	return res
 }
 
+// AppCheckpoint threads noxapp's checkpoint/restore flags through
+// RunAppAllArchs: with Dir set, each (workload, architecture) replay
+// persists a resumable checkpoint named app-<workload>-<arch>.noxapp into
+// it every Every cycles; with RestoreDir set, each replay resumes from its
+// file when present (a missing file cold-starts). The zero value disables
+// both.
+type AppCheckpoint struct {
+	Dir        string
+	Every      int64
+	RestoreDir string
+}
+
+// paths returns one replay's checkpoint and restore paths.
+func (c AppCheckpoint) paths(workload string, arch router.Arch) (ckpt, restore string) {
+	name := fmt.Sprintf("app-%s-%s.noxapp", workload, arch)
+	if c.Dir != "" {
+		ckpt = filepath.Join(c.Dir, name)
+	}
+	if c.RestoreDir != "" {
+		restore = filepath.Join(c.RestoreDir, name)
+	}
+	return ckpt, restore
+}
+
 // RunAppAllArchs replays one trace on every architecture. The four replays
 // are independent (the trace is read-only; each builds its own networks),
 // so a pool with multiple workers runs them concurrently; shards
 // additionally parallelizes within each replay (0 = auto). Results are
 // identical at every setting. tel threads the tool's live telemetry into
-// each replay (Telemetry{} disables it).
-func RunAppAllArchs(tr *trace.Trace, bufferDepth int, pool *exp.Pool, shards int, tel Telemetry) map[router.Arch]AppResult {
+// each replay (Telemetry{} disables it); ckpt threads the checkpoint and
+// restore directories (AppCheckpoint{} disables them).
+func RunAppAllArchs(tr *trace.Trace, bufferDepth int, pool *exp.Pool, shards int, tel Telemetry, ckpt AppCheckpoint) map[router.Arch]AppResult {
 	results, _ := exp.Map(context.Background(), pool, len(router.Archs),
 		func(_ context.Context, i int) (AppResult, error) {
 			arch := router.Archs[i]
+			ckptPath, restorePath := ckpt.paths(tr.Workload.Name, arch)
 			return RunApp(AppConfig{Arch: arch, Trace: tr, BufferDepth: bufferDepth, Shards: shards,
 				Progress: tel.Progress,
-				Recorder: tel.recorder(fmt.Sprintf("app-%s-%s", tr.Workload.Name, arch))}), nil
+				Recorder: tel.recorder(fmt.Sprintf("app-%s-%s", tr.Workload.Name, arch)),
+				CheckpointPath: ckptPath, CheckpointEvery: ckpt.Every, RestorePath: restorePath}), nil
 		})
 	out := map[router.Arch]AppResult{}
 	for i, arch := range router.Archs {

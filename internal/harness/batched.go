@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/batch"
@@ -24,6 +25,15 @@ import (
 // (ErrRateInfeasible, unknown pattern) are excluded from the cohort and
 // report their error while the rest run.
 func RunSyntheticCohort(cfgs []SyntheticConfig) ([]RunResult, []error) {
+	return runSyntheticCohort(cfgs, nil)
+}
+
+// runSyntheticCohort is the cohort engine. warms, when non-nil, is a
+// parallel slice of warm images: member i rewinds to warms[i] after
+// attaching, so the whole cohort resumes from the warmup boundary (all
+// members must share a boundary cycle — the lockstep group steps one common
+// clock). A member whose restore fails reports its error and is parked.
+func runSyntheticCohort(cfgs []SyntheticConfig, warms []*warmImage) ([]RunResult, []error) {
 	n := len(cfgs)
 	results := make([]RunResult, n)
 	errs := make([]error, n)
@@ -54,6 +64,16 @@ func RunSyntheticCohort(cfgs []SyntheticConfig) ([]RunResult, []error) {
 	defer c.Close()
 	for s, i := range runIdx {
 		members[i].attach(c.Net(s))
+	}
+	if warms != nil {
+		for s, i := range runIdx {
+			if w := warms[i]; w != nil {
+				if err := members[i].restoreWarm(w); err != nil {
+					errs[i] = fmt.Errorf("harness: warm restore: %w", err)
+					c.Park(s)
+				}
+			}
+		}
 	}
 
 	// Lockstep loop: each round gives every live member its pre-step work
@@ -116,6 +136,32 @@ func SweepSyntheticBatched(base SyntheticConfig, rates []float64, width int, poo
 		return points, 0, err
 	}
 	archs := router.Archs
+
+	// Warm-start mode: one warm phase per architecture up front, every job
+	// in the grid resumes from its architecture's image inside its cohort.
+	var warmByArch map[router.Arch]*warmImage
+	var warmErrByArch map[router.Arch]error
+	if base.WarmStart {
+		if base.WarmRateMBps <= 0 {
+			return nil, 0, ErrWarmRate
+		}
+		warmByArch = make(map[router.Arch]*warmImage, len(archs))
+		warmErrByArch = make(map[router.Arch]error, len(archs))
+		for _, arch := range archs {
+			cfg := base
+			cfg.Arch = arch
+			w, err := warmFor(cfg)
+			if err != nil {
+				if !errors.Is(err, ErrRateInfeasible) {
+					return nil, 0, err
+				}
+				warmErrByArch[arch] = err
+				continue
+			}
+			warmByArch[arch] = w
+		}
+	}
+
 	type jobKey struct {
 		arch router.Arch
 		rate float64
@@ -139,7 +185,22 @@ func SweepSyntheticBatched(base SyntheticConfig, rates []float64, width int, poo
 	}
 	skipped := n - len(jobs)
 
-	spans := batch.Chunks(len(jobs), width)
+	// Jobs whose architecture could not even warm resolve without a cohort
+	// slot: their series ends before the first rung.
+	outs := make([]pointOutcome, n)
+	runnable := jobs
+	if base.WarmStart {
+		runnable = make([]int, 0, len(jobs))
+		for _, i := range jobs {
+			if err := warmErrByArch[cfgs[i].Arch]; err != nil {
+				outs[i] = pointOutcome{err: err}
+				continue
+			}
+			runnable = append(runnable, i)
+		}
+	}
+
+	spans := batch.Chunks(len(runnable), width)
 	type cohortOut struct {
 		res  []RunResult
 		errs []error
@@ -148,20 +209,26 @@ func SweepSyntheticBatched(base SyntheticConfig, rates []float64, width int, poo
 		func(_ context.Context, si int) (cohortOut, error) {
 			lo, hi := spans[si][0], spans[si][1]
 			sub := make([]SyntheticConfig, hi-lo)
-			for j := range sub {
-				sub[j] = cfgs[jobs[lo+j]]
+			var subWarm []*warmImage
+			if base.WarmStart {
+				subWarm = make([]*warmImage, hi-lo)
 			}
-			res, errs := RunSyntheticCohort(sub)
+			for j := range sub {
+				sub[j] = cfgs[runnable[lo+j]]
+				if subWarm != nil {
+					subWarm[j] = warmByArch[sub[j].Arch]
+				}
+			}
+			res, errs := runSyntheticCohort(sub, subWarm)
 			return cohortOut{res, errs}, nil
 		})
 	if err != nil {
 		return nil, 0, err
 	}
 
-	outs := make([]pointOutcome, n)
 	for si, span := range spans {
 		for j := 0; j < span[1]-span[0]; j++ {
-			i := jobs[span[0]+j]
+			i := runnable[span[0]+j]
 			outs[i] = pointOutcome{couts[si].res[j], couts[si].errs[j]}
 		}
 	}

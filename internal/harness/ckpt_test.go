@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// TestWarmFileCache pins the on-disk warm-image cache: a warm-start sweep
+// that persists its images must render the same CSV as the sweep that
+// loads them back, the cached files must round-trip through the container
+// codec, and a corrupted cache entry must fail the sweep loudly instead of
+// silently recomputing (or worse, restoring garbage).
+func TestWarmFileCache(t *testing.T) {
+	base := fastCfg("uniform", 0)
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 600, 1200, 8000
+	base.WarmStart = true
+	base.WarmRateMBps = 600
+	rates := []float64{600, 1400}
+	dir := t.TempDir()
+
+	save := base
+	save.WarmSaveDir = dir
+	ptsSave, err := SweepSynthetic(save, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SweepCSV("uniform", ptsSave)
+
+	files, err := filepath.Glob(filepath.Join(dir, "warm-*.noxwarm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(router.Archs) {
+		t.Fatalf("cache holds %d images, want one per architecture (%d)", len(files), len(router.Archs))
+	}
+	for _, f := range files {
+		if _, err := loadWarmFile(f); err != nil {
+			t.Errorf("cached image %s does not decode: %v", filepath.Base(f), err)
+		}
+	}
+
+	load := base
+	load.WarmLoadDir = dir
+	ptsLoad, err := SweepSynthetic(load, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SweepCSV("uniform", ptsLoad); got != want {
+		t.Errorf("cache-loaded sweep CSV diverged from the sweep that wrote the cache\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// A missing cache is a cold start; a corrupt cache is an error.
+	load.WarmLoadDir = filepath.Join(dir, "no-such-dir")
+	if _, err := SweepSynthetic(load, rates, nil); err != nil {
+		t.Errorf("missing cache dir must fall back to computing, got %v", err)
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("not a warm image"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load.WarmLoadDir = dir
+	if _, err := SweepSynthetic(load, rates, nil); err == nil {
+		t.Error("corrupted cache restored silently, want a loud error")
+	}
+}
+
+// TestAppCheckpointResume pins resumable trace replay: a replay that
+// periodically checkpoints must produce the same result as one that never
+// does, and a second replay restored from the surviving checkpoint must
+// finish with that same result. A restore path with no checkpoint behind
+// it is a cold start, not an error.
+func TestAppCheckpointResume(t *testing.T) {
+	w, err := trace.WorkloadByName("tpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Generate(w, Table1().Topo, 8000, 7)
+	base := AppConfig{Arch: router.NoX, Trace: tr, Shards: 1}
+
+	want := fmt.Sprintf("%+v", RunApp(base))
+	path := filepath.Join(t.TempDir(), "app.noxapp")
+
+	ckpt := base
+	ckpt.CheckpointPath = path
+	ckpt.CheckpointEvery = 2000
+	if got := fmt.Sprintf("%+v", RunApp(ckpt)); got != want {
+		t.Errorf("checkpointing replay changed its result\ngot:  %.300s\nwant: %.300s", got, want)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint survived the run: %v", err)
+	}
+
+	resume := base
+	resume.RestorePath = path
+	if got := fmt.Sprintf("%+v", RunApp(resume)); got != want {
+		t.Errorf("resumed replay diverged from the uninterrupted one\ngot:  %.300s\nwant: %.300s", got, want)
+	}
+
+	cold := base
+	cold.RestorePath = filepath.Join(t.TempDir(), "absent.noxapp")
+	if got := fmt.Sprintf("%+v", RunApp(cold)); got != want {
+		t.Errorf("missing checkpoint must cold-start to the same result\ngot:  %.300s\nwant: %.300s", got, want)
+	}
+}

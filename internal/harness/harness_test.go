@@ -172,7 +172,7 @@ func TestRunAppShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := trace.Generate(w, Table1().Topo, 8000, 99)
-	results := RunAppAllArchs(tr, 4, nil, 0, Telemetry{})
+	results := RunAppAllArchs(tr, 4, nil, 0, Telemetry{}, AppCheckpoint{})
 	for arch, r := range results {
 		if !r.Drained {
 			t.Fatalf("%v did not drain the trace", arch)

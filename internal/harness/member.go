@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 
@@ -27,6 +28,7 @@ type synthMember struct {
 	cfg         SyntheticConfig // filled
 	periodNs    float64
 	pktRate     float64
+	warmPkt     float64 // warm-up packets/cycle; 0 unless WarmRateMBps is set
 	selfSimilar bool
 	pattern     traffic.Pattern
 
@@ -39,6 +41,12 @@ type synthMember struct {
 	window        power.Counters
 	total         int64 // warmup + measure cycles
 	deadline      int64 // drain deadline, valid after enterDrain
+
+	// ckpts is the time-travel checkpoint ring (newest last, at most two):
+	// periodic full-state images taken every ReplayCheckpointEvery cycles so
+	// a flight-recorder trigger can rewind and re-run the failure window
+	// with a complete probe. See timeTravelReplay.
+	ckpts []runCheckpoint
 }
 
 // prepareSynthetic validates and fills cfg and resolves its traffic
@@ -53,6 +61,12 @@ func prepareSynthetic(cfg SyntheticConfig) (*synthMember, error) {
 	m.pktRate = flitRate / float64(cfg.PacketFlits)
 	if m.pktRate >= 1 {
 		return nil, fmt.Errorf("harness: offered rate %.0f MB/s/node exceeds one packet per cycle at %v: %w", cfg.RateMBps, cfg.Arch, ErrRateInfeasible)
+	}
+	if cfg.WarmRateMBps > 0 {
+		m.warmPkt = FlitsPerNodeCycle(cfg.WarmRateMBps, m.periodNs) / float64(cfg.PacketFlits)
+		if m.warmPkt >= 1 {
+			return nil, fmt.Errorf("harness: warm-up rate %.0f MB/s/node exceeds one packet per cycle at %v: %w", cfg.WarmRateMBps, cfg.Arch, ErrRateInfeasible)
+		}
 	}
 
 	var err error
@@ -121,6 +135,15 @@ func (m *synthMember) attach(net *network.Network) {
 		prog.RunStarted()
 	}
 
+	// With a warm-up rate configured, sources start at it and are retargeted
+	// to the measurement rate at the warmup boundary (injectCycle). The RNG
+	// forks depend only on the seed, so the warm phase's streams are
+	// identical across rate points — the property warm-start forking relies
+	// on for byte-identical output.
+	rate := m.pktRate
+	if m.warmPkt > 0 {
+		rate = m.warmPkt
+	}
 	base := sim.NewRNG(cfg.Seed)
 	nodes := cfg.Topo.Nodes()
 	m.procs = make([]traffic.Process, nodes)
@@ -128,9 +151,9 @@ func (m *synthMember) attach(net *network.Network) {
 	for i := range m.procs {
 		r := base.Fork(uint64(i))
 		if m.selfSimilar {
-			m.procs[i] = traffic.NewSelfSimilar(m.pktRate, r)
+			m.procs[i] = traffic.NewSelfSimilar(rate, r)
 		} else {
-			m.procs[i] = &traffic.Bernoulli{P: m.pktRate, RNG: r}
+			m.procs[i] = &traffic.Bernoulli{P: rate, RNG: r}
 		}
 		m.dests[i] = base.Fork(uint64(1000 + i))
 	}
@@ -140,8 +163,23 @@ func (m *synthMember) attach(net *network.Network) {
 // measurement-window counter snapshot at the warmup boundary, then one
 // injection opportunity per node. The caller steps the network afterwards.
 func (m *synthMember) injectCycle(cyc int64) {
+	// Checkpoints stop once a failure is latched: later ones would evict the
+	// very state time travel needs to rewind behind the failure window.
+	if every := m.cfg.ReplayCheckpointEvery; every > 0 && cyc%every == 0 && !m.cfg.Recorder.Triggered() {
+		m.checkpoint(cyc)
+	}
+	if every := m.cfg.CheckpointEvery; every > 0 && m.cfg.CheckpointPath != "" && cyc > 0 && cyc%every == 0 {
+		m.checkpointToFile()
+	}
 	if cyc == m.cfg.WarmupCycles {
 		m.startCounters = *m.net.Counters()
+		if m.warmPkt > 0 && m.warmPkt != m.pktRate {
+			for _, p := range m.procs {
+				if rt, ok := p.(traffic.Retargetable); ok {
+					rt.Retarget(m.pktRate)
+				}
+			}
+		}
 	}
 	injected := 0
 	for id := 0; id < len(m.procs); id++ {
@@ -239,11 +277,21 @@ func (m *synthMember) finalize() RunResult {
 	// violation, drain deadlock) tripped the flight recorder.
 	cfg.Progress.RunDone(cfg.Arch.String(), m.window)
 	if cfg.Recorder.Triggered() {
-		if _, err := cfg.Recorder.Flush(func(w io.Writer) {
+		tracePath, err := cfg.Recorder.Flush(func(w io.Writer) {
 			net.WriteDiagnostic(w)
 			cfg.Check.WriteReport(w)
-		}); err != nil {
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "harness:", err)
+		}
+		// Time travel: with periodic checkpoints armed, rewind to the last
+		// checkpoint before the failure window and re-run it with a full
+		// probe, upgrading the bounded ring dump to a complete trace.
+		if replayPath, err := m.timeTravelReplay(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "harness: time-travel replay:", err)
+		} else if replayPath != "" {
+			slog.Default().Info("time travel: replayed failure window with full probe",
+				"trace", replayPath)
 		}
 	}
 	return res

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"os"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/probe"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/codec"
+)
+
+// Time-travel replay. The always-on flight recorder dumps the last W cycles
+// of events from a bounded ring — cheap enough to leave armed, but bounded:
+// a busy window overflows the ring and the dump starts mid-window. With
+// ReplayCheckpointEvery set, the member also keeps the last two full-state
+// checkpoints (network snapshot plus harness run state) in memory and, when
+// the recorder trips, rewinds to the newest checkpoint at or before the
+// failure window and re-executes forward with a full-size probe. The replay
+// is bit-identical to the original execution — same injections, same
+// arbitration, same failure — so the resulting trace is the complete
+// failure window, not the ring's tail.
+
+// runCheckpoint is one periodic full-state checkpoint, taken between steps
+// at the top of injectCycle (so replay re-runs that cycle's injection).
+type runCheckpoint struct {
+	cycle int64
+	net   []byte
+	run   []byte
+}
+
+// checkpoint captures the member's complete state at main-loop cycle cyc.
+// Non-serializable runs (a custom arbiter) disable checkpointing on the
+// first failure rather than erroring every period.
+func (m *synthMember) checkpoint(cyc int64) {
+	img, err := snapshot.Encode(m.net)
+	if err != nil {
+		m.cfg.ReplayCheckpointEvery = 0
+		m.ckpts = nil
+		return
+	}
+	e := codec.NewEncoder()
+	if err := m.saveRunState(e); err != nil {
+		m.cfg.ReplayCheckpointEvery = 0
+		m.ckpts = nil
+		return
+	}
+	ck := runCheckpoint{cycle: cyc, net: img, run: e.Bytes()}
+	if len(m.ckpts) < 2 {
+		m.ckpts = append(m.ckpts, ck)
+		return
+	}
+	m.ckpts[0] = m.ckpts[1]
+	m.ckpts[1] = ck
+}
+
+// timeTravelReplay re-executes the flight recorder's failure window from
+// the best checkpoint with a full probe and writes the complete Perfetto
+// trace next to the recorder's ring dump (<stem>.replay.trace.json). It
+// returns "" when replay is not armed or has nothing to work from.
+func (m *synthMember) timeTravelReplay(flightTrace string) (string, error) {
+	if len(m.ckpts) == 0 || flightTrace == "" || !m.cfg.Recorder.Triggered() {
+		return "", nil
+	}
+	start, end := m.cfg.Recorder.Window()
+	// Newest checkpoint at or before the window start covers the whole
+	// window; if the trigger came too early for that, the oldest kept
+	// checkpoint is the furthest back we can rewind.
+	ck := m.ckpts[0]
+	for _, c := range m.ckpts[1:] {
+		if c.cycle <= start {
+			ck = c
+		}
+	}
+
+	// Rebuild the run around a full probe: ring sized for the entire window
+	// rather than the flight recorder's bounded tail, no recorder (the
+	// failure is already latched), a fresh checker when the image carries a
+	// ledger (restore requires the armed states to match).
+	rcfg := m.cfg
+	rcfg.Recorder = nil
+	rcfg.NewRecorder = nil
+	rcfg.Progress = nil
+	rcfg.Observe = nil
+	rcfg.ReplayCheckpointEvery = 0
+	rcfg.Probe = probe.New(probe.Config{RingEvents: 1 << 21, PeriodNs: m.periodNs})
+	if m.cfg.Check != nil {
+		rcfg.Check = check.New(check.Config{})
+	}
+	r, err := prepareSynthetic(rcfg)
+	if err != nil {
+		return "", err
+	}
+	net, err := snapshot.Decode(ck.net, r.netConfig())
+	if err != nil {
+		return "", err
+	}
+	defer net.Close()
+	r.attach(net)
+	if err := r.restoreRunState(ck.run); err != nil {
+		return "", err
+	}
+
+	// Re-execute to the trigger cycle through the same hooks the original
+	// run used, crossing into the drain phase if the trigger came there.
+	draining := false
+	for net.Cycle() <= end {
+		if cyc := net.Cycle(); cyc < r.total {
+			r.injectCycle(cyc)
+			net.Step()
+			continue
+		}
+		if !draining {
+			r.enterDrain()
+			draining = true
+		}
+		if !r.needsDrainStep() {
+			break
+		}
+		net.Step()
+	}
+
+	path := strings.TrimSuffix(flightTrace, ".trace.json") + ".replay.trace.json"
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	werr := rcfg.Probe.WriteChromeTraceWindow(f, start, end)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", werr
+	}
+	return path, nil
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/arbiter"
@@ -68,6 +69,41 @@ type SyntheticConfig struct {
 	// network.Config.NewArbiter); nil keeps the default round-robin. Used by
 	// the arbiter ablation.
 	NewArbiter func(int) arbiter.Arbiter
+	// WarmRateMBps, when positive, is the warm-up injection rate: sources
+	// run at it for the warmup window and are retargeted to RateMBps at the
+	// measurement boundary (RNG streams and burst state preserved). This is
+	// what makes the warm phase rate-independent, so warm-start sweeps can
+	// share it; a cold run with the same WarmRateMBps executes identically.
+	WarmRateMBps float64
+	// WarmStart switches SweepSynthetic/SweepSyntheticBatched to warm-start
+	// mode: warm once per architecture at WarmRateMBps (required), then
+	// resume every rate point from a copy of the warm state. Output is
+	// byte-identical to the cold sweep with the same WarmRateMBps.
+	WarmStart bool
+	// WarmSaveDir, when set in warm-start mode, persists each freshly
+	// computed per-architecture warm image into the directory (atomic write;
+	// file names pin every parameter the image depends on). WarmLoadDir,
+	// when set, restores cached images from the directory instead of
+	// re-running the warm phase; a missing file falls back to warming, a
+	// corrupt one is an error. noxsweep's -checkpoint/-restore flags.
+	WarmSaveDir string
+	WarmLoadDir string
+	// CheckpointPath/CheckpointEvery, when both set, persist a resumable
+	// full-state checkpoint (network image plus harness run state) to the
+	// path every CheckpointEvery main-loop cycles, atomically overwriting
+	// the previous one. RestorePath resumes a run from such a file: the
+	// network must have been configured identically (structural parameters
+	// are verified against the image). noxsim's -checkpoint/-restore flags.
+	CheckpointPath  string
+	CheckpointEvery int64
+	RestorePath     string
+	// ReplayCheckpointEvery, when positive, keeps in-memory full-state
+	// checkpoints every that-many cycles (the last two are retained) and,
+	// when the flight recorder trips, rewinds to the one before the failure
+	// window and re-runs it with a full probe — upgrading the recorder's
+	// bounded ring dump to a complete window trace
+	// (<stem>.replay.trace.json). Zero disables time travel.
+	ReplayCheckpointEvery int64
 }
 
 func (c *SyntheticConfig) fill() {
@@ -120,8 +156,17 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 	}
 	defer net.Close()
 	m.attach(net)
+	if cfg.RestorePath != "" {
+		w, err := loadWarmFile(cfg.RestorePath)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("harness: restore %s: %w", cfg.RestorePath, err)
+		}
+		if err := m.restoreWarm(w); err != nil {
+			return RunResult{}, fmt.Errorf("harness: restore %s: %w", cfg.RestorePath, err)
+		}
+	}
 
-	for cyc := int64(0); cyc < m.total; cyc++ {
+	for cyc := net.Cycle(); cyc < m.total; cyc++ {
 		m.injectCycle(cyc)
 		net.Step()
 		m.cfg.Progress.Tick(cyc)
@@ -156,6 +201,9 @@ type SweepPoint struct {
 // same rendered CSV. A nil pool (or one worker) runs the classic serial
 // loop, which never simulates beyond a dead series.
 func SweepSynthetic(base SyntheticConfig, rates []float64, pool *exp.Pool) ([]SweepPoint, error) {
+	if base.WarmStart {
+		return sweepWarm(base, rates, pool)
+	}
 	if pool.Workers() <= 1 || len(rates) == 0 {
 		return sweepSerial(base, rates)
 	}

@@ -1,0 +1,257 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/exp"
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/physical"
+	"repro/internal/probe"
+	"repro/internal/router"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/codec"
+	"repro/internal/telemetry"
+)
+
+// TestWarmStartSweepMatchesCold is the warm-start contract: a sweep that
+// warms once per architecture and forks every rate point from the copy must
+// render exactly the CSV the cold sweep renders — serial, speculative
+// parallel, and batched at widths 1 and 8.
+func TestWarmStartSweepMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warm-start equivalence sweep is slow")
+	}
+	base := fastCfg("uniform", 0)
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 800, 2000, 8000
+	base.WarmRateMBps = 600
+	rates := []float64{600, 1800, 3000, 3800}
+
+	cold, err := SweepSynthetic(base, rates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SweepCSV("uniform", cold)
+
+	warm := base
+	warm.WarmStart = true
+	runs := []struct {
+		name string
+		run  func() ([]SweepPoint, error)
+	}{
+		{"serial", func() ([]SweepPoint, error) { return SweepSynthetic(warm, rates, nil) }},
+		{"parallel", func() ([]SweepPoint, error) { return SweepSynthetic(warm, rates, exp.NewPool(4)) }},
+		{"batched-width1", func() ([]SweepPoint, error) {
+			pts, _, err := SweepSyntheticBatched(warm, rates, 1, nil)
+			return pts, err
+		}},
+		{"batched-width8", func() ([]SweepPoint, error) {
+			pts, _, err := SweepSyntheticBatched(warm, rates, 8, exp.NewPool(2))
+			return pts, err
+		}},
+	}
+	for _, tc := range runs {
+		pts, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := SweepCSV("uniform", pts); got != want {
+			t.Errorf("%s warm-start sweep CSV diverged from cold\nwarm:\n%s\ncold:\n%s", tc.name, got, want)
+		}
+		if got, wantDump := fmt.Sprintf("%+v", pts), fmt.Sprintf("%+v", cold); got != wantDump {
+			t.Errorf("%s warm-start results diverged from cold\nwarm: %.400s\ncold: %.400s", tc.name, got, wantDump)
+		}
+	}
+}
+
+// TestWarmStartRequiresRate pins the misconfiguration error on both sweep
+// engines.
+func TestWarmStartRequiresRate(t *testing.T) {
+	base := fastCfg("uniform", 0)
+	base.WarmStart = true
+	if _, err := SweepSynthetic(base, []float64{600}, nil); err != ErrWarmRate {
+		t.Errorf("SweepSynthetic: err = %v, want ErrWarmRate", err)
+	}
+	if _, _, err := SweepSyntheticBatched(base, []float64{600}, 4, nil); err != ErrWarmRate {
+		t.Errorf("SweepSyntheticBatched: err = %v, want ErrWarmRate", err)
+	}
+}
+
+// instrumentedOut is one fully instrumented run's comparable output: the
+// rendered sweep CSV row, the probe trace over [stopAt, end], and the
+// invariant checker's report.
+type instrumentedOut struct {
+	csv    string
+	trace  string
+	report string
+}
+
+// runInstrumented executes one synthetic point with a full probe and an
+// armed checker. With interrupt set, the run is stopped at main-loop cycle
+// stopAt, saved (network image plus harness run state), torn down, restored
+// into a freshly built member with a fresh probe and checker, and run to
+// completion — the save/restore seam the equivalence test compares against
+// the uninterrupted run.
+func runInstrumented(t *testing.T, cfg SyntheticConfig, stopAt int64, interrupt bool) instrumentedOut {
+	t.Helper()
+	mkProbe := func() *probe.Probe {
+		return probe.New(probe.Config{RingEvents: 1 << 20, PeriodNs: physical.ClockPeriodNs(cfg.Arch)})
+	}
+	cfg.Probe = mkProbe()
+	cfg.Check = check.New(check.Config{})
+	m, err := prepareSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := network.Build(m.netConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.attach(net)
+	for cyc := int64(0); cyc < m.total; cyc++ {
+		if interrupt && cyc == stopAt {
+			img, err := snapshot.Encode(net)
+			if err != nil {
+				t.Fatalf("mid-run save: %v", err)
+			}
+			e := codec.NewEncoder()
+			if err := m.saveRunState(e); err != nil {
+				t.Fatalf("mid-run run-state save: %v", err)
+			}
+			run := e.Bytes()
+			net.Close()
+
+			cfg2 := cfg
+			cfg2.Probe = mkProbe()
+			cfg2.Check = check.New(check.Config{})
+			m2, err := prepareSynthetic(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net2, err := snapshot.Decode(img, m2.netConfig())
+			if err != nil {
+				t.Fatalf("mid-run restore: %v", err)
+			}
+			m2.attach(net2)
+			if err := m2.restoreRunState(run); err != nil {
+				t.Fatalf("mid-run run-state restore: %v", err)
+			}
+			m, net = m2, net2
+			if got := net.Cycle(); got != stopAt {
+				t.Fatalf("restored at cycle %d, want %d", got, stopAt)
+			}
+		}
+		m.injectCycle(cyc)
+		net.Step()
+	}
+	m.enterDrain()
+	for m.needsDrainStep() {
+		net.Step()
+	}
+	res := m.finalize()
+	final := net.Cycle()
+	net.Close()
+
+	var tb, rb bytes.Buffer
+	if err := m.cfg.Probe.WriteChromeTraceWindow(&tb, stopAt, final); err != nil {
+		t.Fatal(err)
+	}
+	m.cfg.Check.WriteReport(&rb)
+	csv := SweepCSV(cfg.Pattern, []SweepPoint{{
+		RateMBps: cfg.RateMBps,
+		Results:  map[router.Arch]RunResult{cfg.Arch: res},
+	}})
+	return instrumentedOut{csv: csv, trace: tb.String(), report: rb.String()}
+}
+
+// TestMidRunSaveRestoreEquivalence pins the checkpoint seam for every
+// architecture at both execution modes: stopping a run mid-measurement,
+// saving, restoring into a fresh network, and finishing must produce the
+// same sweep CSV row, the same probe events from the seam on, and the same
+// checker report as the run that was never interrupted.
+func TestMidRunSaveRestoreEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-run equivalence matrix is slow")
+	}
+	for _, arch := range router.Archs {
+		for _, shards := range []int{1, 4} {
+			arch, shards := arch, shards
+			t.Run(fmt.Sprintf("%s/shards%d", arch, shards), func(t *testing.T) {
+				t.Parallel()
+				cfg := fastCfg("uniform", 900)
+				cfg.Arch = arch
+				cfg.Shards = shards
+				cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 600, 1500, 8000
+				const stopAt = 1200
+				want := runInstrumented(t, cfg, stopAt, false)
+				got := runInstrumented(t, cfg, stopAt, true)
+				if got.csv != want.csv {
+					t.Errorf("sweep CSV diverged across the save/restore seam\ngot:\n%s\nwant:\n%s", got.csv, want.csv)
+				}
+				if got.trace != want.trace {
+					t.Errorf("probe trace diverged across the save/restore seam (%d vs %d bytes)", len(got.trace), len(want.trace))
+				}
+				if got.report != want.report {
+					t.Errorf("checker report diverged across the save/restore seam\ngot:\n%s\nwant:\n%s", got.report, want.report)
+				}
+			})
+		}
+	}
+}
+
+// TestTimeTravelReplay pins the rewind path end to end: a run with periodic
+// checkpoints and a triggered flight recorder must write a replay trace
+// next to the ring dump, and that trace must byte-match what a full probe
+// watching the original run renders for the same window.
+func TestTimeTravelReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastCfg("uniform", 1200)
+	cfg.Arch = router.NoX
+	cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 600, 1500, 8000
+	cfg.ReplayCheckpointEvery = 512
+	rec := telemetry.NewRecorder(telemetry.RecorderConfig{Window: 400, Dir: dir, Label: "replay-test"})
+	cfg.Recorder = rec
+	triggered := false
+	cfg.Observe = func(p *noc.Packet, cycle int64) {
+		if !triggered && cycle >= 1500 {
+			triggered = true
+			rec.Trigger(cycle, "synthetic test trigger")
+		}
+	}
+	if _, err := RunSynthetic(cfg); err != nil {
+		t.Fatal(err)
+	}
+	flight := rec.TracePath()
+	if flight == "" {
+		t.Fatal("flight recorder did not dump")
+	}
+	replayPath := strings.TrimSuffix(flight, ".trace.json") + ".replay.trace.json"
+	replay, err := os.ReadFile(replayPath)
+	if err != nil {
+		t.Fatalf("replay trace not written: %v", err)
+	}
+
+	// Reference: the same run watched by a full probe from cycle zero.
+	start, end := rec.Window()
+	ref := cfg
+	ref.Observe = nil
+	ref.Recorder = nil
+	ref.ReplayCheckpointEvery = 0
+	ref.Probe = probe.New(probe.Config{RingEvents: 1 << 21, PeriodNs: physical.ClockPeriodNs(cfg.Arch)})
+	if _, err := RunSynthetic(ref); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ref.Probe.WriteChromeTraceWindow(&want, start, end); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(replay, want.Bytes()) {
+		t.Fatalf("replay trace (%d bytes) diverged from the full-probe reference window (%d bytes)",
+			len(replay), want.Len())
+	}
+}

@@ -1,6 +1,10 @@
 package noc
 
-import "repro/internal/probe"
+import (
+	"fmt"
+
+	"repro/internal/probe"
+)
 
 // Waker re-activates simulation components identified by their integer
 // kernel handle. *sim.Kernel implements it (WakeInt); the indirection keeps
@@ -131,6 +135,19 @@ func (l *Link) Credits() int { return l.credits }
 // downstream buffer depth. After a full drain of a fault-free network,
 // Credits()+PendingReturns() must equal Capacity().
 func (l *Link) Capacity() int { return int(l.capacity) }
+
+// RestoreCredits overwrites the sender-side credit count — checkpoint
+// restore only, between steps (credits are the link's only between-step
+// state; staged flits and staged returns are always consumed within their
+// cycle). Counts above Capacity are legal under credit-duplication faults,
+// so only gross corruption is rejected.
+func (l *Link) RestoreCredits(c int) error {
+	if c < 0 || c > 1<<20 {
+		return fmt.Errorf("noc: restored credit count %d out of range", c)
+	}
+	l.credits = c
+	return nil
+}
 
 // PendingReturns returns the credit returns staged by the receiver but not
 // yet committed back to the sender.

@@ -1,0 +1,42 @@
+package power
+
+import "repro/internal/snapshot/codec"
+
+// SaveState serializes the counter block field by field, in declaration
+// order — the snapshot wire convention shared by the network layer and the
+// harness's measurement-window baselines.
+func (c *Counters) SaveState(e *codec.Encoder) {
+	e.I64(c.BufWrite)
+	e.I64(c.BufRead)
+	e.I64(c.Xbar)
+	e.I64(c.LinkFlit)
+	e.I64(c.LinkInvalid)
+	e.I64(c.Arb)
+	e.I64(c.Decode)
+	e.I64(c.RegWrite)
+	e.I64(c.Collisions)
+	e.I64(c.EncodedFlits)
+	e.I64(c.Aborts)
+	e.I64(c.WastedCycles)
+	e.I64(c.OutputActive)
+}
+
+// RestoreState loads state saved by SaveState, replacing the block.
+func (c *Counters) RestoreState(d *codec.Decoder) error {
+	*c = Counters{
+		BufWrite:     d.I64(),
+		BufRead:      d.I64(),
+		Xbar:         d.I64(),
+		LinkFlit:     d.I64(),
+		LinkInvalid:  d.I64(),
+		Arb:          d.I64(),
+		Decode:       d.I64(),
+		RegWrite:     d.I64(),
+		Collisions:   d.I64(),
+		EncodedFlits: d.I64(),
+		Aborts:       d.I64(),
+		WastedCycles: d.I64(),
+		OutputActive: d.I64(),
+	}
+	return d.Err()
+}

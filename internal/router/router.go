@@ -21,6 +21,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/snapshot/codec"
 )
 
 // Arch selects a router microarchitecture.
@@ -205,6 +206,12 @@ type Router interface {
 	// PortStates appends one PortState per port to buf and returns it —
 	// the deadlock watchdog's diagnostic snapshot.
 	PortStates(buf []PortState) []PortState
+	// SaveState serializes the router's between-step persistent state
+	// (queues, registers, FSMs, locks, reservations, arbiter priorities).
+	SaveState(e *codec.Encoder) error
+	// RestoreState loads state saved by SaveState into this freshly
+	// constructed router of the identical configuration.
+	RestoreState(d *codec.Decoder) error
 }
 
 // New builds a router of the configured architecture.

@@ -147,6 +147,25 @@ func (g *LockstepGroup) wake(slot int, h Handle) {
 	}
 }
 
+// wakeAll is the adopted-kernel WakeAll path: set every one of the member's
+// activity flags in whichever representation is current and zero its idle
+// counter. Used by snapshot restore when state is loaded into an already
+// adopted cohort member.
+func (g *LockstepGroup) wakeAll(k *Kernel) {
+	if !g.sliced {
+		for i := range k.active {
+			k.active[i] = 1
+		}
+		k.idle = 0
+		return
+	}
+	w, bit := k.slot>>6, uint64(1)<<(k.slot&63)
+	for c := 0; c < g.comps; c++ {
+		g.active[c*g.words+w] |= bit
+	}
+	k.idle = 0
+}
+
 // ensureFlags makes each member's own u32 flag array the current activity
 // representation (the dense walk's format), transposing the bit words out if
 // they were authoritative.

@@ -261,6 +261,39 @@ func (k *Kernel) Cycle() int64 {
 	return k.cycle
 }
 
+// SetCycle forces the kernel clock, the snapshot-restore entry point: a
+// restored network resumes at the cycle it was saved at. Must not be called
+// mid-step.
+func (k *Kernel) SetCycle(c int64) {
+	if k.stepping {
+		panic("sim: SetCycle during Step")
+	}
+	k.cycle = c
+}
+
+// WakeAll re-activates every component. Snapshot restore uses it instead of
+// reconstructing the saved activity set: over-waking is unobservable (the
+// quiescence fast path is proven bit-exact against always-active evaluation,
+// so evaluating a quiet component changes nothing), and the true set
+// re-converges within a cycle. Works in every execution mode — serial,
+// sharded, and adopted by a LockstepGroup.
+func (k *Kernel) WakeAll() {
+	if k.stepping {
+		panic("sim: WakeAll during Step")
+	}
+	if g := k.group; g != nil {
+		g.wakeAll(k)
+		return
+	}
+	for i := range k.active {
+		k.active[i] = 1
+	}
+	k.idle = 0
+	if k.sh != nil {
+		k.sh.resetIdle()
+	}
+}
+
 // Step advances the simulation by one cycle.
 func (k *Kernel) Step() {
 	if k.stepping {

@@ -30,6 +30,13 @@ func (r *RNG) Fork(id uint64) *RNG {
 	return NewRNG(r.Uint64() ^ mix64(id+0x9e3779b97f4a7c15))
 }
 
+// State returns the generator's internal state word, for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state word, restoring a
+// stream captured with State to the exact same position.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

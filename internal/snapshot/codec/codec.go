@@ -1,0 +1,435 @@
+// Package codec implements the primitive binary layer of the snapshot
+// format: varint-coded scalars plus pointer-graph interning for the flit and
+// packet objects that the network state references, preserving sharing (the
+// same *Flit reachable from an input FIFO and from a downstream encoded
+// flit's constituent set decodes back to one object, because the simulator
+// compares some of them by identity).
+//
+// The decoder is hardened against hostile input: every read is bounds
+// checked, every length is capped before allocation, and every failure is a
+// typed error (ErrTruncated, ErrCorrupt, ErrVersion, ErrUnsupported) — it
+// must never panic, which the snapshot fuzz target enforces.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/noc"
+)
+
+// Typed decode errors. All decoder failures wrap one of these.
+var (
+	// ErrTruncated reports input that ends mid-value.
+	ErrTruncated = errors.New("snapshot: truncated input")
+	// ErrCorrupt reports structurally invalid input: a bad tag, an
+	// out-of-range length, a reference to an object never defined.
+	ErrCorrupt = errors.New("snapshot: corrupt input")
+	// ErrVersion reports a snapshot written by an incompatible format
+	// version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrUnsupported reports state the snapshot layer cannot capture, such
+	// as a custom arbiter implementation.
+	ErrUnsupported = errors.New("snapshot: unsupported state")
+)
+
+// Caps on decoded lengths, generous multiples of anything a real network
+// produces, so corrupt input cannot drive huge allocations.
+const (
+	maxPacketFlits = 1 << 16
+	maxParts       = 1 << 8
+	maxSliceLen    = 1 << 26
+)
+
+// Flit/packet wire tags.
+const (
+	tagNil  = 0 // nil pointer
+	tagRef  = 1 // back-reference to an interned object
+	tagNew  = 2 // first encounter, full encoding (unencoded flit)
+	tagNewE = 3 // first encounter, encoded (XOR superposition) flit
+)
+
+// Encoder serializes scalars and interned object graphs into an in-memory
+// buffer. The zero value is not usable; call NewEncoder.
+type Encoder struct {
+	buf     []byte
+	packets map[*noc.Packet]uint64
+	flits   map[*noc.Flit]uint64
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{
+		packets: make(map[*noc.Packet]uint64),
+		flits:   make(map[*noc.Flit]uint64),
+	}
+}
+
+// Bytes returns the encoded image. The slice aliases the encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U64 appends an unsigned varint.
+func (e *Encoder) U64(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// I64 appends a zigzag-coded signed varint.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)<<1 ^ uint64(v>>63)) }
+
+// Int appends a zigzag-coded int.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 appends an IEEE-754 bit image as a fixed-width varint payload.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Int(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// Packet appends a packet reference: nil, a back-reference to an already
+// interned packet, or the full field image on first encounter.
+func (e *Encoder) Packet(p *noc.Packet) {
+	if p == nil {
+		e.buf = append(e.buf, tagNil)
+		return
+	}
+	if id, ok := e.packets[p]; ok {
+		e.buf = append(e.buf, tagRef)
+		e.U64(id)
+		return
+	}
+	e.buf = append(e.buf, tagNew)
+	e.packets[p] = uint64(len(e.packets))
+	e.U64(p.ID)
+	e.I64(int64(p.Src))
+	e.I64(int64(p.Dst))
+	e.Int(p.Length)
+	e.Int(p.Class)
+	e.I64(p.CreateCycle)
+	e.I64(p.InjectCycle)
+	e.I64(p.DeliverCycle)
+	e.Bool(p.Measured)
+	canonical := len(p.Payloads) == p.Length
+	for i := 0; canonical && i < p.Length; i++ {
+		canonical = p.Payloads[i] == noc.PayloadWord(p.ID, p.Src, p.Dst, i)
+	}
+	e.Bool(canonical)
+	if !canonical {
+		for _, w := range p.Payloads {
+			e.U64(w)
+		}
+	}
+}
+
+// Flit appends a flit reference: nil, a back-reference, or a full encoding.
+// Unencoded flits carry their owning packet (interned) plus the mutable wire
+// fields; encoded flits carry their constituent set recursively. Interning
+// order matches the decoder's construction order exactly.
+func (e *Encoder) Flit(f *noc.Flit) {
+	if f == nil {
+		e.buf = append(e.buf, tagNil)
+		return
+	}
+	if id, ok := e.flits[f]; ok {
+		e.buf = append(e.buf, tagRef)
+		e.U64(id)
+		return
+	}
+	if f.Encoded {
+		e.buf = append(e.buf, tagNewE)
+		e.Int(len(f.Parts))
+		for _, part := range f.Parts {
+			e.Flit(part)
+		}
+		e.flits[f] = uint64(len(e.flits))
+		e.U64(f.Raw)
+		e.Int(int(f.OutPort))
+		return
+	}
+	e.buf = append(e.buf, tagNew)
+	e.Packet(f.Packet)
+	e.flits[f] = uint64(len(e.flits))
+	e.Int(f.Seq)
+	e.U64(f.Raw)
+	e.Int(int(f.OutPort))
+}
+
+// Decoder reads the encoder's format back with sticky error handling: after
+// the first failure every subsequent read returns the zero value and Err
+// reports the original cause.
+type Decoder struct {
+	buf     []byte
+	off     int
+	err     error
+	packets []*noc.Packet
+	flits   []*noc.Flit
+	arena   *noc.Arena
+}
+
+// NewDecoder reads from data. The decoder aliases the slice.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// SetArena selects the flit arena subsequent Flit decodes allocate from. A
+// nil arena falls back to the heap. The restoring network switches arenas as
+// it walks shards so per-shard accounting stays plausible.
+func (d *Decoder) SetArena(a *noc.Arena) { d.arena = a }
+
+// Err returns the first error encountered, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// fail records the first error.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *Decoder) failf(base error, format string, args ...any) {
+	d.fail(fmt.Errorf("%w: "+format, append([]any{base}, args...)...))
+}
+
+// U64 reads an unsigned varint.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.off >= len(d.buf) {
+			d.fail(ErrTruncated)
+			return 0
+		}
+		b := d.buf[d.off]
+		d.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			// Reject non-canonical overlong encodings in the final group.
+			if shift == 63 && b > 1 {
+				d.failf(ErrCorrupt, "varint overflow")
+				return 0
+			}
+			return v
+		}
+	}
+	d.failf(ErrCorrupt, "varint too long")
+	return 0
+}
+
+// I64 reads a zigzag-coded signed varint.
+func (d *Decoder) I64() int64 {
+	v := d.U64()
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// Int reads a zigzag-coded int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Len reads a length written with Int (the universal length convention in
+// this format) and rejects negatives and values above max before any
+// allocation happens.
+func (d *Decoder) Len(max int) int {
+	v := d.I64()
+	if d.err != nil {
+		return 0
+	}
+	if v < 0 || v > int64(max) {
+		d.failf(ErrCorrupt, "length %d outside [0,%d]", v, max)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a 0/1 byte.
+func (d *Decoder) Bool() bool {
+	b := d.byte()
+	if d.err != nil {
+		return false
+	}
+	if b > 1 {
+		d.failf(ErrCorrupt, "bad bool byte %#x", b)
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads an IEEE-754 bit image.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Len(maxSliceLen)
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(ErrTruncated)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *Decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Packet reads a packet reference. First encounters are rebuilt through
+// noc.NewPacket so canonical payloads, inline buffers, and lazily built flit
+// storage all come out exactly as live construction produces them.
+func (d *Decoder) Packet() *noc.Packet {
+	switch tag := d.byte(); tag {
+	case tagNil:
+		return nil
+	case tagRef:
+		id := d.U64()
+		if d.err != nil {
+			return nil
+		}
+		if id >= uint64(len(d.packets)) {
+			d.failf(ErrCorrupt, "packet ref %d of %d", id, len(d.packets))
+			return nil
+		}
+		return d.packets[id]
+	case tagNew:
+		id := d.U64()
+		src := noc.NodeID(d.I64())
+		dst := noc.NodeID(d.I64())
+		length := d.Int()
+		class := d.Int()
+		create := d.I64()
+		inject := d.I64()
+		deliver := d.I64()
+		measured := d.Bool()
+		canonical := d.Bool()
+		if d.err != nil {
+			return nil
+		}
+		if length < 1 || length > maxPacketFlits {
+			d.failf(ErrCorrupt, "packet length %d", length)
+			return nil
+		}
+		p := noc.NewPacket(id, src, dst, length, class, create)
+		p.InjectCycle, p.DeliverCycle, p.Measured = inject, deliver, measured
+		if !canonical {
+			for i := range p.Payloads {
+				p.Payloads[i] = d.U64()
+			}
+		}
+		if d.err != nil {
+			return nil
+		}
+		d.packets = append(d.packets, p)
+		return p
+	default:
+		d.failf(ErrCorrupt, "bad packet tag %#x", tag)
+		return nil
+	}
+}
+
+// Flit reads a flit reference. Unencoded flits are re-materialized from the
+// current arena; encoded flits are rebuilt through the arena's Encode after
+// validating every precondition Encode would otherwise panic on.
+func (d *Decoder) Flit() *noc.Flit {
+	switch tag := d.byte(); tag {
+	case tagNil:
+		return nil
+	case tagRef:
+		id := d.U64()
+		if d.err != nil {
+			return nil
+		}
+		if id >= uint64(len(d.flits)) {
+			d.failf(ErrCorrupt, "flit ref %d of %d", id, len(d.flits))
+			return nil
+		}
+		return d.flits[id]
+	case tagNew:
+		p := d.Packet()
+		if d.err != nil {
+			return nil
+		}
+		if p == nil {
+			d.failf(ErrCorrupt, "unencoded flit without packet")
+			return nil
+		}
+		seq := d.Int()
+		raw := d.U64()
+		port := noc.Port(d.Int())
+		if d.err != nil {
+			return nil
+		}
+		if seq < 0 || seq >= p.Length {
+			d.failf(ErrCorrupt, "flit seq %d of packet length %d", seq, p.Length)
+			return nil
+		}
+		f := d.arena.NewFlit(p, seq)
+		// Raw is patched rather than recomputed: fault injection can leave a
+		// flit's wire image diverged from its payload word.
+		f.Raw, f.OutPort = raw, port
+		d.flits = append(d.flits, f)
+		return f
+	case tagNewE:
+		n := d.Len(maxParts)
+		if d.err != nil {
+			return nil
+		}
+		if n < 2 {
+			d.failf(ErrCorrupt, "encoded flit with %d parts", n)
+			return nil
+		}
+		parts := make([]*noc.Flit, 0, n)
+		for i := 0; i < n; i++ {
+			part := d.Flit()
+			if d.err != nil {
+				return nil
+			}
+			// Validate what Arena.Encode panics on.
+			if part == nil || part.Encoded || part.MultiFlit() {
+				d.failf(ErrCorrupt, "invalid constituent flit in superposition")
+				return nil
+			}
+			parts = append(parts, part)
+		}
+		raw := d.U64()
+		port := noc.Port(d.Int())
+		if d.err != nil {
+			return nil
+		}
+		f := d.arena.Encode(parts)
+		f.Raw, f.OutPort = raw, port
+		d.flits = append(d.flits, f)
+		return f
+	default:
+		d.failf(ErrCorrupt, "bad flit tag %#x", tag)
+		return nil
+	}
+}

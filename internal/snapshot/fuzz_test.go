@@ -1,0 +1,109 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/noc"
+	"repro/internal/router"
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/codec"
+)
+
+// typedSnapshotErr reports whether err is one of the decoder's documented
+// failure classes. The decoder's contract is that arbitrary input either
+// parses or fails with one of these — never a panic, never an anonymous
+// error.
+func typedSnapshotErr(err error) bool {
+	return errors.Is(err, codec.ErrTruncated) || errors.Is(err, codec.ErrCorrupt) ||
+		errors.Is(err, codec.ErrVersion) || errors.Is(err, codec.ErrUnsupported)
+}
+
+// fuzzSeedImage encodes a small loaded network — a valid image the fuzzer
+// mutates from.
+func fuzzSeedImage(f *testing.F) []byte {
+	cfg := network.Config{Topo: noc.Topology{Width: 2, Height: 2}, Arch: router.NoX, Shards: 1}
+	net := network.New(cfg)
+	defer net.Close()
+	plan := makeSchedule(0xF022, cfg.Topo.Nodes(), 2, 40)
+	for c := 0; c < 40; c++ {
+		for _, s := range plan[c] {
+			net.Inject(s.src, s.dst, s.length, 0)
+		}
+		net.Step()
+	}
+	img, err := snapshot.Encode(net)
+	if err != nil {
+		f.Fatalf("seed encode: %v", err)
+	}
+	return img
+}
+
+// FuzzDecode throws arbitrary bytes at the snapshot decoder. The contract
+// under fuzz: Decode never panics and never returns an untyped error; when
+// it succeeds, Inspect agrees, the network steps, and re-encoding is a
+// fixed point (encode∘decode is stable byte for byte).
+func FuzzDecode(f *testing.F) {
+	seed := fuzzSeedImage(f)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:1])
+	f.Add(seed[:8])
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:len(seed)-1])
+	f.Add(append(append([]byte{}, seed...), 0)) // trailing byte
+	e := codec.NewEncoder()
+	e.U64(0x4e4f585350415031) // the snapshot magic
+	e.U64(2)                  // a future version
+	f.Add(e.Bytes())
+	bad := append([]byte{}, seed...)
+	bad[0] ^= 0xFF // bad magic
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, ierr := snapshot.Inspect(data)
+		if ierr == nil {
+			// A parsable header can still describe an enormous topology the
+			// validator accepts (up to 1024x1024x64); building it would OOM
+			// the fuzzer, so bound the work before the full decode.
+			if info.Topo.Nodes()*info.Concentration > 256 || info.BufferDepth > 64 || info.SinkDepth > 512 {
+				return
+			}
+		} else if !typedSnapshotErr(ierr) {
+			t.Fatalf("Inspect returned an untyped error: %v", ierr)
+		}
+
+		net, err := snapshot.Decode(data, network.Config{Shards: 1})
+		if err != nil {
+			if !typedSnapshotErr(err) {
+				t.Fatalf("Decode returned an untyped error: %v", err)
+			}
+			return
+		}
+		defer net.Close()
+		if ierr != nil {
+			t.Fatalf("Decode succeeded but Inspect rejected the same bytes: %v", ierr)
+		}
+
+		// A decoded network must be steppable and must re-encode stably.
+		img, err := snapshot.Encode(net)
+		if err != nil {
+			t.Fatalf("re-encode of a decoded network failed: %v", err)
+		}
+		net2, err := snapshot.Decode(img, network.Config{Shards: 1})
+		if err != nil {
+			t.Fatalf("decode of a re-encoded image failed: %v", err)
+		}
+		defer net2.Close()
+		img2, err := snapshot.Encode(net2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(img, img2) {
+			t.Fatalf("encode∘decode is not a fixed point: %d vs %d bytes", len(img), len(img2))
+		}
+		net.Step()
+	})
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot/codec"
+)
+
+// SaveState serializes the collector's accumulated measurements. The latency
+// record is written in its current storage order along with the sorted flag,
+// so a restored collector re-saves byte-identically and answers percentile
+// queries exactly as the original would.
+func (c *Collector) SaveState(e *codec.Encoder) {
+	e.I64(c.MeasureStart)
+	e.I64(c.MeasureEnd)
+	e.I64(c.created)
+	e.I64(c.delivered)
+	e.I64(c.latencySum)
+	e.I64(c.latencyMax)
+	e.Int(len(c.latencies))
+	for _, l := range c.latencies {
+		e.I64(l)
+	}
+	e.Bool(c.sorted)
+	e.I64(c.windowFlits)
+	e.I64(c.windowPackets)
+	e.I64(c.createdFlits)
+}
+
+// RestoreState loads state saved by SaveState, replacing the collector's
+// measurements (the measurement window is restored too).
+func (c *Collector) RestoreState(d *codec.Decoder) error {
+	start := d.I64()
+	end := d.I64()
+	created := d.I64()
+	delivered := d.I64()
+	sum := d.I64()
+	max := d.I64()
+	n := d.Len(1 << 26)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if end <= start {
+		return fmt.Errorf("%w: empty measurement window [%d,%d)", codec.ErrCorrupt, start, end)
+	}
+	lats := c.latencies[:0]
+	for i := 0; i < n; i++ {
+		lats = append(lats, d.I64())
+	}
+	sorted := d.Bool()
+	wf := d.I64()
+	wp := d.I64()
+	cf := d.I64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	c.MeasureStart, c.MeasureEnd = start, end
+	c.created, c.delivered = created, delivered
+	c.latencySum, c.latencyMax = sum, max
+	c.latencies, c.sorted = lats, sorted
+	c.windowFlits, c.windowPackets, c.createdFlits = wf, wp, cf
+	return nil
+}

@@ -26,6 +26,8 @@ type Flags struct {
 	FlightWindow int64
 	// FlightDir overrides the dump directory.
 	FlightDir string
+	// FlightKeep caps retained dumps in the dump directory (oldest evicted).
+	FlightKeep int
 }
 
 // AddFlags registers the telemetry flags on fs and returns the destination
@@ -38,6 +40,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Flight, "flight", true, "arm the flight recorder: auto-dump a Perfetto trace of the failure window on oracle/watchdog/deadlock trips")
 	fs.Int64Var(&f.FlightWindow, "flight-window", DefaultFlightWindow, "flight recorder failure window W in cycles")
 	fs.StringVar(&f.FlightDir, "flight-dir", "", "directory for flight-recorder dumps (default "+DefaultFlightDir()+")")
+	fs.IntVar(&f.FlightKeep, "flight-keep", DefaultFlightKeep, "retain at most this many flight dumps, evicting the oldest (-1 = unlimited)")
 	return f
 }
 
@@ -140,6 +143,7 @@ func (s *Session) NewRecorder(label string) *Recorder {
 		Window: s.flags.FlightWindow,
 		Dir:    s.flags.FlightDir,
 		Label:  label,
+		Keep:   s.flags.FlightKeep,
 		Logger: s.logger,
 	})
 }

@@ -3,8 +3,14 @@ package telemetry_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/network"
@@ -197,6 +203,66 @@ func TestFlightRecorderRingWrap(t *testing.T) {
 	}
 	if len(doc.TraceEvents) == 0 {
 		t.Error("post-wrap dump holds no events")
+	}
+}
+
+// TestFlightRetention pins the dump-directory cap: with Keep=3, flushing
+// into a directory that already holds five older stems must leave exactly
+// three — the fresh dump plus the two youngest survivors — and must take
+// each evicted stem's report and replay trace with it.
+func TestFlightRetention(t *testing.T) {
+	dir := t.TempDir()
+	old := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		stem := filepath.Join(dir, fmt.Sprintf("flight-old%d", i))
+		for _, suffix := range []string{".trace.json", ".report.txt", ".replay.trace.json"} {
+			if err := os.WriteFile(stem+suffix, []byte("{}"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Distinct mtimes, oldest first, so eviction order is deterministic.
+		ts := old.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(stem+".trace.json", ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := telemetry.NewRecorder(telemetry.RecorderConfig{Dir: dir, Label: "fresh", Keep: 3})
+	rec.Probe()
+	rec.Trigger(100, "retention test")
+	path, err := rec.Flush(nil)
+	if err != nil || path == "" {
+		t.Fatalf("Flush: %q, %v", path, err)
+	}
+
+	traces, err := filepath.Glob(filepath.Join(dir, "flight-*.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stems []string
+	for _, tr := range traces {
+		if !strings.HasSuffix(tr, ".replay.trace.json") {
+			stems = append(stems, strings.TrimSuffix(tr, ".trace.json"))
+		}
+	}
+	sort.Strings(stems)
+	want := []string{
+		filepath.Join(dir, "flight-fresh"),
+		filepath.Join(dir, "flight-old3"),
+		filepath.Join(dir, "flight-old4"),
+	}
+	if !slices.Equal(stems, want) {
+		t.Fatalf("retained stems %v, want %v", stems, want)
+	}
+	// Evicted stems lose every file, survivors keep theirs.
+	if _, err := os.Stat(filepath.Join(dir, "flight-old0.report.txt")); !os.IsNotExist(err) {
+		t.Errorf("evicted stem's report survives: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flight-old0.replay.trace.json")); !os.IsNotExist(err) {
+		t.Errorf("evicted stem's replay trace survives: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flight-old4.replay.trace.json")); err != nil {
+		t.Errorf("surviving stem lost its replay trace: %v", err)
 	}
 }
 

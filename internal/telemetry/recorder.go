@@ -6,6 +6,8 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -22,6 +24,11 @@ const DefaultFlightWindow = 4096
 // per cycle only near the hotspot, so 64 Ki events comfortably covers 4 Ki
 // cycles of failure-adjacent traffic while costing ~1.5 MiB once, up front.
 const DefaultFlightRing = 1 << 16
+
+// DefaultFlightKeep is the number of flight dumps retained per directory
+// when RecorderConfig.Keep is zero. Long fault campaigns can trip hundreds
+// of recorders; without a cap the dump directory grows without bound.
+const DefaultFlightKeep = 16
 
 // flightDumps counts failure-window dumps written by every recorder in the
 // process, for the nox_flight_dumps_total metric.
@@ -47,6 +54,11 @@ type RecorderConfig struct {
 	// Label distinguishes this recorder's dump files: flight-<label>.trace.json
 	// and flight-<label>.report.txt. Sanitized to filesystem-safe characters.
 	Label string
+	// Keep caps the number of dump stems retained in Dir: after a successful
+	// dump, the oldest stems beyond the cap are evicted (trace, report, and
+	// any replay trace). 0 selects DefaultFlightKeep; negative disables
+	// eviction.
+	Keep int
 	// PeriodNs scales trace timestamps; settable later via SetPeriodNs while
 	// the probe has not yet been created.
 	PeriodNs float64
@@ -96,6 +108,9 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 	}
 	if cfg.Label == "" {
 		cfg.Label = "run"
+	}
+	if cfg.Keep == 0 {
+		cfg.Keep = DefaultFlightKeep
 	}
 	return &Recorder{cfg: cfg}
 }
@@ -248,6 +263,7 @@ func (r *Recorder) Flush(diag func(io.Writer)) (string, error) {
 
 	r.tracePath = tracePath
 	flightDumps.Add(1)
+	pruneFlightDumps(r.cfg.Dir, r.cfg.Keep, stem)
 	log := r.cfg.Logger
 	if log == nil {
 		log = slog.Default()
@@ -260,6 +276,50 @@ func (r *Recorder) Flush(diag func(io.Writer)) (string, error) {
 		"trace", tracePath,
 		"report", reportPath)
 	return tracePath, nil
+}
+
+// pruneFlightDumps evicts the oldest dump stems in dir beyond keep, never
+// evicting justWrote (the stem the caller just dumped). A stem is one
+// flight-<label> prefix; eviction removes its trace, report, and any replay
+// trace together. Eviction failures are ignored — retention is best-effort
+// hygiene, and the dump that triggered it already succeeded.
+func pruneFlightDumps(dir string, keep int, justWrote string) {
+	if keep < 0 {
+		return
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "flight-*.trace.json"))
+	if err != nil {
+		return
+	}
+	type stemAge struct {
+		stem string
+		mod  int64
+	}
+	var stems []stemAge
+	for _, tr := range traces {
+		if strings.HasSuffix(tr, ".replay.trace.json") {
+			continue // counted with its parent stem
+		}
+		stem := strings.TrimSuffix(tr, ".trace.json")
+		if stem == justWrote {
+			continue
+		}
+		fi, err := os.Stat(tr)
+		if err != nil {
+			continue
+		}
+		stems = append(stems, stemAge{stem, fi.ModTime().UnixNano()})
+	}
+	excess := len(stems) + 1 - keep // +1: the stem just written
+	if excess <= 0 {
+		return
+	}
+	sort.Slice(stems, func(i, j int) bool { return stems[i].mod < stems[j].mod })
+	for _, s := range stems[:min(excess, len(stems))] {
+		os.Remove(s.stem + ".trace.json")
+		os.Remove(s.stem + ".report.txt")
+		os.Remove(s.stem + ".replay.trace.json")
+	}
 }
 
 // sanitizeLabel maps a run label to filesystem-safe characters.

@@ -1,0 +1,95 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot/codec"
+)
+
+// Retargetable is implemented by injection processes whose long-run rate can
+// be changed in place mid-run, preserving the RNG stream and any burst
+// state. Warm-start sweeps use it to warm every rate point's network at one
+// common rate and then switch each fork to its own measurement rate.
+type Retargetable interface {
+	// Retarget sets the process's long-run packets-per-cycle rate.
+	Retarget(pktRate float64)
+}
+
+// Retarget implements Retargetable: the per-cycle injection probability is
+// the rate itself.
+func (b *Bernoulli) Retarget(pktRate float64) { b.P = pktRate }
+
+// Retarget implements Retargetable: alpha and b stay fixed (the paper's
+// shape parameters) and T_off is re-solved for the new rate, exactly as
+// NewSelfSimilar does. An in-progress burst or OFF period continues under
+// the old draw — only future Pareto draws see the new T_off.
+func (s *SelfSimilar) Retarget(pktRate float64) {
+	if pktRate <= 0 || pktRate >= 1 {
+		panic("traffic: self-similar rate must be in (0,1)")
+	}
+	meanOn := s.BOn * s.AlphaOn / (s.AlphaOn - 1)
+	meanOff := meanOn * (1 - pktRate) / pktRate
+	s.TOff = meanOff * (s.AlphaOff - 1) / s.AlphaOff
+}
+
+// Process wire tags.
+const (
+	procBernoulli = 0
+	procSelfSim   = 1
+)
+
+// SaveProcess serializes an injection process: its parameters, burst state,
+// and RNG position. Custom Process implementations are not serializable and
+// fail with codec.ErrUnsupported.
+func SaveProcess(e *codec.Encoder, p Process) error {
+	switch p := p.(type) {
+	case *Bernoulli:
+		e.Int(procBernoulli)
+		e.F64(p.P)
+		e.U64(p.RNG.State())
+	case *SelfSimilar:
+		e.Int(procSelfSim)
+		e.F64(p.AlphaOn)
+		e.F64(p.BOn)
+		e.F64(p.AlphaOff)
+		e.F64(p.TOff)
+		e.U64(p.RNG.State())
+		e.Int(p.burstLeft)
+		e.Int(p.offLeft)
+	default:
+		return fmt.Errorf("%w: traffic process %T", codec.ErrUnsupported, p)
+	}
+	return nil
+}
+
+// RestoreProcess loads state saved by SaveProcess into p, which must be of
+// the same concrete type (the caller rebuilds the process roster from its
+// run configuration; restore overwrites parameters and stream position).
+func RestoreProcess(d *codec.Decoder, p Process) error {
+	tag := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	switch p := p.(type) {
+	case *Bernoulli:
+		if tag != procBernoulli {
+			return fmt.Errorf("%w: process tag %d, want Bernoulli", codec.ErrCorrupt, tag)
+		}
+		p.P = d.F64()
+		p.RNG.SetState(d.U64())
+	case *SelfSimilar:
+		if tag != procSelfSim {
+			return fmt.Errorf("%w: process tag %d, want SelfSimilar", codec.ErrCorrupt, tag)
+		}
+		p.AlphaOn = d.F64()
+		p.BOn = d.F64()
+		p.AlphaOff = d.F64()
+		p.TOff = d.F64()
+		p.RNG.SetState(d.U64())
+		p.burstLeft = d.Int()
+		p.offLeft = d.Int()
+	default:
+		return fmt.Errorf("%w: traffic process %T", codec.ErrUnsupported, p)
+	}
+	return d.Err()
+}
