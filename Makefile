@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json bench-compare trace-smoke fault-smoke batch-smoke telemetry-smoke snapshot-smoke fuzz-smoke
+.PHONY: check build vet lint test race bench bench-json bench-compare bench-smoke trace-smoke fault-smoke batch-smoke telemetry-smoke snapshot-smoke fuzz-smoke contract-check
 
 ## check: the CI gate — build, vet, static analysis, the full test suite
 ## under the race detector (the parallel experiment engine makes this
-## mandatory), the tracing, fault-injection, batched-execution, live
-## telemetry, and checkpoint/restore smoke tests, a short fuzz pass over the
-## user-facing decoders, and a soft benchmark-regression check against the
-## newest committed snapshot.
-check: build vet lint race trace-smoke fault-smoke batch-smoke telemetry-smoke snapshot-smoke fuzz-smoke bench-compare
+## mandatory), the event-horizon contract tests, the tracing,
+## fault-injection, batched-execution, live telemetry, and
+## checkpoint/restore smoke tests, a short fuzz pass over the user-facing
+## decoders, and a soft benchmark-regression check against the newest
+## committed snapshot.
+check: build vet lint race contract-check trace-smoke fault-smoke batch-smoke telemetry-smoke snapshot-smoke fuzz-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## contract-check: the event-horizon kernel's contract tests (build tag:
+## contract) — the next-wake/quiescence API's oracle catches components that
+## under-report their horizon or quiesce with latent work, and the real
+## network components must run clean under it on every architecture.
+contract-check:
+	$(GO) test -tags contract -run 'TestContract' ./internal/sim ./internal/network
 
 ## bench: one pass over every paper-figure benchmark plus the kernel
 ## microbenchmarks (allocation counts included).
@@ -69,6 +77,24 @@ bench-compare:
 	$(GO) run ./cmd/noxbench -in "$$tmp/bench.txt" -out "$$tmp/new.json" && \
 	{ $(GO) run ./cmd/noxbench -compare -threshold 0.50 "$$base" "$$tmp/new.json" || \
 	  { [ $$? -eq 1 ] && echo "bench-compare: WARNING: regression vs $$base (soft gate, check not failed)"; }; }
+
+## bench-smoke: the cheapest end-to-end exercise of the benchmark tooling —
+## run the three fastest benchmarks, snapshot them through noxbench
+## (-allow-dirty: smoke runs happen on working trees), and -compare against
+## the newest committed baseline at a deliberately loose threshold (200%,
+## absolute floor still applies). This is a tooling pipeline check plus a
+## gross-regression tripwire cheap enough for every push, not a perf gate —
+## the committed BENCH_*.json snapshots remain the authoritative record.
+bench-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	set -e; \
+	$(GO) test -run '^$$' -bench 'Table1SystemParameters|Table2ClockPeriods|NetworkCycleSparse' \
+		-benchtime 1x . | tee "$$tmp/bench.txt" && \
+	$(GO) run ./cmd/noxbench -in "$$tmp/bench.txt" -out "$$tmp/smoke.json" -allow-dirty && \
+	base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1); \
+	if [ -z "$$base" ]; then echo "bench-smoke: no committed BENCH_*.json baseline, skipping compare"; exit 0; fi; \
+	$(GO) run ./cmd/noxbench -compare -threshold 2.0 "$$base" "$$tmp/smoke.json" && \
+	echo "bench-smoke: OK"
 
 ## trace-smoke: run noxtrace on a tiny mesh and validate that the emitted
 ## Chrome trace JSON parses and that every CSV exporter produces output.

@@ -300,6 +300,49 @@ func BenchmarkNetworkCycleIdle(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkCycleSparse measures the light-load per-cycle cost the
+// event-horizon kernel exists for: an 8x8 network carrying one single-flit
+// packet every 16 cycles (~0.1% per-node injection), so at any instant a
+// handful of components along one path are busy and everything else is
+// parked. The "event" variant is the shipping fast path — next-wake
+// scheduling plus the sparse bitmap walk plus port-granular dirty masks;
+// "eager" (Config.AlwaysActive) evaluates every component every cycle, the
+// pre-event-horizon behavior. The injection schedule is identical on both
+// sides, so the ratio is pure kernel overhead.
+func BenchmarkNetworkCycleSparse(b *testing.B) {
+	for _, arch := range router.Archs {
+		for _, mode := range []struct {
+			name   string
+			always bool
+		}{{"event", false}, {"eager", true}} {
+			b.Run(arch.String()+"/"+mode.name, func(b *testing.B) {
+				net := network.New(network.Config{Arch: arch, AlwaysActive: mode.always})
+				rng := sim.NewRNG(7)
+				cores := net.Cores()
+				// Reach steady sparse flow from a realistic state: a little
+				// traffic, fully drained, arenas warm.
+				net.Inject(0, 63, 3, 0)
+				net.Inject(27, 36, 1, 0)
+				if !net.Drain(500) {
+					b.Fatal("warmup did not drain")
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%16 == 0 {
+						src := noc.NodeID(rng.Intn(cores))
+						dst := noc.NodeID(rng.Intn(cores))
+						if src != dst {
+							net.Inject(src, dst, 1, 0)
+						}
+					}
+					net.Step()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBatchedSweep measures many-seed experiment throughput: N
 // complete synthetic points (8x8 NoX, light uniform load, N distinct
 // seeds) run to completion, comparing the per-point worker-pool engine

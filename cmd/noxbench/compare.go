@@ -26,17 +26,25 @@ func pctDelta(oldV, newV float64) float64 {
 }
 
 // compareSnapshots matches benchmarks by name and reports per-benchmark
-// deltas. Only ns/op gates: a benchmark regresses when its new time exceeds
-// old*(1+threshold) AND the absolute slowdown exceeds floorNs. The floor
-// exists because snapshots come from single-iteration runs (-benchtime 1x):
-// on a nanosecond-scale benchmark a relative threshold compares timer
-// jitter, not code — a 100ns idle-cycle reading can double between runs
-// without a single instruction changing. A slowdown below the floor is
-// reported as "noise" instead of gating. B/op and allocs/op are
-// informational — a -1 sentinel on either side means "not measured" and is
-// skipped with a note, never treated as a regression. Custom metrics are
-// informational and tolerate a missing metrics block on either side.
-// Benchmarks present in only one snapshot are noted, not failed.
+// deltas. Two columns gate:
+//
+//   - ns/op: a benchmark regresses when its new time exceeds
+//     old*(1+threshold) AND the absolute slowdown exceeds floorNs. The floor
+//     exists because snapshots come from single-iteration runs (-benchtime
+//     1x): on a nanosecond-scale benchmark a relative threshold compares
+//     timer jitter, not code — a 100ns idle-cycle reading can double between
+//     runs without a single instruction changing. A slowdown below the floor
+//     is reported as "noise" instead of gating.
+//   - allocs/op: same relative threshold, no noise floor — allocation counts
+//     are deterministic per op, so any growth past the threshold is code,
+//     not jitter. A zero baseline going nonzero always gates (0*(1+t) = 0):
+//     that is the 0 allocs/op steady-state guarantee regressing. A -1
+//     sentinel on either side means "not measured" and is skipped with a
+//     note, never treated as a regression.
+//
+// B/op and custom metrics are informational and tolerate a missing metrics
+// block on either side. Benchmarks present in only one snapshot are noted,
+// not failed.
 func compareSnapshots(oldSnap, newSnap Snapshot, threshold float64, floorNs float64) compareResult {
 	var res compareResult
 	oldBy := make(map[string]Benchmark, len(oldSnap.Benchmarks))
@@ -65,15 +73,21 @@ func compareSnapshots(oldSnap, newSnap Snapshot, threshold float64, floorNs floa
 		res.Lines = append(res.Lines, fmt.Sprintf("  %s %-48s %12.0f -> %12.0f ns/op  %+7.1f%%",
 			mark, nb.Name, ob.NsPerOp, nb.NsPerOp, d))
 
-		// Allocation columns: informational, skipped when either side did not
-		// measure them (ReportAllocs not called; recorded as -1).
+		// Allocation columns: allocs/op gates on the same threshold (B/op is
+		// informational); both are skipped when either side did not measure
+		// them (ReportAllocs not called; recorded as -1).
 		switch {
 		case ob.BytesPerOp < 0 || nb.BytesPerOp < 0:
 			res.Lines = append(res.Lines, "         alloc: not measured on both sides, skipped")
 		default:
-			res.Lines = append(res.Lines, fmt.Sprintf("         %12.0f -> %12.0f B/op  %+7.1f%%   %12.0f -> %12.0f allocs/op",
+			allocMark := ""
+			if nb.AllocsPerOp > ob.AllocsPerOp*(1+threshold) {
+				allocMark = "  ALLOCS REGRESSED"
+				res.Regressions = append(res.Regressions, nb.Name+" (allocs/op)")
+			}
+			res.Lines = append(res.Lines, fmt.Sprintf("         %12.0f -> %12.0f B/op  %+7.1f%%   %12.0f -> %12.0f allocs/op%s",
 				ob.BytesPerOp, nb.BytesPerOp, pctDelta(ob.BytesPerOp, nb.BytesPerOp),
-				ob.AllocsPerOp, nb.AllocsPerOp))
+				ob.AllocsPerOp, nb.AllocsPerOp, allocMark))
 		}
 
 		// Custom metrics: informational; either snapshot may omit the block.
@@ -157,7 +171,7 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64, floorNs
 		fmt.Fprintln(w, line)
 	}
 	if len(res.Regressions) > 0 {
-		fmt.Fprintf(w, "REGRESSION: %d benchmark(s) slower than baseline by more than %.0f%%: %s\n",
+		fmt.Fprintf(w, "REGRESSION: %d reading(s) regressed past %.0f%% vs baseline: %s\n",
 			len(res.Regressions), threshold*100, strings.Join(res.Regressions, ", "))
 		return 1
 	}

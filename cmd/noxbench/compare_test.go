@@ -62,6 +62,60 @@ func TestCompareAllocSentinels(t *testing.T) {
 	}
 }
 
+// TestCompareAllocsRegression: allocs/op gates on the same relative
+// threshold as ns/op, with no noise floor — counts are deterministic.
+func TestCompareAllocsRegression(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkA", 1000, 64, 10)),
+		snap(bench("BenchmarkA", 1000, 64, 13)),
+		0.20, 50_000)
+	if len(res.Regressions) != 1 || res.Regressions[0] != "BenchmarkA (allocs/op)" {
+		t.Fatalf("regressions = %v, want [BenchmarkA (allocs/op)]", res.Regressions)
+	}
+	joined := strings.Join(res.Lines, "\n")
+	if !strings.Contains(joined, "ALLOCS REGRESSED") {
+		t.Fatalf("alloc regression not marked in report:\n%s", joined)
+	}
+}
+
+// TestCompareAllocsZeroBaselineGates: a 0 allocs/op baseline going nonzero
+// always gates — that is the steady-state zero-allocation guarantee
+// regressing, and no relative threshold can excuse it.
+func TestCompareAllocsZeroBaselineGates(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkSteady", 1000, 0, 0)),
+		snap(bench("BenchmarkSteady", 1000, 16, 1)),
+		0.50, 50_000)
+	if len(res.Regressions) != 1 || res.Regressions[0] != "BenchmarkSteady (allocs/op)" {
+		t.Fatalf("regressions = %v, want [BenchmarkSteady (allocs/op)]", res.Regressions)
+	}
+}
+
+// TestCompareAllocsWithinThreshold: alloc growth inside the threshold, and
+// any alloc improvement, stay clean.
+func TestCompareAllocsWithinThreshold(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkA", 1000, 64, 10), bench("BenchmarkB", 1000, 64, 10)),
+		snap(bench("BenchmarkA", 1000, 64, 11), bench("BenchmarkB", 1000, 64, 2)),
+		0.20, 50_000)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("in-threshold alloc change flagged: %v", res.Regressions)
+	}
+}
+
+// TestCompareAllocsSentinelSkipsGate: the -1 "not measured" sentinel on
+// either side skips the allocs gate entirely — same tolerance as the
+// informational columns.
+func TestCompareAllocsSentinelSkipsGate(t *testing.T) {
+	res := compareSnapshots(
+		snap(bench("BenchmarkA", 1000, -1, -1), bench("BenchmarkB", 1000, 64, 10)),
+		snap(bench("BenchmarkA", 1000, 64, 9999), bench("BenchmarkB", 1000, -1, -1)),
+		0.20, 50_000)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("sentinel-side alloc gate fired: %v", res.Regressions)
+	}
+}
+
 // TestCompareMissingMetrics: metrics blocks are optional on either side;
 // present-only-on-one-side metrics print informationally.
 func TestCompareMissingMetrics(t *testing.T) {

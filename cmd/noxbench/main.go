@@ -10,15 +10,22 @@
 //	noxbench -in bench.txt -out -          # JSON to stdout
 //	noxbench -compare old.json new.json    # per-benchmark deltas; exit 1 on regression
 //
-// Compare mode matches benchmarks by name and gates on ns/op only: exit
-// status 1 when any benchmark got slower than -threshold (default 20%) by
-// more than -floor nanoseconds absolute, 2 on bad input. The floor keeps
-// sub-microsecond single-iteration readings — where a relative threshold
-// would gate on timer jitter — from failing the comparison. B/op,
-// allocs/op, and custom metrics print informationally; a -1 sentinel
-// (allocations not measured) or a missing metrics block on either side is
-// skipped with a note, never a failure, so snapshots from partial benchmark
-// runs stay comparable.
+// Compare mode matches benchmarks by name and gates on ns/op and allocs/op:
+// exit status 1 when any benchmark got slower than -threshold (default 20%)
+// by more than -floor nanoseconds absolute, or grew its allocation count
+// past the same threshold (no floor — allocation counts are deterministic),
+// 2 on bad input. The floor keeps sub-microsecond single-iteration readings
+// — where a relative threshold would gate on timer jitter — from failing
+// the comparison. B/op and custom metrics print informationally; a -1
+// sentinel (allocations not measured) or a missing metrics block on either
+// side is skipped with a note, never a failure, so snapshots from partial
+// benchmark runs stay comparable.
+//
+// Committed BENCH_*.json snapshots are the repo's performance baseline, so
+// they must be reproducible from a commit: writing a snapshot file from a
+// dirty git tree is refused unless -allow-dirty is given, which stamps
+// git_dirty into the JSON and prints a loud warning instead. Stdout output
+// (-out -) is not a committed artifact and is always allowed.
 package main
 
 import (
@@ -143,13 +150,30 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// dirtyGuard decides whether a snapshot write from a tree in the given git
+// state may proceed. Committed BENCH_*.json files are the performance
+// baseline future runs compare against, so a snapshot file must come from a
+// clean checkout (its git_sha then identifies the exact code measured);
+// -allow-dirty downgrades the refusal to a loud warning, and stdout output
+// is never a committed artifact so it always passes silently.
+func dirtyGuard(path string, dirty, allow bool) (warn string, err error) {
+	if !dirty || path == "-" {
+		return "", nil
+	}
+	if !allow {
+		return "", fmt.Errorf("refusing to write %s from a dirty git tree — committed snapshots must be reproducible from a commit (commit first, or pass -allow-dirty to stamp git_dirty)", path)
+	}
+	return "WARNING: writing " + path + " from a dirty git tree; snapshot stamped git_dirty and is not a commit-reproducible baseline", nil
+}
+
 func main() {
 	var (
-		in        = flag.String("in", "-", "benchmark output to parse ('-' = stdin)")
-		out       = flag.String("out", "", "JSON output file ('-' = stdout; default BENCH_<stamp>.json)")
-		compare   = flag.Bool("compare", false, "compare two snapshots: noxbench -compare old.json new.json")
-		threshold = flag.Float64("threshold", 0.20, "ns/op regression threshold for -compare (0.20 = 20% slower fails)")
-		floor     = flag.Float64("floor", 50_000, "absolute ns/op noise floor for -compare: slowdowns smaller than this never fail")
+		in         = flag.String("in", "-", "benchmark output to parse ('-' = stdin)")
+		out        = flag.String("out", "", "JSON output file ('-' = stdout; default BENCH_<stamp>.json)")
+		compare    = flag.Bool("compare", false, "compare two snapshots: noxbench -compare old.json new.json")
+		threshold  = flag.Float64("threshold", 0.20, "ns/op and allocs/op regression threshold for -compare (0.20 = 20% worse fails)")
+		floor      = flag.Float64("floor", 50_000, "absolute ns/op noise floor for -compare: slowdowns smaller than this never fail")
+		allowDirty = flag.Bool("allow-dirty", false, "write a snapshot file from a dirty git tree anyway (stamped git_dirty, loud warning)")
 	)
 	ver := version.Flag(flag.CommandLine)
 	flag.Parse()
@@ -203,6 +227,11 @@ func main() {
 	path := *out
 	if path == "" {
 		path = "BENCH_" + now.Format("20060102T150405Z") + ".json"
+	}
+	if warn, err := dirtyGuard(path, snap.GitDirty, *allowDirty); err != nil {
+		fatal(err)
+	} else if warn != "" {
+		fmt.Fprintln(os.Stderr, "noxbench:", warn)
 	}
 	if path == "-" {
 		if _, err := os.Stdout.Write(data); err != nil {

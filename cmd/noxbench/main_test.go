@@ -43,3 +43,25 @@ func TestParse(t *testing.T) {
 		t.Errorf("plain line misparsed: %+v", tab)
 	}
 }
+
+// TestDirtyGuard pins the snapshot provenance rule: file writes from a
+// dirty tree are refused without -allow-dirty, loudly warned with it, and
+// stdout output or a clean tree always passes.
+func TestDirtyGuard(t *testing.T) {
+	if warn, err := dirtyGuard("BENCH_X.json", false, false); err != nil || warn != "" {
+		t.Errorf("clean tree: warn=%q err=%v, want silence", warn, err)
+	}
+	if _, err := dirtyGuard("BENCH_X.json", true, false); err == nil {
+		t.Error("dirty tree file write without -allow-dirty was not refused")
+	}
+	warn, err := dirtyGuard("BENCH_X.json", true, true)
+	if err != nil {
+		t.Errorf("dirty tree with -allow-dirty refused: %v", err)
+	}
+	if !strings.Contains(warn, "WARNING") || !strings.Contains(warn, "git_dirty") {
+		t.Errorf("dirty override warning not loud enough: %q", warn)
+	}
+	if warn, err := dirtyGuard("-", true, false); err != nil || warn != "" {
+		t.Errorf("stdout output from dirty tree: warn=%q err=%v, want silence", warn, err)
+	}
+}

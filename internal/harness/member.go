@@ -42,6 +42,21 @@ type synthMember struct {
 	total         int64 // warmup + measure cycles
 	deadline      int64 // drain deadline, valid after enterDrain
 
+	// Sparse-regime lookahead (event-horizon harness). When lookahead is
+	// armed, each traffic process is advanced eagerly — its Tick stream is
+	// private per-node state, so consuming future cycles early is
+	// stream-exact — and arr[id] holds the node's next injection cycle (or
+	// the current wall when none is known yet). arrMin caches the minimum, so
+	// injection-free cycles cost one comparison, and the main loop may jump a
+	// fully idle network straight to arrMin. Advancing clamps at the warmup
+	// boundary (Ticks past it must see the retargeted rate) and at total.
+	// Lookahead is disabled whenever checkpoint, restore, replay, or
+	// warm-start machinery is armed: those serialize or fork live process
+	// state, which must then match the network clock exactly.
+	lookahead bool
+	arr       []int64
+	arrMin    int64
+
 	// ckpts is the time-travel checkpoint ring (newest last, at most two):
 	// periodic full-state images taken every ReplayCheckpointEvery cycles so
 	// a flight-recorder trigger can rewind and re-run the failure window
@@ -108,7 +123,7 @@ func (m *synthMember) netConfig() network.Config {
 	}
 	return network.Config{Topo: m.cfg.Topo, Arch: m.cfg.Arch, BufferDepth: m.cfg.BufferDepth,
 		NewArbiter: m.cfg.NewArbiter, Probe: pr, Shards: m.cfg.Shards, Check: m.cfg.Check,
-		Observer: obs}
+		AlwaysActive: m.cfg.AlwaysActive, Observer: obs}
 }
 
 // attach binds the member to its freshly built network: delivery collector,
@@ -157,6 +172,73 @@ func (m *synthMember) attach(net *network.Network) {
 		}
 		m.dests[i] = base.Fork(uint64(1000 + i))
 	}
+
+	m.lookahead = !cfg.Eager &&
+		cfg.CheckpointPath == "" && cfg.CheckpointEvery == 0 && cfg.RestorePath == "" &&
+		cfg.ReplayCheckpointEvery == 0 &&
+		!cfg.WarmStart && cfg.WarmSaveDir == "" && cfg.WarmLoadDir == ""
+	if m.lookahead {
+		m.arr = make([]int64, nodes)
+		for id := range m.arr {
+			m.advanceArr(id, 0, m.wallAt(0))
+		}
+		m.recomputeArrMin()
+	}
+}
+
+// advanceArr consumes node id's Tick stream from cycle `from` until the next
+// injection hit or the wall, recording the result in arr[id]. arr[id] ==
+// wall means the stream is consumed up to the wall with no hit pending; the
+// wall cycle's own Tick has NOT been consumed. The wall is the warmup
+// boundary until the boundary's retarget has run (even for an advance that
+// starts exactly at the boundary — the callers pass wallAt of the *current*
+// cycle, so a hit on the boundary's eve parks at the wall rather than
+// reading pre-retarget Ticks for post-boundary cycles), then end-of-window.
+func (m *synthMember) advanceArr(id int, from, wall int64) {
+	for c := from; c < wall; c++ {
+		if m.procs[id].Tick() {
+			m.arr[id] = c
+			return
+		}
+	}
+	m.arr[id] = wall
+}
+
+// wallAt returns the Tick-consumption wall in force at main-loop cycle cyc.
+func (m *synthMember) wallAt(cyc int64) int64 {
+	if cyc < m.cfg.WarmupCycles {
+		return m.cfg.WarmupCycles
+	}
+	return m.total
+}
+
+// recomputeArrMin refreshes the cached earliest pending arrival.
+func (m *synthMember) recomputeArrMin() {
+	m.arrMin = m.total
+	for _, at := range m.arr {
+		if at < m.arrMin {
+			m.arrMin = at
+		}
+	}
+}
+
+// idleSkip returns how many cycles the main loop may jump right now: the
+// distance from the next cycle to the earliest upcoming arrival (or wall)
+// while the network is fully idle, 0 when stepping must continue. The caller
+// performs the jump with FastForwardIdle, which preserves per-cycle probe
+// sampling, so skipped cycles are observationally identical to stepped ones.
+func (m *synthMember) idleSkip() int64 {
+	if !m.lookahead || !m.net.FullyIdle() {
+		return 0
+	}
+	next := m.net.Cycle()
+	if skip := m.arrMin - next; skip > 0 && next < m.total {
+		if max := m.total - next; skip > max {
+			skip = max
+		}
+		return skip
+	}
+	return 0
 }
 
 // injectCycle performs the pre-step work of main-loop cycle cyc: the
@@ -180,6 +262,39 @@ func (m *synthMember) injectCycle(cyc int64) {
 				}
 			}
 		}
+		if m.lookahead {
+			// Every node's stream is parked exactly at the boundary wall;
+			// resume it against the retargeted measurement rate.
+			for id := range m.arr {
+				m.advanceArr(id, cyc, m.total)
+			}
+			m.recomputeArrMin()
+		}
+	}
+	if m.lookahead {
+		if cyc < m.arrMin {
+			return // no arrival this cycle anywhere — the common sparse case
+		}
+		injected := 0
+		wall := m.wallAt(cyc)
+		for id := range m.arr {
+			if m.arr[id] != cyc {
+				continue
+			}
+			src := noc.NodeID(id)
+			dst := m.pattern.Dest(src, m.dests[id])
+			if dst != src { // permutation fixed points do not inject
+				p := m.net.Inject(src, dst, m.cfg.PacketFlits, 0)
+				m.col.OnCreate(p, cyc)
+				injected++
+			}
+			m.advanceArr(id, cyc+1, wall)
+		}
+		m.recomputeArrMin()
+		if injected > 0 {
+			m.cfg.Progress.CountInject(int64(injected), int64(injected*m.cfg.PacketFlits))
+		}
+		return
 	}
 	injected := 0
 	for id := 0; id < len(m.procs); id++ {

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/physical"
+	"repro/internal/probe"
+	"repro/internal/router"
+)
+
+// Sparse-regime equivalence suite: the event-horizon kernel (next-wake
+// scheduling, port-granular dirty evaluation, harness arrival lookahead,
+// idle fast-forward) is a performance mode only — at light load, where it
+// earns its speedup, every observable byte must match the eager kernel
+// that evaluates every component every cycle. The rates here sit at
+// roughly 1% and 5% of per-node saturation bandwidth, the regime where
+// almost every cycle is quiescent for almost every component.
+
+var sparseRates = []float64{40, 200}
+
+// sparseCfg is a light-load point with a measurement window long enough to
+// cross many park/wake transitions.
+func sparseCfg(pattern string, rate float64) SyntheticConfig {
+	return SyntheticConfig{
+		Pattern:       pattern,
+		RateMBps:      rate,
+		WarmupCycles:  1000,
+		MeasureCycles: 3000,
+		DrainCycles:   12000,
+	}
+}
+
+// sparseRun executes one probed, checked run and returns its three
+// comparable byte surfaces: the RunResult dump plus rendered CSV row, the
+// complete Chrome probe trace, and the invariant checker's report.
+func sparseRun(t *testing.T, cfg SyntheticConfig) (results, trace, report string) {
+	t.Helper()
+	cfg.Probe = probe.New(probe.Config{RingEvents: 1 << 20, PeriodNs: physical.ClockPeriodNs(cfg.Arch)})
+	cfg.Check = check.New(check.Config{})
+	res, err := RunSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, rb bytes.Buffer
+	if err := cfg.Probe.WriteChromeTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Check.WriteReport(&rb)
+	csv := SweepCSV(cfg.Pattern, []SweepPoint{{
+		RateMBps: cfg.RateMBps,
+		Results:  map[router.Arch]RunResult{cfg.Arch: res},
+	}})
+	return fmt.Sprintf("%+v", res) + "\n" + csv, tb.String(), rb.String()
+}
+
+// TestSparseEquivalenceSerialSharded pins byte-identity between the eager
+// kernel (Eager harness + AlwaysActive network: no lookahead, no parking,
+// no dirty masks consulted) and the event-horizon fast path, for every
+// architecture at shard counts 1 and 4 and both sparse rates — RunResult,
+// rendered CSV, full probe trace, and checker report.
+func TestSparseEquivalenceSerialSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse equivalence matrix is slow")
+	}
+	for _, arch := range router.Archs {
+		for _, shards := range []int{1, 4} {
+			for _, rate := range sparseRates {
+				arch, shards, rate := arch, shards, rate
+				t.Run(fmt.Sprintf("%s/shards%d/rate%g", arch, shards, rate), func(t *testing.T) {
+					t.Parallel()
+					cfg := sparseCfg("uniform", rate)
+					cfg.Arch = arch
+					cfg.Shards = shards
+
+					ref := cfg
+					ref.Eager = true
+					ref.AlwaysActive = true
+					wantRes, wantTrace, wantReport := sparseRun(t, ref)
+					gotRes, gotTrace, gotReport := sparseRun(t, cfg)
+
+					if gotRes != wantRes {
+						t.Errorf("results diverged from eager kernel\ngot:\n%s\nwant:\n%s", gotRes, wantRes)
+					}
+					if gotTrace != wantTrace {
+						t.Errorf("probe trace diverged from eager kernel (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+					}
+					if gotReport != wantReport {
+						t.Errorf("checker report diverged from eager kernel\ngot:\n%s\nwant:\n%s", gotReport, wantReport)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSparseEquivalenceBatched pins the batched lockstep kernel at cohort
+// widths 1 and 8 against the eager serial sweep over the same sparse
+// rates: same points, same RunResults, same rendered CSV.
+func TestSparseEquivalenceBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse batched equivalence is slow")
+	}
+	base := sparseCfg("uniform", 0)
+
+	ref := base
+	ref.Eager = true
+	ref.AlwaysActive = true
+	cold, err := SweepSynthetic(ref, sparseRates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := SweepCSV("uniform", cold)
+	wantDump := fmt.Sprintf("%+v", cold)
+
+	for _, width := range []int{1, 8} {
+		width := width
+		t.Run(fmt.Sprintf("width%d", width), func(t *testing.T) {
+			pts, _, err := SweepSyntheticBatched(base, sparseRates, width, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := SweepCSV("uniform", pts); got != wantCSV {
+				t.Errorf("batched sparse sweep CSV diverged from eager\ngot:\n%s\nwant:\n%s", got, wantCSV)
+			}
+			if got := fmt.Sprintf("%+v", pts); got != wantDump {
+				t.Errorf("batched sparse results diverged from eager\ngot: %.400s\nwant: %.400s", got, wantDump)
+			}
+		})
+	}
+}
+
+// TestSparseEquivalenceBursty covers the time-varying source the uniform
+// matrix cannot: Pareto-burst (self-similar) traffic alternates dense
+// bursts with long quiescent gaps, crossing the park/wake edge and the
+// idle fast-forward on every gap.
+func TestSparseEquivalenceBursty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse bursty equivalence is slow")
+	}
+	for _, arch := range []router.Arch{router.NoX, router.NonSpec} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := sparseCfg("selfsimilar", 120)
+			cfg.Arch = arch
+
+			ref := cfg
+			ref.Eager = true
+			ref.AlwaysActive = true
+			wantRes, wantTrace, wantReport := sparseRun(t, ref)
+			gotRes, gotTrace, gotReport := sparseRun(t, cfg)
+
+			if gotRes != wantRes {
+				t.Errorf("bursty results diverged from eager kernel\ngot:\n%s\nwant:\n%s", gotRes, wantRes)
+			}
+			if gotTrace != wantTrace {
+				t.Errorf("bursty probe trace diverged from eager kernel (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+			}
+			if gotReport != wantReport {
+				t.Errorf("bursty checker report diverged\ngot:\n%s\nwant:\n%s", gotReport, wantReport)
+			}
+		})
+	}
+}
+
+// benchSparseRun is the shared body of the sparse microbenches: one full
+// synthetic run per iteration.
+func benchSparseRun(b *testing.B, cfg SyntheticConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSynthetic(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparseFSMWait measures the FSM-wait regime on NoX: at ~2% load
+// the output FSMs spend nearly every cycle idle between flits, so the
+// event-horizon kernel parks the routers while the eager reference walks
+// all of them every cycle.
+func BenchmarkSparseFSMWait(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		eager bool
+	}{{"eager", true}, {"event", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := sparseCfg("uniform", 80)
+			cfg.Arch = router.NoX
+			cfg.MeasureCycles = 20000
+			cfg.Eager = mode.eager
+			cfg.AlwaysActive = mode.eager
+			benchSparseRun(b, cfg)
+		})
+	}
+}
+
+// BenchmarkSparseBurstyGap measures the bursty-gap regime: self-similar
+// sources inject dense Pareto bursts separated by long OFF gaps the
+// event-horizon kernel fast-forwards through.
+func BenchmarkSparseBurstyGap(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		eager bool
+	}{{"eager", true}, {"event", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := sparseCfg("selfsimilar", 120)
+			cfg.Arch = router.NoX
+			cfg.MeasureCycles = 20000
+			cfg.Eager = mode.eager
+			cfg.AlwaysActive = mode.eager
+			benchSparseRun(b, cfg)
+		})
+	}
+}

@@ -97,6 +97,17 @@ type SyntheticConfig struct {
 	CheckpointPath  string
 	CheckpointEvery int64
 	RestorePath     string
+	// Eager disables the harness's sparse-regime accelerations — the
+	// per-node next-arrival lookahead and the idle fast-forward between
+	// injections — stepping every main-loop cycle the classic way. Output is
+	// byte-identical either way; Eager is the reference mode the sparse
+	// equivalence suite compares against (and the honest baseline for the
+	// sparse benchmarks).
+	Eager bool
+	// AlwaysActive passes through to network.Config.AlwaysActive: the kernel
+	// evaluates every component every cycle, disabling quiescence, horizon
+	// parking, and the dirty-port walks. The fully eager reference.
+	AlwaysActive bool
 	// ReplayCheckpointEvery, when positive, keeps in-memory full-state
 	// checkpoints every that-many cycles (the last two are retained) and,
 	// when the flight recorder trips, rewinds to the one before the failure
@@ -166,10 +177,16 @@ func RunSynthetic(cfg SyntheticConfig) (RunResult, error) {
 		}
 	}
 
-	for cyc := net.Cycle(); cyc < m.total; cyc++ {
+	for cyc := net.Cycle(); cyc < m.total; cyc = net.Cycle() {
 		m.injectCycle(cyc)
 		net.Step()
 		m.cfg.Progress.Tick(cyc)
+		// Sparse regime: with everything parked and the next arrival known,
+		// jump the clock instead of stepping empty cycles. FastForwardIdle
+		// preserves per-cycle probe sampling, so the skip is unobservable.
+		if skip := m.idleSkip(); skip > 0 {
+			net.FastForwardIdle(skip)
+		}
 	}
 
 	// Drain without new traffic so measured packets can complete (deadline

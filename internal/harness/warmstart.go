@@ -53,6 +53,16 @@ func (m *synthMember) saveRunState(e *codec.Encoder) error {
 		e.U64(r.State())
 	}
 	m.startCounters.SaveState(e)
+	// A lookahead member's Tick streams are consumed ahead of the clock, up
+	// to each node's pending arrival — the RNG positions alone cannot
+	// reconstruct those already-drawn arrivals, so the cache travels with
+	// the state.
+	e.Bool(m.lookahead)
+	if m.lookahead {
+		for _, at := range m.arr {
+			e.I64(at)
+		}
+	}
 	return nil
 }
 
@@ -80,6 +90,41 @@ func (m *synthMember) restoreRunState(data []byte) error {
 	}
 	if err := m.startCounters.RestoreState(d); err != nil {
 		return err
+	}
+	hadLookahead := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	switch {
+	case hadLookahead && !m.lookahead:
+		// The saver's streams ran ahead of the clock; an eager restorer
+		// would re-draw Ticks the saver already consumed.
+		return fmt.Errorf("%w: lookahead-saved run state restored into an eager member", codec.ErrUnsupported)
+	case hadLookahead:
+		for id := range m.arr {
+			m.arr[id] = d.I64()
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		m.recomputeArrMin()
+	case m.lookahead:
+		// Eager-saved state: the streams stand exactly at the seam, but
+		// attach primed this member's arrival cache from freshly seeded
+		// processes, so every cached arrival is stale. Re-prime from the
+		// seam. Every save point sits before injectCycle(cyc) runs, so a
+		// seam at or before the warmup boundary walls at the boundary (the
+		// boundary's retarget block re-advances past it with the measurement
+		// rate); only a later seam may consume post-boundary Ticks.
+		cyc := m.net.Cycle()
+		wall := m.total
+		if cyc <= m.cfg.WarmupCycles {
+			wall = m.cfg.WarmupCycles
+		}
+		for id := range m.arr {
+			m.advanceArr(id, cyc, wall)
+		}
+		m.recomputeArrMin()
 	}
 	if d.Remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after run state", codec.ErrCorrupt, d.Remaining())

@@ -33,7 +33,10 @@ func (l niLane) ComputeActive(cycle int64, active []uint32) {
 }
 
 // CommitActive commits active interfaces, clears the flags of those that
-// went quiet, and returns how many it put to sleep.
+// went quiet or parked on their horizon, and returns how many it put to
+// sleep. NI horizons are binary (Never or next cycle — see NI.Horizon), so
+// the lane never needs the kernel's timing wheel and stays within the
+// sim.Lane parking contract.
 func (l niLane) CommitActive(cycle int64, active []uint32) int {
 	quiets := 0
 	for i, ni := range l {
@@ -41,7 +44,7 @@ func (l niLane) CommitActive(cycle int64, active []uint32) int {
 			continue
 		}
 		ni.Commit(cycle)
-		if ni.Quiet() {
+		if ni.Quiet() || ni.Horizon(cycle) > cycle+1 {
 			active[i] = 0
 			quiets++
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/snapshot/codec"
 )
 
 // Config parameterizes one physical network.
@@ -74,6 +75,15 @@ type Config struct {
 	// Serial execution only: sharded networks grow their shard arenas on
 	// worker goroutines and ignore this field.
 	FlitBlocks *noc.BlockPool
+	// Oracle arms the kernel's event-horizon contract oracle: every component
+	// is evaluated eagerly every cycle, and any component the quiescence or
+	// horizon rules would have parked is state-hashed around its evaluation —
+	// a hash change means the component lied about being parkable (its Quiet
+	// or Horizon broke the purity contract) and the step panics with the
+	// offender. Debug/contract-test mode: serial execution only, and far
+	// slower than either the eager or the parked walk (a full state
+	// serialization per parked component per cycle).
+	Oracle bool
 	// Observer, when non-nil, is installed as an additional kernel observer
 	// (after the probe's sampler): it fires at the end of every stepped or
 	// fast-forwarded cycle with the active-component count. The telemetry
@@ -365,10 +375,13 @@ func New(cfg Config) *Network {
 	}
 
 	// Each link is registered together with the handle of the component its
-	// sink belongs to, so a delivery re-activates the consumer; the link
-	// also inherits that owner's shard (receiver-side assignment).
+	// sink belongs to, so a delivery re-activates the consumer, and the
+	// handle of its sender, so a credit count lifting off zero re-activates
+	// a producer parked on backpressure; the link also inherits the sink
+	// owner's shard (receiver-side assignment).
 	links := make([]*noc.Link, 0, linkCount)
 	sinkOwner := make([]sim.Handle, 0, linkCount)
+	srcOwner := make([]sim.Handle, 0, linkCount)
 	// linkArena tracks each channel's sink-side arena (needed by fault
 	// injection: a flit dropped at commit is released on the sink's shard).
 	linkArena := make([]*noc.Arena, 0, linkCount)
@@ -389,6 +402,7 @@ func New(cfg Config) *Network {
 			}
 			links = append(links, l)
 			sinkOwner = append(sinkOwner, routerHandle[nb])
+			srcOwner = append(srcOwner, routerHandle[id])
 			linkArena = append(linkArena, arenaFor(int(nb)))
 		}
 		// Local ports: one injection and one ejection link per core.
@@ -403,6 +417,7 @@ func New(cfg Config) *Network {
 			}
 			links = append(links, inj)
 			sinkOwner = append(sinkOwner, routerHandle[id])
+			srcOwner = append(srcOwner, n.niHandle[coreID])
 			linkArena = append(linkArena, arenaFor(id))
 			ej := newLink(n.nis[coreID].SinkReceiver(), cfg.SinkDepth)
 			r.SetOutputLink(port, ej)
@@ -412,6 +427,7 @@ func New(cfg Config) *Network {
 			n.ejectLinks[coreID] = ej
 			links = append(links, ej)
 			sinkOwner = append(sinkOwner, n.niHandle[coreID])
+			srcOwner = append(srcOwner, routerHandle[id])
 			linkArena = append(linkArena, arenaFor(id))
 		}
 	}
@@ -429,7 +445,7 @@ func New(cfg Config) *Network {
 	}
 	for i, l := range links {
 		lh := n.kernel.AddLate(l)
-		l.SetWake(n.kernel, int(lh), int(sinkOwner[i]))
+		l.SetWake(n.kernel, int(lh), int(sinkOwner[i]), int(srcOwner[i]))
 		if sharded {
 			shardOf = append(shardOf, shardOf[sinkOwner[i]])
 		}
@@ -444,6 +460,12 @@ func New(cfg Config) *Network {
 		n.kernel.BindLane(sim.Handle(routers+cores), noc.LinkLane(links))
 	}
 	n.kernel.SetAlwaysActive(cfg.AlwaysActive)
+	if cfg.Oracle {
+		if sharded {
+			panic("network: Config.Oracle requires serial execution (Shards <= 1)")
+		}
+		n.kernel.SetOracle(n.oracleHash)
+	}
 	if sharded {
 		n.kernel.SetSharding(shards, shardOf)
 		n.kernel.SetEpilogue(n.drainShardMail)
@@ -460,6 +482,38 @@ func New(cfg Config) *Network {
 		n.kernel.AddObserver(cfg.Observer)
 	}
 	return n
+}
+
+// oracleHash serializes one component's committed state and folds it to a
+// 64-bit FNV-1a digest — the state fingerprint the kernel's debug oracle
+// compares around the evaluation of notionally parked components. Handles
+// map to components by construction order: routers, then interfaces, then
+// channels (the same ranges the typed lanes bind).
+func (n *Network) oracleHash(h sim.Handle) uint64 {
+	e := codec.NewEncoder()
+	i, r, c := int(h), len(n.routers), len(n.nis)
+	switch {
+	case i < r:
+		if err := n.routers[i].SaveState(e); err != nil {
+			panic(fmt.Sprintf("network: oracle hash of router %d: %v", i, err))
+		}
+	case i < r+c:
+		n.nis[i-r].SaveState(e)
+	default:
+		// Links have no SaveState (their only between-step state is the
+		// credit count); staged returns are included for completeness even
+		// though a parked link always holds zero.
+		l := n.links[i-r-c]
+		e.Int(l.Credits())
+		e.Int(l.PendingReturns())
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	hash := uint64(offset64)
+	for _, b := range e.Bytes() {
+		hash ^= uint64(b)
+		hash *= prime64
+	}
+	return hash
 }
 
 // drainShardMail is the sharded step epilogue: it replays the deliveries

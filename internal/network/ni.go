@@ -12,6 +12,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/probe"
+	"repro/internal/sim"
 )
 
 // NI is a tile's network interface. The injection side holds an unbounded
@@ -161,6 +162,25 @@ func (ni *NI) Compute(cycle int64) {
 func (ni *NI) Quiet() bool {
 	return ni.cur == nil && ni.queueHead >= len(ni.queue) &&
 		ni.sink.Buffered() == 0 && !ni.sink.RegisterBusy()
+}
+
+// Horizon implements sim.Horizoned: a non-quiet interface whose only pending
+// work is a mid-transmission packet stalled on a creditless injection channel
+// is in a state evaluation cannot change — Compute finds Ready false and an
+// empty sink, Commit has nothing staged — so it parks until an external wake
+// (the injection link's src wake when returned credits lift the count off
+// zero, or Network.InjectPacket). Every other non-quiet state must be
+// evaluated next cycle: a queued packet still needs its pop into cur (a state
+// change), a positive credit count may be gated by a time-varying stall
+// fault, and pending sink work drains one flit per cycle. The binary
+// Never/now+1 range keeps the interface lane-compatible (see sim.Lane): an
+// NI never files a timed wheel entry.
+func (ni *NI) Horizon(now int64) int64 {
+	if ni.cur != nil && ni.injectLink.Credits() == 0 &&
+		ni.sink.Buffered() == 0 && !ni.sink.RegisterBusy() && ni.released == nil {
+		return sim.Never
+	}
+	return now + 1
 }
 
 // Commit applies the sink port's staged actions and returns its credits.

@@ -62,12 +62,16 @@ type Link struct {
 
 	// waker re-activates kernel components by handle: selfH when a neighbor
 	// writes to this link (Send, ReturnCredit), sinkH when a flit is
-	// delivered to the component owning sink. Optional: an unwired link is
-	// simply evaluated every cycle. One shared waker value per network
-	// replaces the two per-link closures this used to cost.
+	// delivered to the component owning sink, and srcH when the sender-side
+	// credit count goes from zero to positive (a sender parked on credit
+	// exhaustion must re-evaluate — the event-horizon kernel's invalidation
+	// edge for backpressure release). Optional: an unwired link is simply
+	// evaluated every cycle. One shared waker value per network replaces the
+	// per-link closures this used to cost.
 	waker Waker
 	selfH int32
 	sinkH int32
+	srcH  int32
 
 	// probe, when non-nil, receives an EvLink event per delivered flit.
 	// probeNode/probePort identify the channel by its driver: (router, port)
@@ -110,9 +114,11 @@ func (l *Link) Init(sink Receiver, credits int) {
 
 // SetWake installs the quiescence wake hooks: self is this link's kernel
 // handle (re-activated on any neighbor write), sink the handle of the
-// receiver's owning component (re-activated when a flit is delivered).
-func (l *Link) SetWake(w Waker, self, sink int) {
-	l.waker, l.selfH, l.sinkH = w, int32(self), int32(sink)
+// receiver's owning component (re-activated when a flit is delivered), and
+// src the handle of the sender-side component (re-activated when staged
+// credit returns lift the credit count off zero).
+func (l *Link) SetWake(w Waker, self, sink, src int) {
+	l.waker, l.selfH, l.sinkH, l.srcH = w, int32(self), int32(sink), int32(src)
 }
 
 // SetProbe attaches the observability probe to this link, identified by the
@@ -228,13 +234,22 @@ func (l *Link) Commit(cycle int64) {
 			l.waker.WakeInt(int(l.sinkH))
 		}
 	}
-	if l.returns > 0 && l.tamper != nil {
-		l.credits += l.tamper.TamperCredits(l.site, cycle, l.returns)
+	if l.returns > 0 {
+		was := l.credits
+		if l.tamper != nil {
+			l.credits += l.tamper.TamperCredits(l.site, cycle, l.returns)
+		} else {
+			l.credits += l.returns
+		}
 		l.returns = 0
-		return
+		// Credit exhaustion lifted: the sender may have parked on a full
+		// channel (NI horizon, router quiescence) and must re-evaluate. Links
+		// commit last in the cycle, so this wake lands before the next
+		// compute phase in every execution mode.
+		if was == 0 && l.credits > 0 && l.waker != nil {
+			l.waker.WakeInt(int(l.srcH))
+		}
 	}
-	l.credits += l.returns
-	l.returns = 0
 }
 
 // Quiet implements sim.Quiescable: a link with no staged flit and no staged

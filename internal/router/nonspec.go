@@ -1,6 +1,8 @@
 package router
 
 import (
+	"math/bits"
+
 	"repro/internal/arbiter"
 	"repro/internal/buffer"
 	"repro/internal/noc"
@@ -25,6 +27,11 @@ type nonspecRouter struct {
 	// per-cycle scratch
 	req  []uint32
 	head []*noc.Flit
+	// touched is the dirty-output mask of the current cycle: outputs with at
+	// least one requester, i.e. the only ones whose lockNext Compute wrote.
+	// Commit applies exactly these — a requestless output's lock is held by
+	// not touching it at all.
+	touched uint32
 }
 
 func newNonSpec(cfg Config) *nonspecRouter {
@@ -127,12 +134,14 @@ func (r *nonspecRouter) Compute(cycle int64) {
 		req[f.OutPort] |= 1 << i
 	}
 
+	r.touched = 0
 	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
-		r.lockNext[o] = r.lock[o]
 		link := r.outLink[o]
 		if link == nil || req[o] == 0 {
 			continue
 		}
+		r.touched |= 1 << uint(o)
+		r.lockNext[o] = r.lock[o]
 		if !link.Ready(cycle) {
 			if pr != nil {
 				pr.CreditStall(cycle, r.node(), int(o))
@@ -192,7 +201,10 @@ func (r *nonspecRouter) Commit(cycle int64) {
 			r.returnCredits(noc.Port(i), 1)
 		}
 	}
-	copy(r.lock, r.lockNext)
+	for m := r.touched; m != 0; m &= m - 1 {
+		o := bits.TrailingZeros32(m)
+		r.lock[o] = r.lockNext[o]
+	}
 	if pr != nil {
 		pr.Occupancy(r.node(), r.BufferedFlits())
 	}

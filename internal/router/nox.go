@@ -22,13 +22,32 @@ type noxRouter struct {
 	in  []core.InputPort
 	ctl []core.OutputControl
 
-	// offers is per-cycle scratch, flattened [output*ports + input].
+	// offers is per-cycle scratch, flattened [output*ports + input]. Rows are
+	// zeroed by the output loop right after use, so only rows actually
+	// written this cycle are ever touched (part of the dirty-port walk).
 	offers []*noc.Flit
 	// decoded is per-cycle scratch: decoded[i] reports input i's current
 	// offer came through the decode path (probe instrumentation; written
 	// only when a probe is attached).
 	decoded []bool
+
+	// Port-granular dirty masks (event-horizon kernel). inBusy has a bit per
+	// input holding undrained work (set on receive, cleared at Commit once
+	// FIFO and decode register are empty); outBusy a bit per wired output
+	// whose control logic is away from its rest state (recomputed at Commit
+	// from ctl.Idle). Compute offers only dirty inputs and decides only
+	// outputs that are offered to or busy — OutputControl.Idle documents that
+	// skipping an idle output's evaluation is unobservable. decided records
+	// the outputs Decide ran for this cycle, so Commit commits exactly those
+	// (OutputControl.Commit requires a same-cycle Decide). Masks start and
+	// restore conservatively full; the first evaluation trims them.
+	inBusy  uint32
+	outBusy uint32
+	decided uint32
 }
+
+// allPorts returns the n-bit all-ones dirty mask.
+func allPorts(n int) uint32 { return uint32(uint64(1)<<uint(n) - 1) }
 
 func newNoX(cfg Config) *noxRouter {
 	s := cfg.Slabs
@@ -54,6 +73,7 @@ func newNoX(cfg Config) *noxRouter {
 			r.ctl[p].SetLenient(true)
 		}
 	}
+	r.inBusy, r.outBusy = allPorts(n), allPorts(n)
 	r.initReceivers(r)
 	return r
 }
@@ -62,6 +82,7 @@ func (r *noxRouter) receive(p noc.Port, f *noc.Flit, cycle int64) {
 	if r.overflow(p, f, cycle, r.in[p].Free()) {
 		return
 	}
+	r.inBusy |= 1 << uint(p)
 	r.in[p].Receive(f)
 	r.counters().BufWrite++
 	if pr := r.probe(); pr != nil {
@@ -128,13 +149,13 @@ func (r *noxRouter) Compute(cycle int64) {
 	pr := r.probe()
 
 	// Each input presents at most one flit; group presentations by their
-	// lookahead output port.
+	// lookahead output port. Only dirty inputs can hold one (a clean input's
+	// Offer is a guaranteed miss).
 	n := r.ports
 	offers := r.offers
-	for i := range offers {
-		offers[i] = nil
-	}
-	for i := range r.in {
+	var offered uint32
+	for m := r.inBusy; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
 		f, decoded, ok := r.in[i].Offer()
 		if !ok {
 			continue
@@ -146,13 +167,17 @@ func (r *noxRouter) Compute(cycle int64) {
 			panic("router: flit routed to unwired output")
 		}
 		offers[int(f.OutPort)*n+i] = f
+		offered |= 1 << uint(f.OutPort)
 	}
 
+	r.decided = 0
+	visit := offered | r.outBusy
 	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
 		link := r.outLink[o]
-		if link == nil {
+		if link == nil || visit&(1<<uint(o)) == 0 {
 			continue
 		}
+		r.decided |= 1 << uint(o)
 		row := offers[int(o)*n : int(o)*n+n]
 		d := r.ctl[o].Decide(row, link.Ready(cycle))
 		if d.Out != nil {
@@ -209,6 +234,11 @@ func (r *noxRouter) Compute(cycle int64) {
 				pr.Decode(cycle, r.node(), d.Serviced, row[d.Serviced].Packet.ID)
 			}
 		}
+		// Zero the consumed row in place of the old whole-array clear, so
+		// cost scales with rows touched, not radix squared.
+		for i := range row {
+			row[i] = nil
+		}
 	}
 }
 
@@ -217,7 +247,8 @@ func (r *noxRouter) Compute(cycle int64) {
 func (r *noxRouter) Commit(cycle int64) {
 	c := r.counters()
 	pr := r.probe()
-	for i := range r.in {
+	for m := r.inBusy; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
 		ev := r.in[i].Commit()
 		c.BufRead += int64(ev.Reads)
 		if ev.Latched {
@@ -238,11 +269,17 @@ func (r *noxRouter) Commit(cycle int64) {
 			ck.MarkLeaky()
 		}
 		r.returnCredits(noc.Port(i), ev.FreedSlots)
+		if r.in[i].Buffered() == 0 && !r.in[i].RegisterBusy() {
+			r.inBusy &^= 1 << uint(i)
+		}
 	}
+	r.outBusy = 0
 	if pr == nil {
-		for o := noc.Port(0); o < noc.Port(r.ports); o++ {
-			if r.outLink[o] != nil {
-				r.ctl[o].Commit()
+		for m := r.decided; m != 0; m &= m - 1 {
+			o := bits.TrailingZeros32(m)
+			r.ctl[o].Commit()
+			if !r.ctl[o].Idle() {
+				r.outBusy |= 1 << uint(o)
 			}
 		}
 		return
@@ -252,12 +289,21 @@ func (r *noxRouter) Commit(cycle int64) {
 			continue
 		}
 		ctl := &r.ctl[o]
+		if r.decided&(1<<uint(o)) == 0 {
+			// Skipped by the dirty walk: the control logic sat untouched in
+			// its rest state, which operates (and counts) as Recovery.
+			pr.ModeCycle(r.node(), false)
+			continue
+		}
 		before := ctl.Mode()
 		// Count the cycle against the mode the output operated in.
 		pr.ModeCycle(r.node(), before == core.Scheduled)
 		ctl.Commit()
 		if after := ctl.Mode(); after != before {
 			pr.ModeChange(cycle, r.node(), int(o), int(before), int(after))
+		}
+		if !ctl.Idle() {
+			r.outBusy |= 1 << uint(o)
 		}
 	}
 	pr.Occupancy(r.node(), r.BufferedFlits())

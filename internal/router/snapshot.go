@@ -104,6 +104,10 @@ func (r *noxRouter) RestoreState(d *codec.Decoder) error {
 			return err
 		}
 	}
+	// The dirty masks are derivable state and are not serialized: restore
+	// them conservatively full (every port presumed dirty); the first
+	// evaluated cycle trims them back to the true busy set.
+	r.inBusy, r.outBusy = allPorts(r.ports), allPorts(r.ports)
 	return nil
 }
 

@@ -67,6 +67,11 @@ type specRouter struct {
 	// per-cycle scratch
 	req  []uint32
 	head []*noc.Flit
+	// touched is the dirty-output mask of the current cycle: outputs whose
+	// staged Next entries were written by Compute (requests present, or a
+	// live reservation/lock to hold or lapse). Commit applies exactly these —
+	// untouched outputs carry stale Next values that must not be copied.
+	touched uint32
 }
 
 func newSpec(cfg Config) *specRouter {
@@ -195,16 +200,24 @@ func (r *specRouter) Compute(cycle int64) {
 		req[f.OutPort] |= 1 << i
 	}
 
+	r.touched = 0
 	for o := noc.Port(0); o < noc.Port(r.ports); o++ {
-		r.lockNext[o] = r.lock[o]
-		r.resNext[o] = -1
-		r.resPktNext[o] = nil
 		link := r.outLink[o]
 		if link == nil {
 			continue
 		}
+		if req[o] == 0 && r.lock[o] < 0 && r.res[o] < 0 {
+			// Nothing requesting and no held state: evaluating this output
+			// would stage an exact hold, so the dirty walk skips it (and
+			// Commit must not copy its stale Next entries).
+			continue
+		}
+		r.touched |= 1 << uint(o)
+		r.lockNext[o] = r.lock[o]
+		r.resNext[o] = -1
+		r.resPktNext[o] = nil
 		if req[o] == 0 && r.lock[o] < 0 {
-			// Nothing requesting; a pending reservation simply lapses
+			// Nothing requesting; the pending reservation simply lapses
 			// unused (it would be wasted only if requests it masked
 			// existed, which they do not).
 			continue
@@ -377,9 +390,12 @@ func (r *specRouter) Commit(cycle int64) {
 			}
 		}
 	}
-	copy(r.lock, r.lockNext)
-	copy(r.res, r.resNext)
-	copy(r.resPkt, r.resPktNext)
+	for m := r.touched; m != 0; m &= m - 1 {
+		o := bits.TrailingZeros32(m)
+		r.lock[o] = r.lockNext[o]
+		r.res[o] = r.resNext[o]
+		r.resPkt[o] = r.resPktNext[o]
+	}
 	if pr != nil {
 		pr.Occupancy(r.node(), r.BufferedFlits())
 	}

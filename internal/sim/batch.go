@@ -42,10 +42,11 @@ type LockstepGroup struct {
 	comps   int // components per member
 
 	// cols[c*width+s] is member s's component c: the transposed
-	// (component-major) view the step walks. qcols is the matching
-	// Quiescable view, nil where a component does not opt in.
+	// (component-major) view the step walks. qcols/hcols are the matching
+	// Quiescable and Horizoned views, nil where a component does not opt in.
 	cols  []Clocked
 	qcols []Quiescable
+	hcols []Horizoned
 
 	// active[c*words+w] packs the activity flags of components[c] across
 	// members 64*w .. 64*w+63. Bit set = evaluated next step.
@@ -109,12 +110,14 @@ func NewLockstepGroup(kernels []*Kernel) *LockstepGroup {
 	}
 	g.cols = make([]Clocked, g.comps*g.width)
 	g.qcols = make([]Quiescable, g.comps*g.width)
+	g.hcols = make([]Horizoned, g.comps*g.width)
 	g.active = make([]uint64, g.comps*g.words)
 	g.parked = make([]uint64, g.words)
 	for s, k := range kernels {
 		for c := 0; c < g.comps; c++ {
 			g.cols[c*g.width+s] = k.components[c]
 			g.qcols[c*g.width+s] = k.quiesc[c]
+			g.hcols[c*g.width+s] = k.hzn[c]
 		}
 		k.group = g
 		k.slot = s
@@ -135,6 +138,7 @@ func (g *LockstepGroup) wake(slot int, h Handle) {
 	if !g.sliced {
 		if k.active[h] == 0 {
 			k.active[h] = 1
+			k.actWords[h>>6] |= 1 << (h & 63)
 			k.idle--
 		}
 		return
@@ -156,7 +160,11 @@ func (g *LockstepGroup) wakeAll(k *Kernel) {
 		for i := range k.active {
 			k.active[i] = 1
 		}
+		k.setAllBits()
 		k.idle = 0
+		if k.wheel != nil {
+			k.wheel.reset(k.cycle)
+		}
 		return
 	}
 	w, bit := k.slot>>6, uint64(1)<<(k.slot&63)
@@ -164,6 +172,9 @@ func (g *LockstepGroup) wakeAll(k *Kernel) {
 		g.active[c*g.words+w] |= bit
 	}
 	k.idle = 0
+	if k.wheel != nil {
+		k.wheel.reset(k.cycle)
+	}
 }
 
 // ensureFlags makes each member's own u32 flag array the current activity
@@ -179,6 +190,7 @@ func (g *LockstepGroup) ensureFlags() {
 		for c := 0; c < g.comps; c++ {
 			if g.active[c*words+w]&bit != 0 {
 				k.active[c] = 1
+				k.actWords[c>>6] |= 1 << (c & 63)
 			} else {
 				k.active[c] = 0
 			}
@@ -305,6 +317,18 @@ func (g *LockstepGroup) Step() {
 	}
 	cycle := g.cycle()
 
+	// Pop due timed wakes per unparked member before sizing the walk: fired
+	// wakes raise activity through g.wake in whichever representation is
+	// current, so both the density decision and the walks see them.
+	for s, k := range g.kernels {
+		if g.parked[s>>6]&(uint64(1)<<(s&63)) != 0 {
+			continue
+		}
+		if k.wheel != nil && k.wheel.len() != 0 {
+			k.wheel.popDue(cycle, k)
+		}
+	}
+
 	if g.denseWalk() {
 		g.ensureFlags()
 		g.stepDense()
@@ -387,6 +411,7 @@ func (g *LockstepGroup) stepSliced(cycle int64) {
 		for c := 0; c < g.comps; c++ {
 			row := g.cols[c*width : (c+1)*width]
 			qrow := g.qcols[c*width : (c+1)*width]
+			hrow := g.hcols[c*width : (c+1)*width]
 			for w := 0; w < words; w++ {
 				word := g.active[c*words+w] &^ g.parked[w]
 				for ; word != 0; word &= word - 1 {
@@ -395,6 +420,18 @@ func (g *LockstepGroup) stepSliced(cycle int64) {
 					if q := qrow[s]; q != nil && q.Quiet() {
 						g.active[c*words+w] &^= uint64(1) << (s & 63)
 						g.kernels[s].idle++
+						continue
+					}
+					// Horizon parking, identical to the serial commitOne;
+					// the timed wake lands in the member's own wheel.
+					if hz := hrow[s]; hz != nil {
+						if at := hz.Horizon(cycle); at > cycle+1 {
+							g.active[c*words+w] &^= uint64(1) << (s & 63)
+							g.kernels[s].idle++
+							if at != Never {
+								g.kernels[s].wheel.schedule(at, Handle(c))
+							}
+						}
 					}
 				}
 			}

@@ -1,5 +1,21 @@
 package sim
 
+import (
+	"fmt"
+	"math/bits"
+)
+
+// oracleViolation is the panic payload of a horizon-contract breach caught
+// by the SetOracle checker; it implements error so tests can assert on it.
+type oracleViolation struct {
+	comp  int
+	cycle int64
+}
+
+func (v oracleViolation) Error() string {
+	return fmt.Sprintf("sim: component %d mutated state while parked at cycle %d (horizon/quiescence contract violation)", v.comp, v.cycle)
+}
+
 // Clocked is implemented by every component that participates in the
 // synchronous two-phase simulation. Each cycle the kernel first calls
 // Compute on every component (all components observe the state as it was at
@@ -51,6 +67,11 @@ type Kernel struct {
 	// quiesc[i] is components[i]'s Quiescable interface, nil if it does not
 	// opt in (such components are evaluated every cycle forever).
 	quiesc []Quiescable
+	// hzn[i] is components[i]'s Horizoned interface, nil if it does not opt
+	// in. A non-quiet component with a horizon beyond the next cycle is
+	// parked like a quiet one and re-woken by the timing wheel (finite
+	// horizon) or an external Wake (Never).
+	hzn []Horizoned
 	// active[i] marks components evaluated this cycle (1 = active). Wake may
 	// flip an entry mid-step: a wake during the compute phase takes effect
 	// for the same cycle's commit phase if the target's registration index
@@ -59,6 +80,25 @@ type Kernel struct {
 	// serial path; atomic on the sharded path, where any worker may wake any
 	// component.
 	active []uint32
+	// actWords is a per-64-component summary bitmap over active, maintained
+	// on the serial path only (nil once sharded). The invariant is one-sided:
+	// every component with a raised flag has its bit set, but a bit may be
+	// stale (component went quiet without clearing it) — the sparse walk
+	// prunes stale bits lazily as it visits them. nil also while adopted by
+	// a LockstepGroup in the bit-sliced representation (the group's words
+	// are authoritative there; ensureFlags re-establishes the invariant).
+	actWords []uint64
+	// wheel holds pending timed wake-ups for components that parked with a
+	// finite horizon. Allocated lazily when the first Horizoned component
+	// registers; nil on kernels with none (then parking is Wake-only). On
+	// the sharded path per-shard wheels take over (see sharding.wheels).
+	wheel *timingWheel
+	// oracle, when set, switches the serial step into contract-checking
+	// mode: every component is evaluated eagerly and any notionally-parked
+	// component whose state hash changes across its evaluation under-reported
+	// its horizon (or went quiet with latent work). See SetOracle.
+	oracle  func(Handle) uint64
+	oracleH []uint64
 	// idle counts inactive components on the serial path; when it equals
 	// len(components) a step is pure clock advance. The sharded path tracks
 	// idleness per shard instead (see sharding.idle).
@@ -157,7 +197,16 @@ func (k *Kernel) add(c Clocked) Handle {
 	k.components = append(k.components, c)
 	q, _ := c.(Quiescable)
 	k.quiesc = append(k.quiesc, q)
+	hz, _ := c.(Horizoned)
+	k.hzn = append(k.hzn, hz)
+	if hz != nil && k.wheel == nil {
+		k.wheel = newTimingWheel(k.cycle)
+	}
 	k.active = append(k.active, 1)
+	if int(h)>>6 >= len(k.actWords) {
+		k.actWords = append(k.actWords, 0)
+	}
+	k.actWords[h>>6] |= 1 << (h & 63)
 	return h
 }
 
@@ -170,9 +219,37 @@ func (k *Kernel) SetAlwaysActive(on bool) {
 		for i := range k.active {
 			k.active[i] = 1
 		}
+		k.setAllBits()
 		k.idle = 0
 		if k.sh != nil {
 			k.sh.resetIdle()
+		}
+		k.resetWheels()
+	}
+}
+
+// setAllBits raises every summary-bitmap bit, masking the tail word so no
+// bit beyond the registered component count is ever set (the sparse walk
+// indexes components directly from bit positions).
+func (k *Kernel) setAllBits() {
+	for i := range k.actWords {
+		k.actWords[i] = ^uint64(0)
+	}
+	if tail := len(k.components) & 63; tail != 0 && len(k.actWords) > 0 {
+		k.actWords[len(k.actWords)-1] = uint64(1)<<tail - 1
+	}
+}
+
+// resetWheels drops every pending timed wake. Only legal when all components
+// are active (a pending wake for an awake component is redundant; dropping a
+// parked component's wake would strand it).
+func (k *Kernel) resetWheels() {
+	if k.wheel != nil {
+		k.wheel.reset(k.cycle)
+	}
+	if k.sh != nil {
+		for _, w := range k.sh.wheels {
+			w.reset(k.cycle)
 		}
 	}
 }
@@ -200,6 +277,7 @@ func (k *Kernel) Wake(h Handle) {
 	}
 	if k.active[h] == 0 {
 		k.active[h] = 1
+		k.actWords[h>>6] |= 1 << (h & 63)
 		k.idle--
 	}
 }
@@ -252,9 +330,51 @@ func (k *Kernel) ActiveComponents() int {
 	return len(k.components) - k.idle
 }
 
-// FullyIdle reports that every component is quiescent: a Step would be pure
-// clock advance. Always false in always-active reference mode.
-func (k *Kernel) FullyIdle() bool { return k.ActiveComponents() == 0 && len(k.components) > 0 }
+// FullyIdle reports that every component is quiescent and no timed wake is
+// pending: a Step would be pure clock advance for any number of cycles.
+// Always false in always-active reference mode.
+func (k *Kernel) FullyIdle() bool {
+	return k.ActiveComponents() == 0 && len(k.components) > 0 && k.pendingWakes() == 0
+}
+
+// Idle reports that no component is scheduled for evaluation next cycle.
+// Unlike FullyIdle it ignores the timing wheel: an Idle kernel may still
+// hold future wakes, so the clock can only be skipped up to NextWake (see
+// SkipIdle).
+func (k *Kernel) Idle() bool { return k.ActiveComponents() == 0 && len(k.components) > 0 }
+
+// pendingWakes counts scheduled timed wake-ups across all wheels.
+func (k *Kernel) pendingWakes() int {
+	if k.sh != nil {
+		n := 0
+		for _, w := range k.sh.wheels {
+			n += w.len()
+		}
+		return n
+	}
+	if k.wheel != nil {
+		return k.wheel.len()
+	}
+	return 0
+}
+
+// NextWake returns the earliest scheduled timed wake-up, or Never when the
+// wheels are empty.
+func (k *Kernel) NextWake() int64 {
+	if k.sh != nil {
+		next := Never
+		for _, w := range k.sh.wheels {
+			if d := w.nextDue(); d < next {
+				next = d
+			}
+		}
+		return next
+	}
+	if k.wheel != nil {
+		return k.wheel.nextDue()
+	}
+	return Never
+}
 
 // Cycle returns the number of completed cycles.
 func (k *Kernel) Cycle() int64 {
@@ -269,6 +389,11 @@ func (k *Kernel) SetCycle(c int64) {
 		panic("sim: SetCycle during Step")
 	}
 	k.cycle = c
+	// Rebase the wheels: pending entries were filed against the old clock.
+	// SetCycle's only caller (snapshot restore) pairs it with WakeAll, so
+	// every component is awake and dropping its timed wake is harmless — it
+	// re-reports its horizon at its next evaluation.
+	k.resetWheels()
 }
 
 // WakeAll re-activates every component. Snapshot restore uses it instead of
@@ -288,10 +413,12 @@ func (k *Kernel) WakeAll() {
 	for i := range k.active {
 		k.active[i] = 1
 	}
+	k.setAllBits()
 	k.idle = 0
 	if k.sh != nil {
 		k.sh.resetIdle()
 	}
+	k.resetWheels()
 }
 
 // Step advances the simulation by one cycle.
@@ -321,12 +448,29 @@ func (k *Kernel) Step() {
 	k.stepping = false
 }
 
+// sparseRatio picks the serial walk: when fewer than one component in
+// sparseRatio is active, the summary-bitmap walk (word loads plus bit
+// iteration over just the active set) beats the flag-scan walk, which
+// touches every component's flag twice per cycle however few are awake. A
+// performance knob only — both walks are bit-identical (the sparse walk
+// visits exactly the raised-flag set in registration order, with the same
+// flag-at-visit-time wake semantics). In the dense regime the check is a
+// single compare, so the event-horizon machinery costs ~0 there.
+const sparseRatio = 16
+
 // stepSerial is the single-goroutine step: the reference semantics the
 // sharded executor reproduces bit for bit. Each phase walks lane segments
 // and generic ranges interleaved in registration order (see lane.go); with
 // no lanes bound the walks reduce to the plain component loops.
 func (k *Kernel) stepSerial() {
-	switch {
+	if k.wheel != nil && k.wheel.len() != 0 {
+		k.wheel.popDue(k.cycle, k)
+	}
+	if k.oracle != nil {
+		k.stepOracle()
+		return
+	}
+	switch n := len(k.components); {
 	case k.idle == 0:
 		// Everything active: the tight no-flag-check loops, plus the
 		// post-commit quiescence check unless in reference mode.
@@ -336,13 +480,68 @@ func (k *Kernel) stepSerial() {
 		} else {
 			k.walkCommitQuiesce(true)
 		}
-	case k.idle == len(k.components):
+	case k.idle == n:
 		// Fully quiescent network: the cycle is pure clock advance. Wakes
-		// only arrive from outside the step (injection), so nothing can
-		// need evaluation mid-step.
+		// only arrive from outside the step (injection) or the wheel pop
+		// above (which would have lowered idle), so nothing can need
+		// evaluation mid-step.
+	case k.actWords != nil && (n-k.idle)*sparseRatio <= n:
+		k.walkSparse()
 	default:
 		k.walkCompute(false)
 		k.walkCommitQuiesce(false)
+	}
+}
+
+// walkSparse is the event-horizon regime's walk: both phases iterate the
+// summary bitmap instead of scanning every flag. Bits are a superset of the
+// raised flags (see actWords); a bit whose flag turns out clear is pruned in
+// passing. Wakes raised mid-phase land in the words being walked: a wake for
+// a not-yet-visited position is picked up this phase (bits above the visit
+// cursor), one for an already-passed position waits for the next cycle —
+// exactly the flag-at-visit-time semantics of the dense walks. Lane segments
+// are bypassed: at sparse activity the devirtualized batch loops have no
+// edge over a handful of generic dispatches.
+func (k *Kernel) walkSparse() {
+	cycle := k.cycle
+	for w := range k.actWords {
+		visited := uint64(0)
+		for {
+			word := k.actWords[w] &^ visited
+			if word == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(word)
+			bit := uint64(1) << b
+			visited |= bit
+			i := w<<6 + b
+			if k.active[i] != 0 {
+				k.components[i].Compute(cycle)
+			} else {
+				k.actWords[w] &^= bit
+			}
+		}
+	}
+	for w := range k.actWords {
+		visited := uint64(0)
+		for {
+			word := k.actWords[w] &^ visited
+			if word == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(word)
+			bit := uint64(1) << b
+			visited |= bit
+			i := w<<6 + b
+			if k.active[i] == 0 {
+				k.actWords[w] &^= bit
+				continue
+			}
+			k.commitOne(i, cycle, true)
+			if k.active[i] == 0 {
+				k.actWords[w] &^= bit
+			}
+		}
 	}
 }
 
@@ -381,24 +580,120 @@ func (k *Kernel) FastForward(n int64) int64 {
 	return n
 }
 
+// SkipIdle advances the clock while no component is active, up to limit.
+// Unlike FastForward it honors the timing wheel: the jump stops at the
+// earliest scheduled wake so the next Step pops and evaluates it. Per-cycle
+// hooks fire for every skipped cycle exactly as FastForward's do. Returns
+// the cycles skipped (0 if any component is active, the kernel is in
+// always-active mode, or a wake is due immediately).
+func (k *Kernel) SkipIdle(limit int64) int64 {
+	if k.stepping {
+		panic("sim: SkipIdle during Step")
+	}
+	if k.alwaysActive || !k.Idle() {
+		return 0
+	}
+	target := limit
+	if nw := k.NextWake(); nw < target {
+		target = nw
+	}
+	n := target - k.cycle
+	if n <= 0 {
+		return 0
+	}
+	if k.epilogue == nil && len(k.observers) == 0 {
+		k.cycle = target
+		return n
+	}
+	for k.cycle < target {
+		if k.epilogue != nil {
+			k.epilogue(k.cycle)
+		}
+		for _, o := range k.observers {
+			o(k.cycle, 0)
+		}
+		k.cycle++
+	}
+	return n
+}
+
 // RunUntil steps the simulation until done returns true or the cycle limit
 // is reached, and reports whether done was satisfied.
 //
 // done must be a read-only function of committed component state (it must
 // not mutate the simulation, and must not depend on the cycle counter):
-// once the kernel is fully quiescent nothing a step evaluates can change
-// done's verdict, so RunUntil fast-forwards the clock to the limit in bulk
-// instead of stepping idle cycles one by one.
+// once the kernel is idle nothing a step evaluates before the next timed
+// wake can change done's verdict, so RunUntil jumps the clock to the next
+// wake (or the limit) in bulk instead of stepping idle cycles one by one.
 func (k *Kernel) RunUntil(done func() bool, limit int64) bool {
 	for k.cycle < limit {
 		if done() {
 			return true
 		}
-		if k.FullyIdle() {
-			k.FastForward(limit - k.cycle)
-			break
+		if k.Idle() && !k.alwaysActive {
+			if k.SkipIdle(limit) == 0 && k.Idle() {
+				// A wake is due this very cycle: step to evaluate it.
+				k.Step()
+			}
+			continue
 		}
 		k.Step()
 	}
 	return done()
+}
+
+// SetOracle arms the serial kernel's horizon-contract checker. hash must
+// return a digest of component h's externally visible state (any collision-
+// resistant fold of its committed fields). While armed, every step evaluates
+// every component eagerly — the always-evaluate reference semantics — but
+// keeps the notional active set's bookkeeping. A component the fast path
+// would have skipped (parked quiet or beyond its horizon) is hashed before
+// its Compute and after its Commit: the contract says evaluating it must be
+// a state no-op, so a differing hash means it under-reported its horizon or
+// went quiet with latent work — the silent-divergence bug class — and the
+// kernel panics naming the component. Debug mode: serial kernels only, and
+// the eager evaluation costs the full per-cycle walk. Pass nil to disarm.
+func (k *Kernel) SetOracle(hash func(Handle) uint64) {
+	if k.stepping {
+		panic("sim: SetOracle during Step")
+	}
+	if k.sh != nil {
+		panic("sim: SetOracle on a sharded kernel (the oracle is serial-only)")
+	}
+	if k.group != nil {
+		panic("sim: SetOracle on a kernel adopted by a LockstepGroup")
+	}
+	k.oracle = hash
+	if hash != nil && k.oracleH == nil {
+		k.oracleH = make([]uint64, len(k.components))
+	}
+}
+
+// stepOracle is the contract-checking step (see SetOracle): eager evaluation
+// of every component with hash checks around the notionally-parked ones.
+// The wheel pop already ran in stepSerial.
+func (k *Kernel) stepOracle() {
+	cycle := k.cycle
+	// Hash every notionally-parked component before the cycle touches it.
+	// The flags only rise mid-step (bookkeeping that clears them happens at
+	// each component's own commit visit, below), so a component whose flag
+	// is still clear at its commit visit was hashed here.
+	for i := range k.components {
+		if k.active[i] == 0 {
+			k.oracleH[i] = k.oracle(Handle(i))
+		}
+	}
+	for _, c := range k.components {
+		c.Compute(cycle)
+	}
+	for i, c := range k.components {
+		if k.active[i] != 0 {
+			k.commitOne(i, cycle, true)
+			continue
+		}
+		c.Commit(cycle)
+		if got := k.oracle(Handle(i)); got != k.oracleH[i] {
+			panic(oracleViolation{comp: i, cycle: cycle})
+		}
+	}
 }

@@ -37,6 +37,14 @@ package sim
 // same-phase wake from a later component then re-raises the flag and the
 // accounting stays balanced). Elements whose concrete type does not
 // implement Quiescable must never be counted quiet.
+//
+// Horizoned elements extend the bookkeeping: a committed element that is
+// not quiet but reports a horizon beyond the next cycle is parked exactly
+// like a quiet one (flag cleared, counted in the sleep count). Lanes cannot
+// reach the kernel's timing wheel, so lane-covered elements may only report
+// Never or next-cycle horizons — true of every production lane (routers and
+// links are not Horizoned; NIs report only Never). An element needing a
+// finite timed wake must stay on the generic walk.
 type Lane interface {
 	// Len returns the number of components the lane covers.
 	Len() int
@@ -107,9 +115,15 @@ func (k *Kernel) Reserve(n int) {
 		quiesc := make([]Quiescable, len(k.quiesc), need)
 		copy(quiesc, k.quiesc)
 		k.quiesc = quiesc
+		hzn := make([]Horizoned, len(k.hzn), need)
+		copy(hzn, k.hzn)
+		k.hzn = hzn
 		active := make([]uint32, len(k.active), need)
 		copy(active, k.active)
 		k.active = active
+		words := make([]uint64, len(k.actWords), (need+63)/64)
+		copy(words, k.actWords)
+		k.actWords = words
 	}
 }
 
@@ -183,7 +197,11 @@ func (k *Kernel) walkCommitQuiesce(all bool) {
 	}
 }
 
-// commitOne is the generic-path commit of component i with quiet tracking.
+// commitOne is the generic-path commit of component i with quiet tracking
+// and horizon parking: a non-quiet component whose reported horizon lies
+// beyond the next cycle is dropped from the active set like a quiet one,
+// with a timed wake filed for finite horizons (Never parks on the external
+// Wake edge alone).
 func (k *Kernel) commitOne(i int, cycle int64, all bool) {
 	if !all && k.active[i] == 0 {
 		return
@@ -192,5 +210,15 @@ func (k *Kernel) commitOne(i int, cycle int64, all bool) {
 	if q := k.quiesc[i]; q != nil && q.Quiet() {
 		k.active[i] = 0
 		k.idle++
+		return
+	}
+	if hz := k.hzn[i]; hz != nil {
+		if at := hz.Horizon(cycle); at > cycle+1 {
+			k.active[i] = 0
+			k.idle++
+			if at != Never {
+				k.wheel.schedule(at, Handle(i))
+			}
+		}
 	}
 }

@@ -81,6 +81,13 @@ type sharding struct {
 	// merged into serial emission order.
 	evalHook func(shard, phase, comp int)
 
+	// wheels[s] holds shard s's pending timed wakes. Workers schedule into
+	// their own shard's wheel during commit walks (worker-local, no
+	// synchronization); the stepping goroutine pops every wheel at the top
+	// of the step, with all workers quiescent, through the atomic wake path.
+	// Empty slice when the kernel has no Horizoned components.
+	wheels []*timingWheel
+
 	work   []chan uint8
 	wg     sync.WaitGroup
 	closed bool
@@ -150,6 +157,18 @@ func (k *Kernel) SetSharding(shards int, shardOf []int) {
 		}
 	}
 	k.idle = 0 // per-shard counters take over
+	if k.wheel != nil {
+		// Per-shard wheels take over from the serial wheel, which is empty
+		// here: entries are only filed by commit bookkeeping and SetSharding
+		// precedes the first Step. The serial summary bitmap retires with it
+		// (the sharded step never takes the sparse walk).
+		sh.wheels = make([]*timingWheel, shards)
+		for s := range sh.wheels {
+			sh.wheels[s] = newTimingWheel(k.cycle)
+		}
+		k.wheel = nil
+		k.actWords = nil
+	}
 	for s := 0; s < shards; s++ {
 		ch := make(chan uint8, 1)
 		sh.work[s] = ch
@@ -231,6 +250,14 @@ func (k *Kernel) stepSharded() {
 	sh := k.sh
 	if sh.closed {
 		panic("sim: Step on a closed kernel")
+	}
+	// Pop due timed wakes before sizing the cycle: a fired wake re-activates
+	// its component through the atomic path, so the idleness check below sees
+	// it. Runs on the stepping goroutine with every worker quiescent.
+	for _, w := range sh.wheels {
+		if w.len() != 0 {
+			w.popDue(k.cycle, k)
+		}
 	}
 	if !k.alwaysActive && sh.totalIdle() == len(k.components) {
 		// Fully quiescent: pure clock advance, same as the serial path.
@@ -350,6 +377,19 @@ func (k *Kernel) runShard(s, phase int) {
 		if q := k.quiesc[i]; q != nil && q.Quiet() {
 			atomic.StoreUint32(&k.active[i], 0)
 			quiets++
+			continue
+		}
+		// Horizon parking, same bookkeeping as the serial commitOne. The
+		// timed wake lands in this shard's own wheel — worker-local, popped
+		// by the stepping goroutine between cycles.
+		if hz := k.hzn[i]; hz != nil {
+			if at := hz.Horizon(cycle); at > cycle+1 {
+				atomic.StoreUint32(&k.active[i], 0)
+				quiets++
+				if at != Never {
+					sh.wheels[s].schedule(at, Handle(i))
+				}
+			}
 		}
 	}
 	if quiets != 0 {
