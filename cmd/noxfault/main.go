@@ -34,6 +34,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/physical"
 	"repro/internal/router"
+	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/snapshot/codec"
@@ -53,9 +54,15 @@ const (
 	// outDetected: the invariant layer caught the faults (violations, a
 	// watchdog trip, or a recovered panic).
 	outDetected
+	// outDegraded: permanent faults cost packets, but every loss is
+	// accounted — retired as undeliverable by the partition analysis or the
+	// retry budget — with zero violations: graceful degradation.
+	outDegraded
 	// outUndetected: traffic went missing with no violation recorded — a
 	// checker regression. A healthy build reports zero of these.
 	outUndetected
+
+	numOutcomes
 )
 
 func (o outcome) String() string {
@@ -66,6 +73,8 @@ func (o outcome) String() string {
 		return "masked"
 	case outDetected:
 		return "detected"
+	case outDegraded:
+		return "degraded"
 	default:
 		return "UNDETECTED"
 	}
@@ -84,6 +93,18 @@ type cell struct {
 	delivered int64
 	counts    [check.NumKinds]int64
 	total     int64
+	// Permanent-fault and reliability counters (zero when neither hard
+	// faults nor retransmission are armed).
+	undeliverable int64
+	retransmits   int64
+	acked         int64
+	ackLost       int64
+	exhausted     int64
+	dupes         int64
+	epochs        int64
+	lastEpoch     int64
+	partitioned   int
+	escalated     int64
 }
 
 type params struct {
@@ -96,6 +117,9 @@ type params struct {
 	drain       int64
 	watchdog    int64
 	template    fault.Spec
+	// retransmit, when non-nil, arms end-to-end NI retransmission in every
+	// campaign network (see -rtimeout / -retries).
+	retransmit *network.RetransmitConfig
 	// newRecorder builds one flight recorder per campaign cell (nil or a
 	// factory returning nil disarms recording). Labels are deterministic in
 	// (arch, campaign), so the serial, sharded, and batched paths write the
@@ -206,11 +230,13 @@ func run(arch router.Arch, idx int, p params) (c cell) {
 	net, err := network.Build(network.Config{
 		Topo: p.topo, Arch: arch, BufferDepth: p.bufferDepth,
 		Shards: p.shards, Check: ck, Fault: inj, Probe: rec.Probe(),
+		Retransmit: p.retransmit,
 	})
 	if err != nil {
 		panic(err.Error())
 	}
 	defer net.Close()
+	wireReconfig(net, rec)
 	restoreWarm(net, arch, p)
 
 	// Uniform-random traffic from the campaign's own stream; injection runs
@@ -248,6 +274,12 @@ func finishCell(c *cell, net *network.Network, ck *check.Checker, inj *fault.Inj
 		c.injected, c.delivered = ck.Injected(), ck.Delivered()
 		c.counts, c.total = ck.Counts(), ck.Total()
 		c.faults, c.impacted = inj.Totals(), inj.ImpactedCount()
+		c.undeliverable = net.Undeliverable()
+		c.retransmits, c.acked, c.ackLost, c.exhausted = net.RetransmitStats()
+		c.dupes = net.DupSuppressed()
+		c.epochs, c.lastEpoch = net.Epochs(), net.LastEpochCycle()
+		c.partitioned = net.PartitionedPairs()
+		c.escalated = inj.EscalatedLinks()
 		if r := recover(); r != nil {
 			c.out = outDetected
 			c.why = "panic: " + firstLine(fmt.Sprint(r))
@@ -276,13 +308,16 @@ func finishCell(c *cell, net *network.Network, ck *check.Checker, inj *fault.Inj
 	case ck.Total() > 0:
 		c.out = outDetected
 		c.why = "violations"
-	case inj.Total() == 0:
+	case inj.Total() == 0 && net.Epochs() == 0 && net.CurrentFaults().Empty():
 		c.out = outClean
 	case ck.Delivered() == ck.Injected():
 		c.out = outMasked
+	case net.Undeliverable() > 0 && ck.Delivered()+net.Undeliverable() == ck.Injected():
+		c.out = outDegraded
+		c.why = fmt.Sprintf("%d undeliverable, every loss accounted", net.Undeliverable())
 	default:
 		c.out = outUndetected
-		c.why = fmt.Sprintf("%d packets missing, zero violations", ck.Injected()-ck.Delivered())
+		c.why = fmt.Sprintf("%d packets missing, zero violations", ck.Injected()-ck.Delivered()-net.Undeliverable())
 	}
 	// Crash-state checkpoint (-checkpoint): persist the final network state
 	// of every campaign the fault actually damaged, for post-mortem
@@ -330,6 +365,7 @@ func runCohortCells(archs []router.Arch, campaigns int, p params, lo, hi int) (c
 		return network.Config{
 			Topo: p.topo, Arch: cells[j].arch, BufferDepth: p.bufferDepth,
 			Shards: p.shards, Check: cks[j], Fault: injs[j], Probe: recs[j].Probe(),
+			Retransmit: p.retransmit,
 		}
 	})
 	if err != nil {
@@ -337,6 +373,7 @@ func runCohortCells(archs []router.Arch, campaigns int, p params, lo, hi int) (c
 	}
 	defer co.Close()
 	for j := 0; j < n; j++ {
+		wireReconfig(co.Net(j), recs[j])
 		restoreWarm(co.Net(j), cells[j].arch, p)
 	}
 
@@ -374,6 +411,16 @@ func runCohortCells(archs []router.Arch, campaigns int, p params, lo, hi int) (c
 		finishCell(&cells[j], co.Net(j), cks[j], injs[j], recs[j], p)
 	}
 	return cells, true
+}
+
+// wireReconfig arms the flight recorder's reconfiguration trigger: the
+// first fault-driven route rebuild latches the recorder, so the dump window
+// brackets the epoch (first-trigger-wins; a later checker trip or wedge
+// would latch it anyway). Nil-safe like every Recorder method.
+func wireReconfig(net *network.Network, rec *telemetry.Recorder) {
+	net.OnReconfigure = func(cycle int64, fs routing.FaultSet) {
+		rec.Trigger(cycle, "reconfiguration: "+fs.String())
+	}
 }
 
 // firstLine trims a multi-line message (watchdog errors embed the full
@@ -420,6 +467,12 @@ func main() {
 		warmN     = flag.Int64("warmstart", 0, "warm each architecture's network fault-free for this many cycles once, then start every campaign from the shared warm state (0 = cold campaigns)")
 		ckptDir   = flag.String("checkpoint", "", "save a full network snapshot of every detected/undetected campaign's final state into this directory (fault-<arch>-c<N>.nox)")
 		restoreIn = flag.String("restore", "", "post-mortem mode: load a campaign snapshot, print its diagnostic dump and invariant report, and exit")
+
+		degradeK = flag.Int("degrade", 0, "degradation-sweep mode: fail 0..N links (a seeded nested sequence) and report sustained throughput, latency, and loss accounting per fault count; transient-rate flags are ignored")
+		killAt   = flag.Int64("kill", 0, "degradation mode: cycle the failed links die (0 = dead from the start; >0 = mid-run kill with flush and reconfiguration)")
+		csvOut   = flag.String("csv", "", "degradation mode: also write the sweep as CSV to this file")
+		rtimeout = flag.Int64("rtimeout", 0, "end-to-end retransmission base timeout in cycles (0 = disarmed; degradation mode defaults to 4*(w+h)+64)")
+		retries  = flag.Int("retries", 4, "retransmission retry budget per packet (with -rtimeout)")
 
 		bitflip    = flag.Float64("bitflip", 0.001, "per-flit-traversal bit-flip probability")
 		dropRate   = flag.Float64("drop", 0, "per-flit-traversal drop probability")
@@ -533,6 +586,18 @@ func main() {
 		newRecorder: sess.NewRecorder,
 		ckptDir:     *ckptDir,
 	}
+	if *rtimeout > 0 {
+		p.retransmit = &network.RetransmitConfig{Timeout: *rtimeout, Retries: *retries}
+	}
+
+	// Degradation-sweep mode: a separate experiment shape (fault-count sweep
+	// of permanent link kills under bursty traffic) with its own report.
+	if *degradeK > 0 {
+		if err := runDegradeMode(os.Stdout, archs, p, *degradeK, *killAt, *rtimeout, *retries, *parallel, *batchW, *out, *csvOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *warmN > 0 {
 		p.warm = make(map[router.Arch][]byte, len(archs))
 		for _, a := range archs {
@@ -600,10 +665,10 @@ func main() {
 	}
 	fmt.Fprintf(&sb, "spec template: %s\n", template)
 
-	var overall [4]int
+	var overall [numOutcomes]int
 	for ai, arch := range archs {
 		fmt.Fprintf(&sb, "arch %s:\n", arch)
-		var tally [4]int
+		var tally [numOutcomes]int
 		var faults int64
 		for ci := 0; ci < *campaigns; ci++ {
 			c := cells[ai**campaigns+ci]
@@ -619,16 +684,28 @@ func main() {
 				kindList(c.faults[:], func(i int) fault.Kind { return fault.Kind(i) }),
 				c.out, c.injected, c.delivered, c.total,
 				kindList(c.counts[:], func(i int) check.Kind { return check.Kind(i) }))
+			if c.undeliverable > 0 {
+				fmt.Fprintf(&sb, " undeliverable=%d", c.undeliverable)
+			}
+			if c.epochs > 0 {
+				fmt.Fprintf(&sb, " epochs=%d@%d", c.epochs, c.lastEpoch)
+			}
+			if c.escalated > 0 {
+				fmt.Fprintf(&sb, " escalated=%d", c.escalated)
+			}
+			if c.retransmits > 0 || c.exhausted > 0 {
+				fmt.Fprintf(&sb, " rtx=%d/%d", c.retransmits, c.exhausted)
+			}
 			if c.why != "" && c.why != "violations" {
 				fmt.Fprintf(&sb, " (%s)", c.why)
 			}
 			fmt.Fprintln(&sb)
 		}
-		fmt.Fprintf(&sb, "  summary: clean=%d masked=%d detected=%d undetected=%d faults=%d\n",
-			tally[outClean], tally[outMasked], tally[outDetected], tally[outUndetected], faults)
+		fmt.Fprintf(&sb, "  summary: clean=%d masked=%d detected=%d degraded=%d undetected=%d faults=%d\n",
+			tally[outClean], tally[outMasked], tally[outDetected], tally[outDegraded], tally[outUndetected], faults)
 	}
-	fmt.Fprintf(&sb, "overall: campaigns=%d clean=%d masked=%d detected=%d undetected=%d\n",
-		len(archs)**campaigns, overall[outClean], overall[outMasked], overall[outDetected], overall[outUndetected])
+	fmt.Fprintf(&sb, "overall: campaigns=%d clean=%d masked=%d detected=%d degraded=%d undetected=%d\n",
+		len(archs)**campaigns, overall[outClean], overall[outMasked], overall[outDetected], overall[outDegraded], overall[outUndetected])
 	if overall[outUndetected] > 0 {
 		fmt.Fprintf(&sb, "WARNING: undetected loss — the invariant layer missed faults it should catch\n")
 	}

@@ -128,15 +128,16 @@ type Checker struct {
 	cfg Config
 	max int
 
-	mu         sync.Mutex
-	violations []Violation
-	truncated  int64
-	counts     [NumKinds]int64
-	inflight   map[uint64]int64 // packet id -> inject cycle
-	injected   int64
-	delivered  int64
-	leaky      bool
-	finalized  bool
+	mu            sync.Mutex
+	violations    []Violation
+	truncated     int64
+	counts        [NumKinds]int64
+	inflight      map[uint64]int64 // packet id -> inject cycle
+	injected      int64
+	delivered     int64
+	undeliverable int64
+	leaky         bool
+	finalized     bool
 
 	// observer, when set, is called with a copy of every recorded violation,
 	// outside the checker's lock. It runs on whichever goroutine reported the
@@ -201,6 +202,22 @@ func (c *Checker) OnDeliver(cycle int64, id uint64) {
 	}
 	c.mu.Lock()
 	c.delivered++
+	delete(c.inflight, id)
+	c.mu.Unlock()
+}
+
+// OnUndeliverable retires a packet the network has proven can never be
+// delivered — its destination is unreachable after a permanent fault, or
+// end-to-end retransmission exhausted its retries. The packet is accounted
+// (not lost): Finalize will not scan it, and it is not a violation. The
+// undeliverable disposition is what lets a partitioned network drain to
+// quiescence without tripping the deadlock or lost-packet oracles.
+func (c *Checker) OnUndeliverable(cycle int64, id uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.undeliverable++
 	delete(c.inflight, id)
 	c.mu.Unlock()
 }
@@ -421,6 +438,17 @@ func (c *Checker) Delivered() int64 {
 	return c.delivered
 }
 
+// Undeliverable returns how many packets were retired as provably
+// undeliverable (see OnUndeliverable).
+func (c *Checker) Undeliverable() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.undeliverable
+}
+
 // WriteReport writes the violation summary and the stored violations (in
 // deterministic order) to w.
 func (c *Checker) WriteReport(w io.Writer) {
@@ -429,7 +457,8 @@ func (c *Checker) WriteReport(w io.Writer) {
 		return
 	}
 	counts := c.Counts()
-	fmt.Fprintf(w, "check: injected=%d delivered=%d violations=%d\n", c.Injected(), c.Delivered(), c.Total())
+	fmt.Fprintf(w, "check: injected=%d delivered=%d undeliverable=%d violations=%d\n",
+		c.Injected(), c.Delivered(), c.Undeliverable(), c.Total())
 	for k := Kind(0); k < NumKinds; k++ {
 		if counts[k] > 0 {
 			fmt.Fprintf(w, "  %-9s %d\n", k, counts[k])

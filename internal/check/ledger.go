@@ -11,11 +11,12 @@ type Ledger struct {
 	Counts     [NumKinds]int64
 	// Inflight maps packet id to inject cycle for packets the delivery
 	// oracle has not yet seen retired.
-	Inflight  map[uint64]int64
-	Injected  int64
-	Delivered int64
-	Leaky     bool
-	Finalized bool
+	Inflight      map[uint64]int64
+	Injected      int64
+	Delivered     int64
+	Undeliverable int64
+	Leaky         bool
+	Finalized     bool
 }
 
 // Ledger returns a deep copy of the checker's current state. Violations come
@@ -28,14 +29,15 @@ func (c *Checker) Ledger() Ledger {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	l := Ledger{
-		Violations: append([]Violation(nil), c.violations...),
-		Truncated:  c.truncated,
-		Counts:     c.counts,
-		Inflight:   make(map[uint64]int64, len(c.inflight)),
-		Injected:   c.injected,
-		Delivered:  c.delivered,
-		Leaky:      c.leaky,
-		Finalized:  c.finalized,
+		Violations:    append([]Violation(nil), c.violations...),
+		Truncated:     c.truncated,
+		Counts:        c.counts,
+		Inflight:      make(map[uint64]int64, len(c.inflight)),
+		Injected:      c.injected,
+		Delivered:     c.delivered,
+		Undeliverable: c.undeliverable,
+		Leaky:         c.leaky,
+		Finalized:     c.finalized,
 	}
 	for id, cyc := range c.inflight {
 		l.Inflight[id] = cyc
@@ -61,6 +63,7 @@ func (c *Checker) RestoreLedger(l Ledger) {
 	}
 	c.injected = l.Injected
 	c.delivered = l.Delivered
+	c.undeliverable = l.Undeliverable
 	c.leaky = l.Leaky
 	c.finalized = l.Finalized
 }

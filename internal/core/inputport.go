@@ -287,6 +287,48 @@ func (p *InputPort) Commit() Events {
 	return ev
 }
 
+// SetRow repoints the port at a new precomputed route-table row. Called by
+// the NoX router when a reconfiguration epoch swaps routing tables; flits
+// already buffered keep their stale lookahead OutPort, so the caller must
+// Flush first if stale routes are unacceptable.
+func (p *InputPort) SetRow(row []noc.Port) { p.row = row }
+
+// Flush discards all port state — buffered flits, the decode register, any
+// staged service or poison — returning the port to its post-Init rest.
+// Every dropped flit object is handed to release before its storage is
+// recycled (callers walk the Parts of encoded flits themselves for packet
+// accounting); release may be nil. The constituents of encoded flits are
+// NOT returned to the arena: exactly as the poison path, they may be the
+// very objects still buffered in an upstream port's FIFO (collision
+// losers), so they leak and the caller marks the run leaky. Used by
+// reconfiguration epochs after a hard fault: wormhole state threaded
+// through a dead region cannot make progress and is torn down wholesale.
+func (p *InputPort) Flush(release func(*noc.Flit)) {
+	drop := func(f *noc.Flit) {
+		if release != nil {
+			release(f)
+		}
+		if p.arena != nil {
+			p.arena.Release(f)
+		}
+	}
+	for !p.fifo.Empty() {
+		drop(p.fifo.Pop())
+	}
+	if p.reg != nil {
+		drop(p.reg)
+		p.reg = nil
+	}
+	if p.offerCache != nil && !p.absorbed && p.arena != nil {
+		p.arena.Release(p.offerCache)
+	}
+	p.offerCache = nil
+	p.offerCacheValid = false
+	p.serviceStaged = false
+	p.absorbed = false
+	p.poison = nil
+}
+
 // retireRegister releases the dead register superposition old: every
 // constituent not present (by object identity) in the successor set is
 // unreachable and returns to the arena, then old itself. Identity, not

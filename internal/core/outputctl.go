@@ -160,6 +160,15 @@ func (o *OutputControl) Idle() bool {
 	return o.mode == Recovery && o.switchMask == o.all && o.arbMask == o.all && o.lockOwner < 0
 }
 
+// Reset forces the control logic back to its rest state (Recovery mode,
+// every input enabled, no wormhole lock), staged state included. Used by
+// reconfiguration epochs after a hard fault, where the input ports feeding
+// this output were flushed and any in-progress chain or wormhole is gone.
+func (o *OutputControl) Reset() {
+	o.mode, o.switchMask, o.arbMask, o.lockOwner = Recovery, o.all, o.all, -1
+	o.hold()
+}
+
 // hold stages the current state unchanged.
 func (o *OutputControl) hold() {
 	o.nextMode, o.nextSwitchMask, o.nextArbMask, o.nextLockOwner =

@@ -86,6 +86,12 @@ type Spec struct {
 	StallCycles int64   `json:"stall_cycles,omitempty"`
 	CreditLoss  float64 `json:"credit_loss_rate,omitempty"`
 	CreditDup   float64 `json:"credit_dup_rate,omitempty"`
+
+	// DeadLinks and DeadRouters schedule permanent topology faults; see
+	// hard.go. Escalate promotes chronically faulty links to permanent.
+	DeadLinks   []DeadLink   `json:"dead_links,omitempty"`
+	DeadRouters []DeadRouter `json:"dead_routers,omitempty"`
+	Escalate    *Escalation  `json:"escalate,omitempty"`
 }
 
 // ErrBadSpec is wrapped by every Spec validation failure.
@@ -119,7 +125,7 @@ func (s Spec) Validate() error {
 	if s.End != 0 && s.End <= s.Start {
 		return fmt.Errorf("%w: end_cycle %d not after start_cycle %d", ErrBadSpec, s.End, s.Start)
 	}
-	return nil
+	return s.validateHard()
 }
 
 // ParseSpec decodes a strict-JSON campaign spec (unknown fields rejected)
@@ -143,8 +149,12 @@ func (s Spec) String() string {
 	if s.End != 0 {
 		end = fmt.Sprintf("%d", s.End)
 	}
-	return fmt.Sprintf("seed=0x%X window=[%d,%s) flip=%.4f drop=%.4f stall=%.4fx%d closs=%.4f cdup=%.4f",
+	base := fmt.Sprintf("seed=0x%X window=[%d,%s) flip=%.4f drop=%.4f stall=%.4fx%d closs=%.4f cdup=%.4f",
 		s.Seed, s.Start, end, s.BitFlip, s.Drop, s.Stall, s.stallCycles(), s.CreditLoss, s.CreditDup)
+	if h := s.hardString(); h != "" {
+		base += " " + h
+	}
+	return base
 }
 
 func (s Spec) stallCycles() int64 {
@@ -181,9 +191,15 @@ type Injector struct {
 	stallMark []int64
 
 	// mu guards the impacted set, which is only touched when a fault
-	// actually fires (rare at campaign rates).
+	// actually fires (rare at campaign rates), and the hard state's kill
+	// records.
 	mu       sync.Mutex
 	impacted map[uint64]struct{}
+
+	// hard is the permanent-fault machinery, nil unless the spec declares
+	// dead links/routers or an escalation policy (see hard.go) — the hot
+	// paths pay one pointer test.
+	hard *hardState
 }
 
 // NewInjector returns an unbound injector for the spec. The spec must have
@@ -198,6 +214,12 @@ func NewInjector(spec Spec) *Injector {
 
 // Spec returns the campaign spec the injector was built from.
 func (inj *Injector) Spec() Spec { return inj.spec }
+
+// HardArmed reports whether the campaign declares any permanent-fault
+// machinery (dead links, dead routers, or transient-to-permanent
+// escalation). The network probes this before construction to decide
+// whether to pay for topology binding and the reconfiguration observer.
+func (inj *Injector) HardArmed() bool { return inj.spec.HasHardFaults() }
 
 // BindSites is called by the owning network with its channel-site count.
 // An injector serves exactly one network — rebinding panics, because the
@@ -270,6 +292,15 @@ func (inj *Injector) impactFlit(f *noc.Flit) {
 // TamperFlit implements noc.Tamperer. At most one fault fires per flit,
 // drop taking priority over flip so the two rates stay independent knobs.
 func (inj *Injector) TamperFlit(site int32, cycle int64, f *noc.Flit) bool {
+	if inj.siteDead(site, cycle) {
+		// A permanently dead channel eats whatever was staged across it:
+		// the in-flight flit of a mid-run kill is an accounted injector
+		// loss, not a mystery disappearance.
+		inj.impactFlit(f)
+		inj.count(site, Drop)
+		inj.creditDelta[site]--
+		return true
+	}
 	s := &inj.spec
 	if !s.active(cycle) {
 		return false
@@ -278,6 +309,7 @@ func (inj *Injector) TamperFlit(site int32, cycle int64, f *noc.Flit) bool {
 		inj.impactFlit(f)
 		inj.count(site, Drop)
 		inj.creditDelta[site]--
+		inj.noteTransient(site, cycle)
 		return true
 	}
 	if s.BitFlip > 0 && inj.roll(saltFlip, site, cycle, 0) < s.BitFlip {
@@ -285,6 +317,7 @@ func (inj *Injector) TamperFlit(site int32, cycle int64, f *noc.Flit) bool {
 		f.Raw ^= 1 << bit
 		inj.impactFlit(f)
 		inj.count(site, BitFlip)
+		inj.noteTransient(site, cycle)
 	}
 	return false
 }
@@ -304,10 +337,12 @@ func (inj *Injector) TamperCredits(site int32, cycle int64, n int) int {
 			out--
 			inj.count(site, CreditLoss)
 			inj.creditDelta[site]--
+			inj.noteTransient(site, cycle)
 		case r < s.CreditLoss+s.CreditDup:
 			out++
 			inj.count(site, CreditDup)
 			inj.creditDelta[site]++
+			inj.noteTransient(site, cycle)
 		}
 	}
 	return out
@@ -318,6 +353,9 @@ func (inj *Injector) TamperCredits(site int32, cycle int64, n int) int {
 // scan keeps the decision a pure function of (site, cycle) — no mutable
 // countdown state that call order could skew.
 func (inj *Injector) LinkStalled(site int32, cycle int64) bool {
+	if inj.siteDead(site, cycle) {
+		return true // a dead channel is an unending stall
+	}
 	s := &inj.spec
 	if s.Stall <= 0 {
 		return false
@@ -337,6 +375,7 @@ func (inj *Injector) LinkStalled(site int32, cycle int64) bool {
 			if inj.stallMark[site] < t {
 				inj.stallMark[site] = t
 				inj.count(site, Stall)
+				inj.noteTransient(site, cycle)
 			}
 			return true
 		}

@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzParseSpec drives arbitrary bytes through the strict campaign-spec
+// parser. The contract: any input either yields a Spec that passes Validate
+// (and round-trips through JSON back to an equally valid spec), or fails
+// with an ErrBadSpec-wrapped error — never a panic, never an anonymous
+// error, never a "valid" spec that Validate would have rejected.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"seed":1}`,
+		`{"seed":12,"bit_flip_rate":0.001,"drop_rate":0.0005}`,
+		`{"seed":7,"start_cycle":100,"end_cycle":900,"stall_rate":0.01,"stall_cycles":16}`,
+		`{"seed":3,"credit_loss_rate":0.002,"credit_dup_rate":0.002}`,
+		`{"seed":9,"dead_links":[{"a":5,"b":6}]}`,
+		`{"seed":9,"dead_links":[{"a":1,"b":2,"at_cycle":500},{"a":9,"b":10}]}`,
+		`{"seed":4,"dead_routers":[{"router":0},{"router":7,"at_cycle":1000}]}`,
+		`{"seed":11,"drop_rate":0.01,"escalate":{"threshold":3,"window":200}}`,
+		`{"seed":2,"dead_links":[{"a":0,"b":1}],"dead_routers":[{"router":15}],"escalate":{"threshold":5,"window":64}}`,
+		`{"seed":2,"dead_links":[{"a":1,"b":1}]}`,
+		`{"seed":2,"dead_links":[{"a":-1,"b":3}]}`,
+		`{"seed":2,"dead_routers":[{"router":-4}]}`,
+		`{"seed":2,"escalate":{"threshold":0,"window":10}}`,
+		`{"seed":2,"escalate":{"threshold":3,"window":0}}`,
+		`{"seed":2,"bit_flip_rate":1.5}`,
+		`{"unknown_field":true}`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("ParseSpec error not wrapping ErrBadSpec: %v", err)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted a spec Validate rejects: %v\nspec: %+v", verr, s)
+		}
+		// The accepted spec must survive a JSON round trip unchanged in
+		// validity and in its deterministic report header.
+		enc, merr := json.Marshal(s)
+		if merr != nil {
+			t.Fatalf("re-marshal: %v", merr)
+		}
+		s2, err2 := ParseSpec(enc)
+		if err2 != nil {
+			t.Fatalf("round trip rejected: %v\njson: %s", err2, enc)
+		}
+		if s.String() != s2.String() {
+			t.Fatalf("round trip changed the spec header:\n  %s\n  %s", s, s2)
+		}
+	})
+}

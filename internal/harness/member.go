@@ -325,12 +325,20 @@ func (m *synthMember) enterDrain() {
 // needsDrainStep reports whether the drain loop should step the network
 // again. A fully quiescent network with the collector still incomplete is
 // wedged — no evaluation can deliver anything further — so it jumps to the
-// deadline instead of stepping dead cycles and reports done.
+// deadline instead of stepping dead cycles and reports done. The exception
+// is quiescence with recovery machinery still scheduled (a mid-run kill or
+// a retransmission timeout): that is a wait, not a wedge, so the drain
+// jumps to the next event boundary and continues if it re-activated the
+// network.
 func (m *synthMember) needsDrainStep() bool {
 	if m.col.Complete() || m.net.Cycle() >= m.deadline {
 		return false
 	}
 	if m.net.FullyIdle() {
+		if m.net.RecoveryPending() {
+			m.net.FastForwardIdle(m.deadline - m.net.Cycle())
+			return !m.net.FullyIdle() && m.net.Cycle() < m.deadline
+		}
 		if out := m.net.Outstanding(); out > 0 {
 			m.cfg.Recorder.Trigger(m.net.Cycle(),
 				fmt.Sprintf("deadlock: network fully quiescent with %d packets outstanding", out))

@@ -62,6 +62,14 @@ func (c Config) Validate() error {
 		// on a sharded worker goroutine is unrecoverable.
 		return fmt.Errorf("%w: Fault requires Check (fault consequences must be recorded, not panic)", ErrBadConfig)
 	}
+	if r := c.Retransmit; r != nil {
+		if r.Timeout < 1 {
+			return fmt.Errorf("%w: retransmit timeout %d (must be >= 1 cycle)", ErrBadConfig, r.Timeout)
+		}
+		if r.Retries < 0 {
+			return fmt.Errorf("%w: retransmit retries %d negative", ErrBadConfig, r.Retries)
+		}
+	}
 	return nil
 }
 
@@ -116,9 +124,23 @@ func (n *Network) DrainChecked(limit, window int64) error {
 	wd.Reset(n.Cycle(), n.Delivered())
 	for n.Outstanding() > 0 {
 		if n.FullyIdle() {
-			// Quiescent with packets outstanding: no evaluation can ever
-			// deliver them — a true deadlock, reportable immediately.
-			return n.wedged(fmt.Sprintf("deadlock: fully quiescent with %d packets outstanding", n.Outstanding()))
+			if !n.RecoveryPending() {
+				// Quiescent with packets outstanding and no scheduled kill
+				// or retransmission timeout still to come: no evaluation can
+				// ever deliver them — a true deadlock, reportable
+				// immediately. (A partitioned network never reaches this
+				// branch: its unreachable packets were retired as
+				// undeliverable, so Outstanding already excludes them.)
+				return n.wedged(fmt.Sprintf("deadlock: fully quiescent with %d packets outstanding", n.Outstanding()))
+			}
+			// Quiescent, but recovery machinery is still scheduled: jump to
+			// the next event boundary in bulk. Waiting idle for a timeout
+			// is not livelock, so the watchdog restarts after the jump.
+			if n.FastForwardIdle(deadline-n.Cycle()) == 0 {
+				return n.wedged(fmt.Sprintf("drain limit: %d packets outstanding after %d cycles", n.Outstanding(), limit))
+			}
+			wd.Reset(n.Cycle(), n.Delivered())
+			continue
 		}
 		if n.Cycle() >= deadline {
 			return n.wedged(fmt.Sprintf("drain limit: %d packets outstanding after %d cycles", n.Outstanding(), limit))
@@ -145,9 +167,18 @@ func (n *Network) wedged(msg string) error {
 // snapshot attached to every watchdog trip. Routers and interfaces with
 // nothing in flight are skipped so the dump stays focused on the wedge.
 func (n *Network) WriteDiagnostic(w io.Writer) {
-	fmt.Fprintf(w, "network diagnostic: arch=%s topo=%dx%d cycle=%d injected=%d delivered=%d outstanding=%d arena=%d\n",
+	fmt.Fprintf(w, "network diagnostic: arch=%s topo=%dx%d cycle=%d injected=%d delivered=%d undeliverable=%d outstanding=%d arena=%d\n",
 		n.cfg.Arch, n.cfg.Topo.Width, n.cfg.Topo.Height,
-		n.Cycle(), n.Injected(), n.Delivered(), n.Outstanding(), n.ArenaOutstanding())
+		n.Cycle(), n.Injected(), n.Delivered(), n.Undeliverable(), n.Outstanding(), n.ArenaOutstanding())
+	if n.hard != nil {
+		fmt.Fprintf(w, "  hard faults: epochs=%d last-epoch=%d partitioned-pairs=%d faults=%s\n",
+			n.Epochs(), n.LastEpochCycle(), n.PartitionedPairs(), n.curFaults)
+	}
+	if n.rel != nil {
+		rtx, acked, ackLost, exhausted := n.RetransmitStats()
+		fmt.Fprintf(w, "  retransmit: entries=%d resends=%d acked=%d ack-lost=%d exhausted=%d dup-suppressed=%d\n",
+			len(n.rel.entries), rtx, acked, ackLost, exhausted, n.DupSuppressed())
+	}
 	var buf []router.PortState
 	for id, r := range n.routers {
 		buf = r.PortStates(buf[:0])

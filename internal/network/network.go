@@ -62,8 +62,17 @@ type Config struct {
 	// Fault, when non-nil, injects channel-level faults
 	// (internal/fault.Injector); it is bound to this network's link sites at
 	// construction. Requires Check — running faults without the lenient
-	// checker paths would panic sharded worker goroutines.
+	// checker paths would panic sharded worker goroutines. When the injector
+	// also implements HardFaulter and declares permanent faults, the network
+	// arms fault-aware rerouting with reconfiguration epochs (see
+	// hardfault.go).
 	Fault FaultInjector
+	// Retransmit, when non-nil, arms end-to-end retransmission at the
+	// network interfaces: unacknowledged packets are re-sent from their
+	// sources with bounded retries and cycle-domain exponential backoff,
+	// and packets that exhaust the budget are retired as undeliverable.
+	// Nil costs a single pointer test on the hot path.
+	Retransmit *RetransmitConfig
 	// Slabs, when non-nil, is a shared construction allocator: a batched
 	// cohort threads one through every member so N same-shape networks carve
 	// their router state from common chunks (see internal/batch). Nil builds
@@ -197,6 +206,25 @@ type Network struct {
 	check *check.Checker
 	fault FaultInjector
 
+	// Permanent-fault state (see hardfault.go). hard is non-nil only when
+	// the injector declares hard faults; sites mirrors links in site order.
+	// faultKey/curFaults identify the fault set the active route table was
+	// built for; killCursor and lastEscGen are the epoch observer's dirty
+	// cursors. All untouched on fault-free runs.
+	hard           HardFaulter
+	sites          []noc.LinkSite
+	faultKey       string
+	curFaults      routing.FaultSet
+	killCursor     int
+	lastEscGen     int64
+	epochs         int64
+	lastEpochCycle int64
+	undeliverable  int64
+
+	// rel is the end-to-end retransmission state, nil when disarmed (see
+	// reliability.go).
+	rel *relState
+
 	nextPacketID uint64
 	injected     int64
 	delivered    int64
@@ -206,6 +234,11 @@ type Network struct {
 	// the step epilogue on the stepping goroutine, in the same
 	// interface-order sequence as serial runs.
 	OnDeliver func(p *noc.Packet, cycle int64)
+	// OnReconfigure, when set, observes every reconfiguration epoch with
+	// the cycle it ran at and the permanent-fault set it rerouted around.
+	// Runs on the stepping goroutine; the flight recorder's reconfiguration
+	// trigger hangs here.
+	OnReconfigure func(cycle int64, fs routing.FaultSet)
 }
 
 // New builds and wires a network, panicking on an invalid configuration.
@@ -230,12 +263,40 @@ func New(cfg Config) *Network {
 	sharded := shards > 1
 
 	n := &Network{
-		cfg:    cfg,
-		sys:    sys,
-		kernel: sim.NewKernel(),
-		routes: routing.SharedSystemTable(sys),
-		probe:  cfg.Probe,
-		shards: shards,
+		cfg:            cfg,
+		sys:            sys,
+		kernel:         sim.NewKernel(),
+		probe:          cfg.Probe,
+		shards:         shards,
+		lastEpochCycle: -1,
+	}
+
+	// Fault binding happens before any router is built: a campaign with
+	// permanent faults may declare sites dead from cycle 0, and the routers
+	// must be constructed against the route table for the surviving
+	// topology, not rerouted after the fact.
+	n.sites = buildSites(sys)
+	n.check = cfg.Check
+	n.fault = cfg.Fault
+	if n.fault != nil {
+		n.fault.BindSites(len(n.sites))
+		if hf, ok := n.fault.(HardFaulter); ok && hf.HardArmed() {
+			hf.BindTopology(sys, n.sites)
+			n.hard = hf
+			n.lastEscGen = hf.EscalationGen()
+		}
+	}
+	n.routes = routing.SharedSystemTable(sys)
+	if n.hard != nil {
+		fs := n.hard.FaultSet(0)
+		n.faultKey = fs.Key()
+		n.curFaults = fs
+		if !fs.Empty() {
+			n.routes = routing.SharedFaultTable(sys, fs)
+		}
+	}
+	if cfg.Retransmit != nil {
+		n.rel = newRelState(*cfg.Retransmit)
 	}
 
 	if n.probe != nil {
@@ -432,16 +493,16 @@ func New(cfg Config) *Network {
 		}
 	}
 	n.links = links
-	n.check = cfg.Check
-	n.fault = cfg.Fault
 	if n.fault != nil {
-		n.fault.BindSites(len(links))
 		for i, l := range links {
 			l.SetTamper(n.fault, i, linkArena[i])
 		}
 	}
 	if linksUsed != linkCount {
 		panic(fmt.Sprintf("network: wired %d links, slab sized for %d", linksUsed, linkCount))
+	}
+	if len(n.sites) != len(links) {
+		panic(fmt.Sprintf("network: site table built %d sites for %d links", len(n.sites), len(links)))
 	}
 	for i, l := range links {
 		lh := n.kernel.AddLate(l)
@@ -474,6 +535,15 @@ func New(cfg Config) *Network {
 				probeChildren[shard].SetShardContext(phase, comp)
 			})
 		}
+	}
+	// Recovery observers run first: the reconfiguration epoch rebuilds
+	// routes before the probe samples the cycle, and the retransmission
+	// observer after it sees the post-epoch table.
+	if n.hard != nil {
+		n.kernel.AddObserver(n.epochTick)
+	}
+	if n.rel != nil {
+		n.kernel.AddObserver(n.relTick)
 	}
 	if n.probe != nil {
 		n.kernel.AddObserver(n.probe.Tick)
@@ -599,10 +669,18 @@ func (n *Network) Close() { n.kernel.Close() }
 func (n *Network) FullyIdle() bool { return n.kernel.FullyIdle() }
 
 // FastForwardIdle advances the clock up to limit cycles in bulk while the
-// network is fully quiescent, returning the cycles skipped (0 if busy).
+// network is fully quiescent, returning the cycles advanced (0 if busy).
 // Probe sampling still observes every skipped cycle, so probed output is
-// identical to stepping.
-func (n *Network) FastForwardIdle(limit int64) int64 { return n.kernel.FastForward(limit) }
+// identical to stepping. With hard faults or retransmission armed, cycles
+// on which a scheduled kill boundary or retransmission event lands are
+// stepped rather than skipped (their observers may wake components), and
+// the advance stops early if such a step re-activates the network.
+func (n *Network) FastForwardIdle(limit int64) int64 {
+	if n.hard == nil && n.rel == nil {
+		return n.kernel.FastForward(limit)
+	}
+	return n.fastForward(limit)
+}
 
 // Routes returns the network's route table.
 func (n *Network) Routes() *routing.Table { return n.routes }
@@ -632,13 +710,23 @@ func (n *Network) Inject(src, dst noc.NodeID, length int, class int) *noc.Packet
 }
 
 // InjectPacket queues a pre-built packet (trace replay) at its source.
-// The packet's CreateCycle must be the current cycle or earlier.
+// The packet's CreateCycle must be the current cycle or earlier. A packet
+// whose destination is currently partitioned away by permanent faults is
+// refused at the source — counted injected and undeliverable, so
+// offered-traffic accounting stays comparable across fault sets.
 func (n *Network) InjectPacket(p *noc.Packet) {
 	if int(p.Src) >= len(n.nis) || int(p.Dst) >= len(n.nis) {
 		panic(fmt.Sprintf("network: packet endpoints %d->%d outside topology", p.Src, p.Dst))
 	}
 	n.injected++
 	n.check.OnInject(n.Cycle(), p.ID)
+	if n.hard != nil && !n.routes.Reachable(p.Src, p.Dst) {
+		n.markUndeliverable(p, n.Cycle())
+		return
+	}
+	if n.rel != nil {
+		n.relArm(p, n.Cycle())
+	}
 	n.nis[p.Src].enqueue(p)
 	// The interface may have gone quiescent; new work re-activates it.
 	n.kernel.Wake(n.niHandle[p.Src])
@@ -647,13 +735,17 @@ func (n *Network) InjectPacket(p *noc.Packet) {
 func (n *Network) deliver(p *noc.Packet, cycle int64) {
 	n.delivered++
 	n.check.OnDeliver(cycle, p.ID)
+	if n.rel != nil {
+		n.relDelivered(p, cycle)
+	}
 	if n.OnDeliver != nil {
 		n.OnDeliver(p, cycle)
 	}
 }
 
-// Outstanding returns the number of injected packets not yet delivered.
-func (n *Network) Outstanding() int64 { return n.injected - n.delivered }
+// Outstanding returns the number of injected packets neither delivered nor
+// retired as undeliverable — the count a drain must bring to zero.
+func (n *Network) Outstanding() int64 { return n.injected - n.delivered - n.undeliverable }
 
 // ArenaOutstanding returns the number of pooled flits currently live inside
 // the simulation, summed over every shard arena (individual arenas can go
@@ -686,8 +778,10 @@ func (n *Network) Drain(limit int64) bool {
 	deadline := n.Cycle() + limit
 	for n.Outstanding() > 0 && n.Cycle() < deadline {
 		if n.kernel.FullyIdle() {
-			n.kernel.FastForward(deadline - n.Cycle())
-			break
+			if n.FastForwardIdle(deadline-n.Cycle()) == 0 {
+				break
+			}
+			continue
 		}
 		n.Step()
 	}

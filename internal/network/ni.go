@@ -54,6 +54,10 @@ type NI struct {
 	assembling  *noc.Packet
 	expectSeq   int
 	injectedPkt int64
+
+	// dupes counts flits swallowed by the retransmission layer's duplicate
+	// suppression at this interface (shard-local; summed by DupSuppressed).
+	dupes int64
 }
 
 // init wires a slab-allocated NI: slots backs the sink port's FIFO ring,
@@ -230,6 +234,15 @@ func (ni *NI) Commit(cycle int64) {
 func (ni *NI) deliver(f *noc.Flit, cycle int64) {
 	ck := ni.net.check
 	p := f.Packet
+	if ni.net.rel != nil && p.DeliverCycle != -1 {
+		// Duplicate of an already-delivered packet (a spurious
+		// retransmission overtaken by the original) or a straggler of one
+		// the network retired: suppressed by sequence identity, the
+		// receiver-side half of end-to-end retransmission.
+		ni.dupes++
+		ni.released = f
+		return
+	}
 	if p.Dst != ni.node {
 		if ck == nil {
 			panic(fmt.Sprintf("network: flit %v misrouted to node %d", f, ni.node))
@@ -254,6 +267,12 @@ func (ni *NI) deliver(f *noc.Flit, cycle int64) {
 			return
 		}
 		ni.assembling = p
+		ni.expectSeq = 0
+	} else if ni.net.rel != nil && p == ni.assembling && f.Seq == 0 && ni.expectSeq > 0 {
+		// A fresh head of the very packet mid-reassembly: an end-to-end
+		// retransmission restarted it after the earlier attempt's remaining
+		// flits were lost in a reconfiguration flush. Restart from the head
+		// — the retransmitted sequence is complete and self-consistent.
 		ni.expectSeq = 0
 	} else if ck != nil && p != ni.assembling && f.Seq == 0 {
 		// A fresh head while another packet is mid-reassembly: the previous

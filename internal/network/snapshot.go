@@ -7,6 +7,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/noc"
 	"repro/internal/power"
+	"repro/internal/routing"
 	"repro/internal/snapshot/codec"
 )
 
@@ -47,6 +48,17 @@ func (n *Network) SaveState(e *codec.Encoder) error {
 	e.Bool(n.check != nil)
 	if n.check != nil {
 		saveLedger(e, n.check.Ledger())
+	}
+	e.I64(n.undeliverable)
+	e.I64(n.epochs)
+	e.I64(n.lastEpochCycle)
+	e.Bool(n.hard != nil)
+	if n.hard != nil {
+		n.hard.SaveHardState(e)
+	}
+	e.Bool(n.rel != nil)
+	if n.rel != nil {
+		n.rel.save(e)
 	}
 	return nil
 }
@@ -121,6 +133,42 @@ func (n *Network) RestoreState(d *codec.Decoder) error {
 		}
 		n.check.RestoreLedger(ledger)
 	}
+	undeliverable := d.I64()
+	epochs := d.I64()
+	lastEpoch := d.I64()
+	hasHard := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if undeliverable < 0 || delivered+undeliverable > injected {
+		return fmt.Errorf("%w: %d undeliverable with %d injected / %d delivered",
+			codec.ErrCorrupt, undeliverable, injected, delivered)
+	}
+	if epochs < 0 || lastEpoch < -1 {
+		return fmt.Errorf("%w: %d reconfiguration epochs, last at cycle %d", codec.ErrCorrupt, epochs, lastEpoch)
+	}
+	if hasHard != (n.hard != nil) {
+		return fmt.Errorf("%w: snapshot hard-faults-armed=%v, restore target=%v",
+			codec.ErrUnsupported, hasHard, n.hard != nil)
+	}
+	if hasHard {
+		if err := n.hard.RestoreHardState(d); err != nil {
+			return err
+		}
+	}
+	hasRel := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if hasRel != (n.rel != nil) {
+		return fmt.Errorf("%w: snapshot retransmission-armed=%v, restore target=%v",
+			codec.ErrUnsupported, hasRel, n.rel != nil)
+	}
+	if hasRel {
+		if err := n.rel.restore(d); err != nil {
+			return err
+		}
+	}
 	// Counters were saved folded; the fold is all any reader observes, so
 	// the whole block lands on shard 0.
 	if n.shardCounters == nil {
@@ -134,6 +182,33 @@ func (n *Network) RestoreState(d *codec.Decoder) error {
 	n.nextPacketID = nextID
 	n.injected = injected
 	n.delivered = delivered
+	n.undeliverable = undeliverable
+	n.epochs = epochs
+	n.lastEpochCycle = lastEpoch
+	if n.hard != nil {
+		// Re-derive the fault-evolution cursors from the restored injector
+		// state, then bring the route tables in line with the fault set in
+		// force at the saved cycle (past epochs already happened in the
+		// saved timeline; the freshly built network still routes fault-free
+		// or with the at-construction set).
+		sched := n.hard.ScheduledKillCycles()
+		k := 0
+		for k < len(sched) && sched[k] <= cycle {
+			k++
+		}
+		n.killCursor = k
+		n.lastEscGen = n.hard.EscalationGen()
+		fs := n.hard.FaultSet(cycle)
+		if key := fs.Key(); key != n.faultKey {
+			tbl := routing.SharedFaultTable(n.sys, fs)
+			for _, r := range n.routers {
+				r.Reroute(tbl)
+			}
+			n.routes = tbl
+			n.faultKey = key
+			n.curFaults = fs
+		}
+	}
 	// Wake everything rather than reconstruct the exact active set: waking a
 	// quiet component is unobservable (it re-quiesces after one evaluation),
 	// and the set re-converges to the original within a cycle.
@@ -224,6 +299,7 @@ func saveLedger(e *codec.Encoder, l check.Ledger) {
 	}
 	e.I64(l.Injected)
 	e.I64(l.Delivered)
+	e.I64(l.Undeliverable)
 	e.Bool(l.Leaky)
 	e.Bool(l.Finalized)
 }
@@ -274,6 +350,7 @@ func restoreLedger(d *codec.Decoder) (check.Ledger, error) {
 	}
 	l.Injected = d.I64()
 	l.Delivered = d.I64()
+	l.Undeliverable = d.I64()
 	l.Leaky = d.Bool()
 	l.Finalized = d.Bool()
 	return l, d.Err()

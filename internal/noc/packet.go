@@ -47,6 +47,14 @@ type Packet struct {
 // FlitBytes is the link width in bytes (64-bit flits and links, Table 1).
 const FlitBytes = 8
 
+// Undelivered is the DeliverCycle sentinel for a packet the network retired
+// as provably undeliverable — its destination was partitioned away by a
+// permanent fault, or end-to-end retransmission exhausted its retries —
+// distinct from -1 (still in flight). Latency treats both as undelivered;
+// the sentinel is what makes retirement idempotent and lets a late flit of
+// a given-up packet be recognized and swallowed at the destination.
+const Undelivered int64 = -2
+
 // Bytes returns the packet size on the wire.
 func (p *Packet) Bytes() int { return p.Length * FlitBytes }
 

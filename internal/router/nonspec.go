@@ -111,6 +111,17 @@ func (r *nonspecRouter) Quiet() bool {
 	return true
 }
 
+// Flush implements Router: drains every input FIFO through drop and clears
+// all wormhole locks and staged actions.
+func (r *nonspecRouter) Flush(drop func(*noc.Flit)) {
+	for p := range r.in {
+		r.dropAll(&r.in[p], drop)
+		r.lock[p] = -1
+		r.pops[p] = false
+	}
+	r.touched = 0
+}
+
 // Compute arbitrates each output and traverses the winner in the same cycle.
 func (r *nonspecRouter) Compute(cycle int64) {
 	c := r.counters()

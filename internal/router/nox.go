@@ -6,6 +6,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/routing"
 )
 
 // noxRouter composes internal/core's input ports and output controls into
@@ -140,6 +141,29 @@ func (r *noxRouter) Quiet() bool {
 		}
 	}
 	return true
+}
+
+// Flush implements Router: tears down every input port (FIFO, decode
+// register, poison) through drop and forces every output's control logic
+// back to its rest state. Constituents of encoded flits leak by design
+// (see core.InputPort.Flush); the caller marks the run leaky.
+func (r *noxRouter) Flush(drop func(*noc.Flit)) {
+	n := r.ports
+	for p := 0; p < n; p++ {
+		r.in[p].Flush(drop)
+		r.ctl[p].Reset()
+	}
+	r.inBusy, r.outBusy = allPorts(n), allPorts(n)
+	r.decided = 0
+}
+
+// Reroute overrides base.Reroute: the NoX input ports hold their own
+// reference to the route-table row, repointed alongside the base's.
+func (r *noxRouter) Reroute(routes *routing.Table) {
+	r.base.Reroute(routes)
+	for p := range r.in {
+		r.in[p].SetRow(r.row)
+	}
 }
 
 // Compute presents each input port's offer to the XOR switch and lets every

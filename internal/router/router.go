@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/arbiter"
+	"repro/internal/buffer"
 	"repro/internal/check"
 	"repro/internal/noc"
 	"repro/internal/power"
@@ -212,6 +213,16 @@ type Router interface {
 	// RestoreState loads state saved by SaveState into this freshly
 	// constructed router of the identical configuration.
 	RestoreState(d *codec.Decoder) error
+	// Flush discards all in-flight state — buffered flits, decode
+	// registers, wormhole locks, reservations, staged actions — returning
+	// the router to its post-construction rest. Every dropped flit object
+	// is handed to drop before its storage is recycled (callers walk the
+	// Parts of encoded flits for packet accounting); drop may be nil.
+	// Called between steps by a reconfiguration epoch after a hard fault.
+	Flush(drop func(*noc.Flit))
+	// Reroute swaps the router's routing table. Buffered flits keep their
+	// stale lookahead OutPort, so epochs Flush before the swap matters.
+	Reroute(routes *routing.Table)
 }
 
 // New builds a router of the configured architecture.
@@ -308,6 +319,26 @@ func (b *base) returnCredits(p noc.Port, n int) {
 // route computes the lookahead output port at this router for dst.
 func (b *base) route(dst noc.NodeID) noc.Port {
 	return b.row[dst]
+}
+
+// Reroute swaps the routing table: a slice-header repoint at this router's
+// new row. The NoX router overrides it to also repoint its input ports.
+func (b *base) Reroute(routes *routing.Table) {
+	b.cfg.Routes = routes
+	b.row = routes.Row(b.cfg.Node)
+}
+
+// dropAll empties a FIFO through drop, releasing each flit to the arena.
+func (b *base) dropAll(q *buffer.FIFO, drop func(*noc.Flit)) {
+	for !q.Empty() {
+		f := q.Pop()
+		if drop != nil {
+			drop(f)
+		}
+		if b.cfg.Arena != nil {
+			b.cfg.Arena.Release(f)
+		}
+	}
 }
 
 // overflow guards a receive against a full input buffer, which only an

@@ -172,6 +172,20 @@ func (r *specRouter) Quiet() bool {
 	return true
 }
 
+// Flush implements Router: drains every input FIFO through drop and clears
+// all locks, reservations, exposure markers, and staged actions.
+func (r *specRouter) Flush(drop func(*noc.Flit)) {
+	for p := range r.in {
+		r.dropAll(&r.in[p], drop)
+		r.lock[p] = -1
+		r.res[p] = -1
+		r.resPkt[p] = nil
+		r.newlyExposed[p] = -1
+		r.pops[p] = false
+	}
+	r.touched = 0
+}
+
 // allocatable reports whether input i's request may reach the allocator at
 // the given cycle (Spec-Fast's newly-exposed restriction; always true for
 // Spec-Accurate).

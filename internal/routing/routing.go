@@ -41,6 +41,10 @@ func XY(t noc.Topology, cur, dst noc.NodeID) noc.Port {
 type Table struct {
 	sys   noc.System
 	ports []noc.Port // [router*cores + core]
+	// hops caches path lengths for fault tables, where routes are no longer
+	// minimal and a pair may be unreachable (-1). nil on XY tables: there
+	// every destination is reachable and PathLength is the Manhattan walk.
+	hops []int32 // [router*cores + core], routers visited inclusive
 }
 
 // NewTable precomputes XY routes for a plain (concentration-1) mesh, where
@@ -109,7 +113,22 @@ func (t *Table) Row(cur noc.NodeID) []noc.Port {
 }
 
 // PathLength returns the number of routers a packet visits from core src
-// to core dst inclusive (router hops + 1).
+// to core dst inclusive (router hops + 1). On a fault table the walk follows
+// the (possibly non-minimal) up*/down* route; -1 if dst is unreachable.
 func (t *Table) PathLength(src, dst noc.NodeID) int {
-	return t.sys.CoreHops(src, dst) + 1
+	if t.hops == nil {
+		return t.sys.CoreHops(src, dst) + 1
+	}
+	return int(t.hops[int(t.sys.RouterOf(src))*t.sys.Cores()+int(dst)])
+}
+
+// Reachable reports whether a packet injected at core src can reach core dst
+// under this table. Always true on XY tables; on a fault table it is false
+// exactly when the two cores' routers sit in different components of the
+// damaged mesh (or either router is dead).
+func (t *Table) Reachable(src, dst noc.NodeID) bool {
+	if t.hops == nil {
+		return true
+	}
+	return t.hops[int(t.sys.RouterOf(src))*t.sys.Cores()+int(dst)] >= 0
 }

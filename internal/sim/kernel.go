@@ -282,6 +282,14 @@ func (k *Kernel) Wake(h Handle) {
 	}
 }
 
+// Stepping reports whether the kernel is inside Step. Observer hooks fire
+// both at the end of every stepped cycle (stepping true) and once per cycle
+// skipped by FastForward/SkipIdle (stepping false); a hook that needs to
+// Wake components — legal only when a real step's quiescence bookkeeping
+// brackets the wake — checks this and arranges for the cycle to be stepped
+// instead (see Network.fastForward).
+func (k *Kernel) Stepping() bool { return k.stepping }
+
 // Waker returns a closure waking h, for wiring into components that cannot
 // know about the kernel.
 func (k *Kernel) Waker(h Handle) func() {

@@ -56,7 +56,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(append(append([]byte{}, seed...), 0)) // trailing byte
 	e := codec.NewEncoder()
 	e.U64(0x4e4f585350415031) // the snapshot magic
-	e.U64(2)                  // a future version
+	e.U64(99)                 // a future version
 	f.Add(e.Bytes())
 	bad := append([]byte{}, seed...)
 	bad[0] ^= 0xFF // bad magic

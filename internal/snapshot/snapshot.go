@@ -32,7 +32,7 @@ import (
 // codec.ErrVersion so format evolution fails loudly instead of misparsing.
 const (
 	magic   uint64 = 0x4e4f585350415031 // "NOXSPA01"
-	version uint64 = 1
+	version uint64 = 2                  // v2: undeliverable accounting, hard-fault and retransmission sections
 )
 
 // header carries the structural parameters a snapshot was taken under. A
